@@ -1,0 +1,65 @@
+// Ablation: coarse-grain global state staleness vs overhead vs quality.
+//
+// The hybrid design's central trade-off (paper Secs. 3.2/4.2): the
+// threshold-triggered global state is cheap but stale; probing recovers
+// precision. This bench sweeps
+//   * the update threshold (fraction of a metric's maximum value — the
+//     paper uses 10%), and
+//   * the aggregation publish interval,
+// measuring ACP's success rate, its probing overhead, and the state-update
+// message rate. Expectation: success is remarkably insensitive (probes do
+// the precise work) while the update rate falls steeply with the threshold
+// — exactly the argument for coarse-grain maintenance.
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  const auto opt = benchx::parse_options(argc, argv);
+
+  const std::size_t overlay_nodes = 400;
+  const exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
+                                              : benchx::default_system_config(overlay_nodes, opt.seed);
+  const double duration_min = opt.quick ? 10.0 : 40.0;
+  const double rate = 60.0;
+  const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+
+  auto run_point = [&](double threshold, double publish_s) {
+    exp::ExperimentConfig cfg;
+    cfg.algorithm = exp::Algorithm::kAcp;
+    cfg.alpha = 0.3;
+    cfg.duration_minutes = duration_min;
+    cfg.schedule = {{0.0, rate}};
+    cfg.global_state.threshold_fraction = threshold;
+    cfg.global_state.aggregation_publish_interval_s = publish_s;
+    cfg.run_seed = opt.seed + 400;
+    return exp::run_experiment(fabric, sys_cfg, cfg);
+  };
+
+  std::printf("State-staleness ablation: %zu nodes, alpha=0.3, %.0f req/min, %.0f min\n",
+              overlay_nodes, rate, duration_min);
+
+  util::Table threshold_table(
+      {"threshold %", "success %", "state updates/min", "probes/min"});
+  for (double th : {0.02, 0.05, 0.10, 0.20, 0.50}) {
+    const auto res = run_point(th, 120.0);
+    threshold_table.add_row({th * 100.0, res.success_rate * 100.0,
+                             res.state_update_rate_per_minute, res.probe_rate_per_minute});
+    std::printf("  threshold=%4.0f%%  success=%5.1f%%  updates=%7.1f/min  probes=%7.1f/min\n",
+                th * 100.0, res.success_rate * 100.0, res.state_update_rate_per_minute,
+                res.probe_rate_per_minute);
+  }
+  benchx::emit(threshold_table, "Ablation: global-state update threshold (paper: 10%)", opt,
+               "ablation_threshold");
+
+  util::Table publish_table({"publish interval s", "success %", "state updates/min"});
+  for (double pub : {30.0, 120.0, 600.0}) {
+    const auto res = run_point(0.10, pub);
+    publish_table.add_row({pub, res.success_rate * 100.0, res.state_update_rate_per_minute});
+    std::printf("  publish=%5.0fs  success=%5.1f%%  updates=%7.1f/min\n", pub,
+                res.success_rate * 100.0, res.state_update_rate_per_minute);
+  }
+  benchx::emit(publish_table, "Ablation: aggregation publish interval", opt, "ablation_publish");
+  return 0;
+}

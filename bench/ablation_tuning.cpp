@@ -1,0 +1,77 @@
+// Ablation: profile-based tuning (paper Sec. 3.4) vs PI control (paper
+// Sec. 6 future work item 1) vs fixed probing ratios.
+//
+// Same dynamic workload as Fig. 8 (40 → 80 → 60 req/min). For each tuning
+// strategy we measure the overall success rate, the mean absolute deviation
+// from the 90% target across sampling windows (tracking quality), and the
+// probing overhead (cost of the chosen α values).
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  const auto opt = benchx::parse_options(argc, argv);
+
+  const std::size_t overlay_nodes = 400;
+  const exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
+                                              : benchx::default_system_config(overlay_nodes, opt.seed);
+  const double scale = opt.quick ? 0.3 : 1.0;
+  const double duration_min = 150.0 * scale;
+  const double target = 0.90;
+  const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+
+  struct Case {
+    std::string name;
+    bool adaptive;
+    core::TuningMode mode;
+    double fixed_alpha;
+  };
+  const std::vector<Case> cases = {
+      {"fixed alpha=0.1", false, core::TuningMode::kProfile, 0.1},
+      {"fixed alpha=0.3", false, core::TuningMode::kProfile, 0.3},
+      {"fixed alpha=0.7", false, core::TuningMode::kProfile, 0.7},
+      {"profile tuner (paper)", true, core::TuningMode::kProfile, 0.3},
+      {"PI controller (ext.)", true, core::TuningMode::kPi, 0.3},
+  };
+
+  std::printf("Tuning ablation: dynamic load 40→80→60 req/min, target %.0f%%, %.0f min\n",
+              target * 100.0, duration_min);
+
+  util::Table table({"strategy", "success %", "mean |err to target| %", "probes/min"});
+  for (const auto& c : cases) {
+    exp::ExperimentConfig cfg;
+    cfg.algorithm = exp::Algorithm::kAcp;
+    cfg.alpha = c.fixed_alpha;
+    cfg.adaptive_alpha = c.adaptive;
+    cfg.tuner.mode = c.mode;
+    cfg.tuner.target_success_rate = target;
+    cfg.tuner.sampling_period_s = 300.0 * scale;
+    cfg.duration_minutes = duration_min;
+    cfg.schedule = {{0.0, 40.0}, {50.0 * scale, 80.0}, {100.0 * scale, 60.0}};
+    // Fig 8's lighter operating point (see fig8_adaptability.cpp).
+    cfg.workload.min_cpu = 1.5;
+    cfg.workload.max_cpu = 5.0;
+    cfg.workload.min_memory_mb = 8.0;
+    cfg.workload.max_memory_mb = 25.0;
+    cfg.sample_period_minutes = 5.0 * scale;
+    cfg.run_seed = opt.seed + 500;
+    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+
+    double abs_err = 0.0;
+    for (std::size_t i = 0; i < res.success_series.size(); ++i) {
+      abs_err += std::abs(res.success_series.value_at(i) - target);
+    }
+    abs_err = res.success_series.size() == 0
+                  ? 0.0
+                  : abs_err / static_cast<double>(res.success_series.size());
+
+    table.add_row({c.name, res.success_rate * 100.0, abs_err * 100.0,
+                   res.probe_rate_per_minute});
+    std::printf("  %-24s success=%5.1f%%  |err|=%4.1f%%  probes=%7.1f/min\n", c.name.c_str(),
+                res.success_rate * 100.0, abs_err * 100.0, res.probe_rate_per_minute);
+  }
+  benchx::emit(table, "Ablation: probing-ratio tuning strategies", opt, "ablation_tuning");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure group of the paper's evaluation
+// (Sec. 4.2) and prints the same series the paper plots. Absolute numbers
+// depend on the simulated substrate (as they did on the authors'); the
+// *shapes* — orderings, crossovers, saturation points — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "exp/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace acp::benchx {
+
+/// Default evaluation setup shared by all figures (paper Sec. 4.1).
+inline exp::SystemConfig default_system_config(std::size_t overlay_nodes, std::uint64_t seed) {
+  exp::SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.topology.node_count = 3200;  // paper: 3200-node power-law IP graph
+  cfg.overlay.member_count = overlay_nodes;
+  return cfg;
+}
+
+/// Smaller setup for --quick runs (CI-friendly).
+inline exp::SystemConfig quick_system_config(std::size_t overlay_nodes, std::uint64_t seed) {
+  exp::SystemConfig cfg = default_system_config(overlay_nodes, seed);
+  cfg.topology.node_count = 1200;
+  return cfg;
+}
+
+struct BenchOptions {
+  bool quick = false;        ///< shrink durations/system for a fast pass
+  std::uint64_t seed = 42;
+  std::string csv_prefix;    ///< when set, save each table as <prefix><name>.csv
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  BenchOptions opt;
+  opt.quick = flags.get_bool("quick", false);
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  opt.csv_prefix = flags.get_string("csv", "");
+  for (const auto& f : flags.unknown_flags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", f.c_str());
+  }
+  return opt;
+}
+
+inline void emit(const util::Table& table, const std::string& title, const BenchOptions& opt,
+                 const std::string& csv_name) {
+  std::printf("\n== %s ==\n", title.c_str());
+  table.print(std::cout);
+  if (!opt.csv_prefix.empty()) {
+    table.save_csv(opt.csv_prefix + csv_name + ".csv");
+    std::printf("(saved %s%s.csv)\n", opt.csv_prefix.c_str(), csv_name.c_str());
+  }
+}
+
+}  // namespace acp::benchx

@@ -1,0 +1,72 @@
+// Figure 5 — probing ratio tuning effect (paper Sec. 3.4, Fig. 5).
+//
+// Composition success rate as a function of the probing ratio α ∈ (0, 1]:
+//
+//   Fig 5(a): under request rates {10, 50, 100}/min.
+//   Fig 5(b): under QoS requirement strictness {low, high, very high}
+//             (qos_scale {1.0, 0.6, 0.4}) at 50 req/min.
+//
+// Expected shape: success rises steeply with α and saturates by α ≈ 0.3–0.5;
+// the saturation level falls with load and with QoS strictness.
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  const auto opt = benchx::parse_options(argc, argv);
+
+  const std::size_t overlay_nodes = 400;
+  const exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
+                                              : benchx::default_system_config(overlay_nodes, opt.seed);
+  const double duration_min = opt.quick ? 15.0 : 100.0;
+  std::vector<double> alphas;
+  for (double a = 0.1; a <= 1.0 + 1e-9; a += (opt.quick ? 0.2 : 0.1)) alphas.push_back(a);
+
+  std::printf("Fig 5: %zu-node system, ACP, %.0f-minute simulations\n", overlay_nodes,
+              duration_min);
+  const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+
+  auto run_point = [&](double alpha, double rate, double qos_scale) {
+    exp::ExperimentConfig cfg;
+    cfg.algorithm = exp::Algorithm::kAcp;
+    cfg.alpha = alpha;
+    cfg.duration_minutes = duration_min;
+    cfg.schedule = {{0.0, rate}};
+    cfg.workload.qos_scale = qos_scale;
+    cfg.run_seed = opt.seed + 500;
+    return exp::run_experiment(fabric, sys_cfg, cfg).success_rate * 100.0;
+  };
+
+  // ---- Fig 5(a): request-rate sweep ----------------------------------------
+  const std::vector<double> rates = {10.0, 50.0, 100.0};
+  util::Table a_table({"probing_ratio", "10 reqs/min", "50 reqs/min", "100 reqs/min"});
+  for (double alpha : alphas) {
+    std::vector<util::Table::Cell> row{alpha};
+    for (double rate : rates) {
+      const double s = run_point(alpha, rate, 1.0);
+      row.push_back(s);
+      std::printf("  alpha=%.1f rate=%3.0f  success=%5.1f%%\n", alpha, rate, s);
+    }
+    a_table.add_row(std::move(row));
+  }
+  benchx::emit(a_table, "Fig 5(a): success rate (%) vs probing ratio, by request rate", opt,
+               "fig5a");
+
+  // ---- Fig 5(b): QoS-strictness sweep --------------------------------------
+  const std::vector<std::pair<const char*, double>> strictness = {
+      {"low QoS", 1.0}, {"high QoS", 0.6}, {"very high QoS", 0.4}};
+  util::Table b_table({"probing_ratio", "low QoS", "high QoS", "very high QoS"});
+  for (double alpha : alphas) {
+    std::vector<util::Table::Cell> row{alpha};
+    for (const auto& [label, scale] : strictness) {
+      const double s = run_point(alpha, 50.0, scale);
+      row.push_back(s);
+      std::printf("  alpha=%.1f %-14s success=%5.1f%%\n", alpha, label, s);
+    }
+    b_table.add_row(std::move(row));
+  }
+  benchx::emit(b_table, "Fig 5(b): success rate (%) vs probing ratio, by QoS strictness", opt,
+               "fig5b");
+  return 0;
+}

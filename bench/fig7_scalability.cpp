@@ -1,0 +1,65 @@
+// Figure 7 — scalability evaluation (paper Sec. 4.2, second experiment).
+//
+// Systems of 200–600 stream processing nodes under the same workload
+// (80 requests/minute), α = 0.3. Candidate density per function grows
+// proportionally with the node count (the system builder deals components
+// evenly), increasing system capacity exactly as the paper describes.
+//
+//   Fig 7(a): success rate vs node count for all six algorithms.
+//   Fig 7(b): overhead vs node count for Optimal, ACP, RP — ACP's reduction
+//             grows with system size.
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  const auto opt = benchx::parse_options(argc, argv);
+
+  const double duration_min = opt.quick ? 15.0 : 100.0;
+  const double rate = 80.0;
+  const std::vector<std::size_t> node_counts =
+      opt.quick ? std::vector<std::size_t>{200, 400} : std::vector<std::size_t>{200, 300, 400, 500, 600};
+  const std::vector<exp::Algorithm> algos = {exp::Algorithm::kOptimal, exp::Algorithm::kAcp,
+                                             exp::Algorithm::kSp,      exp::Algorithm::kRp,
+                                             exp::Algorithm::kRandom,  exp::Algorithm::kStatic};
+
+  std::printf("Fig 7: request rate %.0f/min, alpha=0.3, %.0f-minute simulations\n", rate,
+              duration_min);
+
+  util::Table success({"node_count", "Optimal", "ACP", "SP", "RP", "Random", "Static"});
+  util::Table overhead({"node_count", "Optimal", "ACP", "RP", "Centralized(N^2)"});
+  overhead.set_precision(0);
+
+  for (std::size_t n : node_counts) {
+    const exp::SystemConfig sys_cfg =
+        opt.quick ? benchx::quick_system_config(n, opt.seed) : benchx::default_system_config(n, opt.seed);
+    const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+
+    std::vector<util::Table::Cell> srow{static_cast<std::int64_t>(n)};
+    double oh_optimal = 0, oh_acp = 0, oh_rp = 0;
+    for (exp::Algorithm algo : algos) {
+      exp::ExperimentConfig cfg;
+      cfg.algorithm = algo;
+      cfg.alpha = 0.3;
+      cfg.duration_minutes = duration_min;
+      cfg.schedule = {{0.0, rate}};
+      cfg.run_seed = opt.seed + 700;
+      const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+      srow.push_back(res.success_rate * 100.0);
+      if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
+      if (algo == exp::Algorithm::kAcp) oh_acp = res.overhead_per_minute;
+      if (algo == exp::Algorithm::kRp) oh_rp = res.overhead_per_minute;
+      std::printf("  N=%3zu %-8s success=%5.1f%%  overhead=%.0f msg/min\n", n,
+                  exp::algorithm_name(algo).c_str(), res.success_rate * 100.0,
+                  res.overhead_per_minute);
+    }
+    success.add_row(std::move(srow));
+    overhead.add_row({static_cast<std::int64_t>(n), oh_optimal, oh_acp, oh_rp,
+                      static_cast<double>(n) * static_cast<double>(n)});
+  }
+
+  benchx::emit(success, "Fig 7(a): success rate (%) vs node count", opt, "fig7a");
+  benchx::emit(overhead, "Fig 7(b): overhead (messages/min) vs node count", opt, "fig7b");
+  return 0;
+}

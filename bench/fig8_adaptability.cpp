@@ -1,0 +1,75 @@
+// Figure 8 — adaptability evaluation (paper Sec. 4.2, third experiment).
+//
+// 400-node system, dynamic workload over a 150-minute simulation:
+// 40 req/min, stepping to 80 at minute 50 and back down to 60 at minute
+// 100. Success rate sampled every 5 minutes; target success rate 90%.
+//
+//   Fig 8(a): FIXED probing ratio α = 0.3 — the success rate dips while the
+//             load is high and partially recovers afterwards.
+//   Fig 8(b): ADAPTIVE probing ratio (Sec. 3.4 tuner, δ = 2%) — ACP raises
+//             α under load to hold the 90% target, relaxing it when the
+//             load drops.
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  const auto opt = benchx::parse_options(argc, argv);
+
+  const std::size_t overlay_nodes = 400;
+  const exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
+                                              : benchx::default_system_config(overlay_nodes, opt.seed);
+  const double scale = opt.quick ? 0.4 : 1.0;  // compress the timeline for --quick
+  const double duration_min = 150.0 * scale;
+  const std::vector<workload::RateStep> schedule = {
+      {0.0, 40.0}, {50.0 * scale, 80.0}, {100.0 * scale, 60.0}};
+
+  std::printf("Fig 8: %zu-node system, dynamic workload 40→80→60 req/min, %.0f minutes\n",
+              overlay_nodes, duration_min);
+  const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+
+  auto run_case = [&](bool adaptive) {
+    exp::ExperimentConfig cfg;
+    cfg.algorithm = exp::Algorithm::kAcp;
+    cfg.alpha = 0.3;
+    // Fig 8's operating point is lighter than Fig 6's: the 90% target must
+    // be achievable at 80 req/min with a moderate probing ratio (the paper
+    // holds 90% with α = 0.5 there). Scale per-request demands down so the
+    // feasibility ceiling at 80 req/min sits near 95%.
+    cfg.workload.min_cpu = 1.5;
+    cfg.workload.max_cpu = 5.0;
+    cfg.workload.min_memory_mb = 8.0;
+    cfg.workload.max_memory_mb = 25.0;
+    cfg.adaptive_alpha = adaptive;
+    cfg.tuner.target_success_rate = 0.90;
+    cfg.tuner.sampling_period_s = 5.0 * 60.0 * scale;
+    cfg.duration_minutes = duration_min;
+    cfg.schedule = schedule;
+    cfg.sample_period_minutes = 5.0 * scale;
+    cfg.run_seed = opt.seed + 900;
+    return exp::run_experiment(fabric, sys_cfg, cfg);
+  };
+
+  const auto fixed = run_case(false);
+  const auto adaptive = run_case(true);
+
+  util::Table table({"minute", "fixed: success %", "adaptive: success %", "adaptive: alpha"});
+  for (std::size_t i = 0; i < fixed.success_series.size(); ++i) {
+    const double t = fixed.success_series.time_at(i);
+    const double fixed_s = fixed.success_series.value_at(i) * 100.0;
+    const double adapt_s = i < adaptive.success_series.size()
+                               ? adaptive.success_series.value_at(i) * 100.0
+                               : 0.0;
+    const double alpha = adaptive.alpha_series.value_at_time(t, 0.1);
+    table.add_row({t, fixed_s, adapt_s, alpha});
+    std::printf("  t=%5.1f min  fixed=%5.1f%%  adaptive=%5.1f%% (alpha=%.2f)\n", t, fixed_s,
+                adapt_s, alpha);
+  }
+
+  std::printf("\nOverall: fixed %.1f%% | adaptive %.1f%% (target 90%%)\n",
+              fixed.success_rate * 100.0, adaptive.success_rate * 100.0);
+  benchx::emit(table, "Fig 8: success rate over time, fixed vs adaptive probing ratio", opt,
+               "fig8");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the building blocks the ACP
+// protocol exercises on its hot paths. Not a paper figure — an engineering
+// ablation quantifying the cost of each mechanism (DESIGN.md Sec. 5).
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_selection.h"
+#include "core/search.h"
+#include "core/whatif.h"
+#include "exp/system_builder.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "state/global_state.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace acp;
+
+// Shared fixture world, built once.
+struct World {
+  exp::SystemConfig cfg;
+  exp::Fabric fabric;
+  exp::Deployment dep;
+  workload::Request request;
+
+  World() {
+    cfg.seed = 42;
+    cfg.topology.node_count = 1200;
+    cfg.overlay.member_count = 200;
+    fabric = exp::build_fabric(cfg);
+    dep = exp::build_deployment(fabric, cfg);
+    util::Rng rng(7);
+    workload::RequestGenerator gen(dep.sys->catalog(), dep.templates, {}, {{0.0, 60.0}},
+                                   fabric.ip.node_count(), rng);
+    request = gen.make_request(0.0);
+  }
+
+  static World& instance() {
+    static World w;
+    return w;
+  }
+};
+
+void BM_TopologyGenerate(benchmark::State& state) {
+  net::TopologyConfig cfg;
+  cfg.node_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(42);
+    auto g = net::generate_power_law_topology(cfg, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_TopologyGenerate)->Arg(800)->Arg(3200);
+
+void BM_Dijkstra(benchmark::State& state) {
+  util::Rng rng(42);
+  net::TopologyConfig cfg;
+  cfg.node_count = static_cast<std::size_t>(state.range(0));
+  const auto g = net::generate_power_law_topology(cfg, rng);
+  net::NodeIndex src = 0;
+  for (auto _ : state) {
+    auto tree = net::dijkstra(g, src);
+    benchmark::DoNotOptimize(tree.distance.back());
+    src = (src + 1) % g.node_count();
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(800)->Arg(3200);
+
+void BM_VirtualLinkPath(benchmark::State& state) {
+  auto& w = World::instance();
+  const auto n = w.fabric.mesh->node_count();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& path = w.fabric.mesh->virtual_link_path(
+        static_cast<net::OverlayNodeIndex>(i % n),
+        static_cast<net::OverlayNodeIndex>((i * 7 + 3) % n));
+    benchmark::DoNotOptimize(path.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_VirtualLinkPath);
+
+void BM_CandidateFilterAndRank(benchmark::State& state) {
+  auto& w = World::instance();
+  auto& sys = *w.dep.sys;
+  core::HopContext ctx;
+  ctx.sys = &sys;
+  ctx.req = &w.request;
+  ctx.next_fn = 0;
+  const auto& candidates = sys.components_providing(w.request.graph.node(0).function);
+  for (auto _ : state) {
+    auto q = core::filter_qualified(ctx, sys.true_state(), candidates);
+    auto best = core::select_best(ctx, sys.true_state(), std::move(q), 2, 0.05);
+    benchmark::DoNotOptimize(best.size());
+  }
+}
+BENCHMARK(BM_CandidateFilterAndRank);
+
+void BM_PhiEvaluation(benchmark::State& state) {
+  auto& w = World::instance();
+  auto& sys = *w.dep.sys;
+  const auto best = core::exhaustive_best(sys, w.request, sys.true_state(), 0.0);
+  if (!best) {
+    state.SkipWithError("no feasible composition in fixture");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best->congestion_aggregation(sys, sys.true_state(), 0.0));
+  }
+}
+BENCHMARK(BM_PhiEvaluation);
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  auto& w = World::instance();
+  auto& sys = *w.dep.sys;
+  for (auto _ : state) {
+    auto best = core::exhaustive_best(sys, w.request, sys.true_state(), 0.0);
+    benchmark::DoNotOptimize(best.has_value());
+  }
+}
+BENCHMARK(BM_ExhaustiveSearch);
+
+void BM_GuidedSearch(benchmark::State& state) {
+  auto& w = World::instance();
+  auto& sys = *w.dep.sys;
+  const double alpha = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    auto best =
+        core::guided_search(sys, w.request, alpha, sys.true_state(), sys.true_state(), 0.0);
+    benchmark::DoNotOptimize(best.has_value());
+  }
+}
+BENCHMARK(BM_GuidedSearch)->Arg(1)->Arg(3)->Arg(10);
+
+void BM_GlobalStateSweep(benchmark::State& state) {
+  auto& w = World::instance();
+  sim::Engine engine;
+  sim::CounterSet counters;
+  state::GlobalStateManager mgr(*w.dep.sys, engine, counters);
+  mgr.start();
+  for (auto _ : state) {
+    mgr.run_check_sweep();
+  }
+}
+BENCHMARK(BM_GlobalStateSweep);
+
+void BM_WhatIfReplayStep(benchmark::State& state) {
+  auto& w = World::instance();
+  auto& sys = *w.dep.sys;
+  for (auto _ : state) {
+    core::WhatIfView snapshot(sys.true_state());
+    auto found = core::guided_search(sys, w.request, 0.3, snapshot, snapshot, 0.0);
+    if (found) snapshot.apply_composition(sys, *found);
+    benchmark::DoNotOptimize(found.has_value());
+  }
+}
+BENCHMARK(BM_WhatIfReplayStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// acpsim — command-line experiment runner.
+//
+// Runs any single experiment of the evaluation from flags and prints the
+// paper-style metrics, without writing C++. Examples:
+//
+//   acpsim --algorithm ACP --nodes 400 --rate 80 --alpha 0.3 --minutes 30
+//   acpsim --algorithm Optimal --nodes 200 --rate 60
+//   acpsim --algorithm ACP --adaptive --target 0.9 \
+//          --schedule 0:40,50:80,100:60 --minutes 150
+//   acpsim --algorithm ACP --migration --skew 0.8
+//
+// Flags (defaults in brackets):
+//   --algorithm NAME   ACP | Optimal | Random | Static | SP | RP   [ACP]
+//   --nodes N          overlay size                                 [400]
+//   --ip-nodes N       IP topology size                             [3200]
+//   --rate R           requests/minute                              [80]
+//   --schedule S       piecewise rate "min:rate,min:rate,..."       (overrides --rate)
+//   --alpha A          fixed probing ratio                          [0.3]
+//   --adaptive         enable the probing-ratio tuner               [off]
+//   --pi               use the PI controller instead of profiling   [off]
+//   --target T         tuner target success rate                    [0.9]
+//   --minutes M        simulated duration                           [30]
+//   --warmup M         measurement warm-up minutes                  [0]
+//   --seed S           system seed                                  [42]
+//   --run-seed S       workload seed                                [7]
+//   --qos-scale F      QoS strictness multiplier                    [1.0]
+//   --policy-frac F    fraction of requests with strict policy      [0]
+//   --migration        enable component migration                   [off]
+//   --skew Z           placement skew (Zipf exponent)               [0]
+//   --repeat N         run N workload seeds, report mean±stddev     [1]
+//   --csv PATH         also save the u(t) series as CSV
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "exp/experiment.h"
+#include "exp/repeated.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace acp;
+
+namespace {
+
+std::vector<workload::RateStep> parse_schedule(const std::string& spec, double fallback_rate) {
+  if (spec.empty()) return {{0.0, fallback_rate}};
+  std::vector<workload::RateStep> steps;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string item = spec.substr(pos, comma == std::string::npos ? spec.npos : comma - pos);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw PreconditionError("bad --schedule item (want min:rate): " + item);
+    }
+    steps.push_back({std::stod(item.substr(0, colon)), std::stod(item.substr(colon + 1))});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return steps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  exp::SystemConfig sys_cfg;
+  sys_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  sys_cfg.topology.node_count = static_cast<std::size_t>(flags.get_int("ip-nodes", 3200));
+  sys_cfg.overlay.member_count = static_cast<std::size_t>(flags.get_int("nodes", 400));
+  sys_cfg.placement_skew = flags.get_double("skew", 0.0);
+  sys_cfg.randomize_attributes = flags.get_double("policy-frac", 0.0) > 0.0;
+
+  exp::ExperimentConfig cfg;
+  cfg.algorithm = exp::algorithm_from_name(flags.get_string("algorithm", "ACP"));
+  cfg.duration_minutes = flags.get_double("minutes", 30.0);
+  cfg.warmup_minutes = flags.get_double("warmup", 0.0);
+  cfg.alpha = flags.get_double("alpha", 0.3);
+  cfg.adaptive_alpha = flags.get_bool("adaptive", false);
+  cfg.tuner.mode =
+      flags.get_bool("pi", false) ? core::TuningMode::kPi : core::TuningMode::kProfile;
+  cfg.tuner.target_success_rate = flags.get_double("target", 0.9);
+  cfg.schedule = parse_schedule(flags.get_string("schedule", ""), flags.get_double("rate", 80.0));
+  cfg.workload.qos_scale = flags.get_double("qos-scale", 1.0);
+  cfg.workload.strict_policy_fraction = flags.get_double("policy-frac", 0.0);
+  cfg.enable_migration = flags.get_bool("migration", false);
+  cfg.run_seed = static_cast<std::uint64_t>(flags.get_int("run-seed", 7));
+  const std::string csv = flags.get_string("csv", "");
+  const auto repeat = static_cast<std::size_t>(flags.get_int("repeat", 1));
+
+  for (const auto& unknown : flags.unknown_flags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s (see header comment for usage)\n",
+                 unknown.c_str());
+  }
+
+  std::printf("acpsim: %s on %zu nodes (%zu-host IP net), %.0f min",
+              exp::algorithm_name(cfg.algorithm).c_str(), sys_cfg.overlay.member_count,
+              sys_cfg.topology.node_count, cfg.duration_minutes);
+  if (cfg.adaptive_alpha) {
+    std::printf(", adaptive alpha (%s, target %.0f%%)\n",
+                cfg.tuner.mode == core::TuningMode::kPi ? "PI" : "profile",
+                cfg.tuner.target_success_rate * 100.0);
+  } else {
+    std::printf(", alpha=%.2f\n", cfg.alpha);
+  }
+
+  const auto fabric = exp::build_fabric(sys_cfg);
+  if (repeat > 1) {
+    const auto agg = exp::run_repeated(fabric, sys_cfg, cfg, repeat, cfg.run_seed);
+    std::printf("\n%zu seeds:\n", agg.runs);
+    std::printf("  success %%:   %.2f ± %.2f  [%.2f, %.2f]\n", agg.success_rate.mean * 100.0,
+                agg.success_rate.stddev * 100.0, agg.success_rate.min * 100.0,
+                agg.success_rate.max * 100.0);
+    std::printf("  overhead/min: %.1f ± %.1f\n", agg.overhead_per_minute.mean,
+                agg.overhead_per_minute.stddev);
+    std::printf("  mean phi:     %.3f ± %.3f\n", agg.mean_phi.mean, agg.mean_phi.stddev);
+    return 0;
+  }
+  const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+
+  util::Table series({"minute", "success %", "alpha"});
+  for (std::size_t i = 0; i < res.success_series.size(); ++i) {
+    const double t = res.success_series.time_at(i);
+    series.add_row({t, res.success_series.value_at(i) * 100.0,
+                    cfg.adaptive_alpha ? res.alpha_series.value_at_time(t, cfg.tuner.base_alpha)
+                                       : cfg.alpha});
+  }
+  series.print(std::cout);
+  if (!csv.empty()) {
+    series.save_csv(csv);
+    std::printf("(saved %s)\n", csv.c_str());
+  }
+
+  std::printf("\nRequests: %llu   Success: %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(res.requests),
+              static_cast<unsigned long long>(res.successes), res.success_rate * 100.0);
+  std::printf("Overhead: %.1f msg/min (probes %.1f + state updates %.1f)\n",
+              res.overhead_per_minute, res.probe_rate_per_minute,
+              res.state_update_rate_per_minute);
+  std::printf("Mean phi of placements: %.3f   Peak sessions: %llu\n", res.mean_phi,
+              static_cast<unsigned long long>(res.peak_active_sessions));
+  if (cfg.enable_migration) {
+    std::printf("Component migrations: %llu\n",
+                static_cast<unsigned long long>(res.component_migrations));
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "core/baseline_composers.h"
+
+namespace acp::core {
+
+namespace {
+
+/// Shared tail: qualify `graph` against ground truth, commit directly,
+/// fill the outcome.
+CompositionOutcome finalize_direct(const BaselineContext& ctx, const workload::Request& req,
+                                   const std::optional<stream::ComponentGraph>& graph,
+                                   const SearchStats& stats) {
+  CompositionOutcome out;
+  out.candidates_examined = stats.examined;
+  out.candidates_qualified = stats.qualified;
+  if (!graph) return out;
+
+  const double now = ctx.engine->now();
+  if (!graph->qualified(*ctx.sys, ctx.sys->true_state(), req.qos_req, req.policy, now)) return out;
+  out.found_qualified = true;
+  out.phi = graph->congestion_aggregation(*ctx.sys, ctx.sys->true_state(), now);
+
+  const double end = req.arrival_time + req.duration_s;
+  out.session = ctx.sessions->commit_direct(req.id, *graph, now, end);
+  ctx.counters->add(sim::counter::kConfirmation, req.graph.node_count());
+  return out;
+}
+
+}  // namespace
+
+void OptimalComposer::compose(const workload::Request& req,
+                              std::function<void(const CompositionOutcome&)> done) {
+  // Overhead accounting: what brute-force exhaustive *probing* would cost,
+  // regardless of the pruning used to keep wall-clock time sane.
+  ctx_.counters->add(sim::counter::kProbe, exhaustive_probe_count(*ctx_.sys, req));
+
+  SearchStats stats;
+  const auto best = exhaustive_best(*ctx_.sys, req, ctx_.sys->true_state(), ctx_.engine->now(),
+                                    &stats, combo_cap_);
+  done(finalize_direct(ctx_, req, best, stats));
+}
+
+void RandomComposer::compose(const workload::Request& req,
+                             std::function<void(const CompositionOutcome&)> done) {
+  SearchStats stats;
+  const auto pick = random_assignment(*ctx_.sys, req, rng_);
+  if (pick) stats.examined = 1;
+  done(finalize_direct(ctx_, req, pick, stats));
+}
+
+void StaticComposer::compose(const workload::Request& req,
+                             std::function<void(const CompositionOutcome&)> done) {
+  SearchStats stats;
+  const auto pick = static_assignment(*ctx_.sys, req);
+  if (pick) stats.examined = 1;
+  done(finalize_direct(ctx_, req, pick, stats));
+}
+
+}  // namespace acp::core

@@ -1,0 +1,139 @@
+#include "core/candidate_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acp::core {
+
+namespace {
+
+/// QoS of the virtual link from the hop's current node to the candidate's
+/// node (zero when there is no upstream component yet).
+stream::QoSVector upstream_link_qos(const HopContext& ctx, const stream::StateView& view,
+                                    const stream::Component& cand) {
+  if (!ctx.has_upstream) return {};
+  return view.virtual_link_qos(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
+}
+
+}  // namespace
+
+double risk_function(const HopContext& ctx, const stream::StateView& view,
+                     stream::ComponentId candidate) {
+  const stream::Component& cand = ctx.sys->component(candidate);
+  stream::QoSVector total = ctx.accumulated;
+  total += view.component_qos(candidate, ctx.now);
+  total += upstream_link_qos(ctx, view, cand);
+  return total.max_ratio(ctx.req->qos_req);
+}
+
+double congestion_function(const HopContext& ctx, const stream::StateView& view,
+                           stream::ComponentId candidate) {
+  const stream::Component& cand = ctx.sys->component(candidate);
+  const stream::ResourceVector& required = ctx.req->graph.node(ctx.next_fn).required;
+  const stream::ResourceVector avail = view.node_available(cand.node, ctx.now);
+  double w = stream::congestion_terms(required, avail - required);
+  if (ctx.has_upstream && ctx.current_node != cand.node && ctx.edge_bw_kbps > 0.0) {
+    const double ba =
+        view.virtual_link_available_kbps(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
+    w += stream::congestion_term(ctx.edge_bw_kbps, ba - ctx.edge_bw_kbps);
+  }
+  return w;
+}
+
+std::vector<stream::ComponentId> filter_qualified(
+    const HopContext& ctx, const stream::StateView& view,
+    const std::vector<stream::ComponentId>& candidates) {
+  std::vector<stream::ComponentId> out;
+  out.reserve(candidates.size());
+  const stream::ResourceVector& required = ctx.req->graph.node(ctx.next_fn).required;
+  for (stream::ComponentId c : candidates) {
+    const stream::Component& cand = ctx.sys->component(c);
+
+    // Security/license policy (extension: paper Sec. 6 constraints).
+    if (!ctx.req->policy.admits(ctx.sys->component_attributes(c))) continue;
+
+    // Input/output stream-rate compatibility with the upstream component.
+    if (ctx.has_upstream &&
+        !ctx.sys->catalog().compatible(ctx.current_function, cand.function)) {
+      continue;
+    }
+
+    // Eq. 6: QoS accumulation must stay within the requirement.
+    stream::QoSVector total = ctx.accumulated;
+    total += view.component_qos(c, ctx.now);
+    total += upstream_link_qos(ctx, view, cand);
+    if (!total.satisfies(ctx.req->qos_req)) continue;
+
+    // Eq. 7: candidate node must have the end-system resources.
+    if (!required.fits_within(view.node_available(cand.node, ctx.now))) continue;
+
+    // Eq. 8: the virtual link to the candidate must carry the edge's
+    // bandwidth (co-location trivially passes).
+    if (ctx.has_upstream && ctx.current_node != cand.node && ctx.edge_bw_kbps > 0.0) {
+      const double ba =
+          view.virtual_link_available_kbps(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
+      if (ctx.edge_bw_kbps > ba) continue;
+    }
+
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<stream::ComponentId> select_best(const HopContext& ctx, const stream::StateView& view,
+                                             std::vector<stream::ComponentId> qualified,
+                                             std::size_t m, double risk_eps,
+                                             RankingPolicy policy) {
+  ACP_REQUIRE(risk_eps >= 0.0);
+  if (qualified.size() <= m) return qualified;
+
+  struct Scored {
+    stream::ComponentId id;
+    double risk;
+    double congestion;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(qualified.size());
+  for (stream::ComponentId c : qualified) {
+    scored.push_back(
+        Scored{c, risk_function(ctx, view, c), congestion_function(ctx, view, c)});
+  }
+  std::sort(scored.begin(), scored.end(), [&](const Scored& a, const Scored& b) {
+    switch (policy) {
+      case RankingPolicy::kRiskOnly:
+        if (a.risk != b.risk) return a.risk < b.risk;
+        break;
+      case RankingPolicy::kCongestionOnly:
+        if (a.congestion != b.congestion) return a.congestion < b.congestion;
+        break;
+      case RankingPolicy::kRiskThenCongestion:
+        // Similar risk ⇒ compare load; otherwise smaller risk wins.
+        if (std::abs(a.risk - b.risk) > risk_eps) return a.risk < b.risk;
+        if (a.congestion != b.congestion) return a.congestion < b.congestion;
+        break;
+    }
+    return a.id < b.id;
+  });
+
+  std::vector<stream::ComponentId> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) out.push_back(scored[i].id);
+  return out;
+}
+
+std::vector<stream::ComponentId> select_random(std::vector<stream::ComponentId> qualified,
+                                               std::size_t m, util::Rng& rng) {
+  if (qualified.size() <= m) return qualified;
+  rng.shuffle(qualified);
+  qualified.resize(m);
+  return qualified;
+}
+
+std::size_t probe_count(std::size_t k, double alpha) {
+  ACP_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  if (k == 0) return 0;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      std::ceil(alpha * static_cast<double>(k))));
+}
+
+}  // namespace acp::core

@@ -1,0 +1,89 @@
+// Per-hop candidate component selection (paper Sec. 3.5).
+//
+// Given a partial composition that has reached `current_node` with
+// accumulated QoS, and the set of candidates for the next-hop function, a
+// node must decide which M = ceil(α·k) candidates to probe:
+//
+//   1. filter out unqualified candidates — stream-rate incompatibility, QoS
+//      accumulation already violating Q^req (Eq. 6), insufficient node
+//      resources (Eq. 7) or virtual-link bandwidth (Eq. 8);
+//   2. rank the qualified ones by the risk function D(c) (Eq. 9); break
+//      near-ties (|ΔD| ≤ eps) by the congestion function W(c) (Eq. 10);
+//   3. keep the best M.
+//
+// Rankings read whatever StateView the algorithm is entitled to — ACP uses
+// the coarse global state, making this exactly the paper's "select good
+// candidates under the guidance of the coarse-grain global state".
+#pragma once
+
+#include <vector>
+
+#include "stream/function_graph.h"
+#include "stream/state_view.h"
+#include "stream/system.h"
+#include "util/rng.h"
+#include "workload/request.h"
+
+namespace acp::core {
+
+/// Context for one hop decision.
+struct HopContext {
+  const stream::StreamSystem* sys = nullptr;
+  const workload::Request* req = nullptr;
+  /// Accumulated QoS along the path prefix (components + virtual links).
+  stream::QoSVector accumulated;
+  /// Node hosting the current (upstream) component; the candidate's virtual
+  /// link is measured from here. Unset for the first hop (no upstream edge).
+  stream::NodeId current_node = 0;
+  bool has_upstream = false;
+  /// Function of the current component (for rate-compatibility checks);
+  /// ignored when !has_upstream.
+  stream::FunctionId current_function = stream::kNoFunction;
+  /// Function-graph node being filled.
+  stream::FnNodeIndex next_fn = 0;
+  /// Bandwidth demand of the fn-graph edge current→next (0 if !has_upstream).
+  double edge_bw_kbps = 0.0;
+  double now = 0.0;
+};
+
+/// Eq. 9 — risk: max over QoS dims of (accumulated + candidate + link) /
+/// requirement. Lower is better; > 1 means the bound is already blown.
+double risk_function(const HopContext& ctx, const stream::StateView& view,
+                     stream::ComponentId candidate);
+
+/// Eq. 10 — congestion: Σ_k r_k/(rr_k + r_k) + b/(rb + b) for the candidate
+/// placement, on `view`'s (possibly coarse) availability. Lower is better.
+double congestion_function(const HopContext& ctx, const stream::StateView& view,
+                           stream::ComponentId candidate);
+
+/// Filters `candidates` by the paper's per-hop qualification (rate
+/// compatibility + Eqs. 6–8) against `view`.
+std::vector<stream::ComponentId> filter_qualified(const HopContext& ctx,
+                                                  const stream::StateView& view,
+                                                  const std::vector<stream::ComponentId>& candidates);
+
+/// Ranking rule for guided per-hop selection. The paper uses
+/// kRiskThenCongestion; the others exist for the ranking ablation
+/// (bench/ablation_selection).
+enum class RankingPolicy {
+  kRiskThenCongestion,  ///< D(c) first, W(c) within risk_eps (paper Sec. 3.5)
+  kRiskOnly,            ///< D(c) only
+  kCongestionOnly,      ///< W(c) only
+};
+
+/// Keeps the best `m` of `qualified` by (D, then W within `risk_eps`).
+/// Deterministic: ties beyond W break by component id.
+std::vector<stream::ComponentId> select_best(const HopContext& ctx, const stream::StateView& view,
+                                             std::vector<stream::ComponentId> qualified,
+                                             std::size_t m, double risk_eps,
+                                             RankingPolicy policy = RankingPolicy::kRiskThenCongestion);
+
+/// Uniformly random `m` of `qualified` (the RP baseline's per-hop rule).
+std::vector<stream::ComponentId> select_random(std::vector<stream::ComponentId> qualified,
+                                               std::size_t m, util::Rng& rng);
+
+/// Number of candidates to probe for a function with `k` candidates at
+/// probing ratio `alpha`: M = ceil(α·k), at least 1 when k > 0.
+std::size_t probe_count(std::size_t k, double alpha);
+
+}  // namespace acp::core

@@ -1,0 +1,50 @@
+// Composer — the interface every composition algorithm implements.
+//
+// The paper compares six algorithms: ACP (the contribution), Optimal
+// (exhaustive), Random, Static, SP (selective probing) and RP (random
+// probing). Each takes a stream processing request and attempts to find and
+// instantiate a component composition. Probing-based composers take
+// simulated time (probes travel the overlay), so completion is reported via
+// callback; non-probing baselines complete synchronously and invoke the
+// callback before returning.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "stream/component_graph.h"
+#include "workload/request.h"
+
+namespace acp::core {
+
+struct CompositionOutcome {
+  /// Established session, or stream::kNullSession on failure.
+  stream::SessionId session = stream::kNullSession;
+  /// A qualified composition was discovered (it may still fail to commit if
+  /// resources changed between discovery and confirmation).
+  bool found_qualified = false;
+  /// φ(λ) of the committed composition (meaningful when session != null).
+  double phi = 0.0;
+  /// Number of candidate compositions examined/qualified (diagnostics).
+  std::size_t candidates_examined = 0;
+  std::size_t candidates_qualified = 0;
+
+  bool success() const { return session != stream::kNullSession; }
+};
+
+class Composer {
+ public:
+  virtual ~Composer() = default;
+
+  /// Attempts composition + session setup for `req`. `done` is invoked
+  /// exactly once — possibly synchronously — with the outcome. The request
+  /// object must stay alive until `done` runs.
+  virtual void compose(const workload::Request& req,
+                       std::function<void(const CompositionOutcome&)> done) = 0;
+
+  /// Algorithm name as used in the paper's figures ("ACP", "Optimal", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace acp::core

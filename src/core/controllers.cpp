@@ -1,0 +1,35 @@
+#include "core/controllers.h"
+
+#include <algorithm>
+
+namespace acp::core {
+
+PiController::PiController(PiControllerConfig config)
+    : config_(config), output_(config.initial_output) {
+  ACP_REQUIRE(config_.target > 0.0 && config_.target <= 1.0);
+  ACP_REQUIRE(config_.min_output > 0.0);
+  ACP_REQUIRE(config_.max_output >= config_.min_output);
+  ACP_REQUIRE(config_.initial_output >= config_.min_output &&
+              config_.initial_output <= config_.max_output);
+  ACP_REQUIRE(config_.kp >= 0.0 && config_.ki >= 0.0);
+}
+
+double PiController::update(double measured) {
+  ACP_REQUIRE(measured >= 0.0 && measured <= 1.0);
+  const double error = config_.target - measured;
+  const double unclamped = output_ + config_.kp * error + config_.ki * (integral_ + error);
+  const double clamped = std::clamp(unclamped, config_.min_output, config_.max_output);
+  // Anti-windup: integrate only when not pushing further into saturation.
+  const bool saturating = (unclamped > config_.max_output && error > 0.0) ||
+                          (unclamped < config_.min_output && error < 0.0);
+  if (!saturating) integral_ += error;
+  output_ = clamped;
+  return output_;
+}
+
+void PiController::reset() {
+  integral_ = 0.0;
+  output_ = config_.initial_output;
+}
+
+}  // namespace acp::core

@@ -1,0 +1,48 @@
+// Control-theoretic probing-ratio tuning (paper Sec. 6, future work item 1:
+// "applying control theory to tune the probing ratio more precisely").
+//
+// A discrete PI controller on the success-rate error e(t) = target − u(t):
+//
+//   α(t+1) = clamp( α(t) + Kp·e(t) + Ki·Σe , [min_alpha, max_alpha] )
+//
+// with anti-windup (the integral term freezes while the output saturates).
+// Compared to the paper's profile-based selection it needs no trace replay
+// — each sampling period costs O(1) — at the price of a convergence
+// transient; `bench/ablation_tuning` quantifies the trade-off.
+#pragma once
+
+#include "util/error.h"
+
+namespace acp::core {
+
+struct PiControllerConfig {
+  double target = 0.90;       ///< success-rate set point
+  double kp = 1.2;            ///< proportional gain
+  double ki = 0.3;            ///< integral gain
+  double min_output = 0.05;
+  double max_output = 1.0;
+  double initial_output = 0.1;
+};
+
+class PiController {
+ public:
+  explicit PiController(PiControllerConfig config = {});
+
+  /// Feeds one measurement; returns the new output (also via output()).
+  double update(double measured);
+
+  double output() const { return output_; }
+  double integral() const { return integral_; }
+
+  /// Resets the integral state and output to the initial value.
+  void reset();
+
+  const PiControllerConfig& config() const { return config_; }
+
+ private:
+  PiControllerConfig config_;
+  double output_;
+  double integral_ = 0.0;
+};
+
+}  // namespace acp::core

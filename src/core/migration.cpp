@@ -1,0 +1,95 @@
+#include "core/migration.h"
+
+#include <algorithm>
+
+namespace acp::core {
+
+MigrationManager::MigrationManager(stream::StreamSystem& sys, sim::Engine& engine,
+                                   sim::CounterSet& counters, MigrationConfig config)
+    : sys_(&sys), engine_(&engine), counters_(&counters), config_(config) {
+  ACP_REQUIRE(config_.interval_s > 0.0);
+  ACP_REQUIRE(config_.utilization_threshold > 0.0 && config_.utilization_threshold <= 1.0);
+  ACP_REQUIRE(config_.target_headroom >= 0.0 &&
+              config_.target_headroom < config_.utilization_threshold);
+}
+
+void MigrationManager::start() {
+  ACP_REQUIRE_MSG(!started_, "start() may only be called once");
+  started_ = true;
+  schedule_tick();
+}
+
+void MigrationManager::schedule_tick() {
+  engine_->schedule_after(config_.interval_s, [this] {
+    run_round();
+    schedule_tick();
+  });
+}
+
+double MigrationManager::utilization(stream::NodeId node, double now) const {
+  const auto& pool = sys_->node_pool(node);
+  const auto avail = pool.available(now);
+  const auto& cap = pool.capacity();
+  double worst = 0.0;
+  for (std::size_t k = 0; k < stream::kResourceDims; ++k) {
+    if (cap.dim(k) <= 0.0) continue;
+    worst = std::max(worst, 1.0 - avail.dim(k) / cap.dim(k));
+  }
+  return worst;
+}
+
+std::size_t MigrationManager::run_round() {
+  const double now = engine_->now();
+  struct NodeLoad {
+    stream::NodeId node;
+    double utilization;
+  };
+  std::vector<NodeLoad> loads;
+  loads.reserve(sys_->node_count());
+  for (stream::NodeId n = 0; n < sys_->node_count(); ++n) {
+    loads.push_back({n, utilization(n, now)});
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const NodeLoad& a, const NodeLoad& b) { return a.utilization > b.utilization; });
+
+  std::size_t moves = 0;
+  std::size_t target_cursor = loads.size();  // scan targets from the cold end
+  for (const auto& hot : loads) {
+    if (moves >= config_.max_moves_per_round) break;
+    if (hot.utilization < config_.utilization_threshold) break;  // sorted: rest are cooler
+    const auto& hosted = sys_->components_on(hot.node);
+    if (hosted.empty()) continue;
+
+    // Coldest node still under the headroom bound that hasn't been used as
+    // a target this round.
+    stream::NodeId target = hot.node;
+    while (target_cursor > 0) {
+      const auto& cand = loads[--target_cursor];
+      if (cand.utilization < config_.target_headroom && cand.node != hot.node) {
+        target = cand.node;
+        break;
+      }
+    }
+    if (target == hot.node) break;  // no cold nodes left
+
+    // Move the component whose function has the most alternative providers
+    // — it is the cheapest to relocate in terms of composition diversity.
+    stream::ComponentId pick = hosted.front();
+    std::size_t best_alternatives = 0;
+    for (stream::ComponentId c : hosted) {
+      const auto k = sys_->components_providing(sys_->component(c).function).size();
+      if (k > best_alternatives) {
+        best_alternatives = k;
+        pick = c;
+      }
+    }
+
+    sys_->move_component(pick, target);
+    counters_->add(counter::kMigration);
+    ++total_moves_;
+    ++moves;
+  }
+  return moves;
+}
+
+}  // namespace acp::core

@@ -1,0 +1,68 @@
+// Dynamic component placement / migration (paper Sec. 6, future work item
+// 3: "integrating dynamic component placement (or migration) with the
+// component composition system").
+//
+// A background manager periodically scans node utilization and moves
+// components off congested nodes onto lightly loaded ones. Running sessions
+// are untouched (they keep their node allocations until teardown, matching
+// paper footnote 1 — composition always operates on the *current*
+// placement); the benefit accrues to future compositions, which find
+// candidates where capacity actually is. `bench/ablation_migration`
+// measures the success-rate gain under skewed load.
+#pragma once
+
+#include "sim/counters.h"
+#include "sim/engine.h"
+#include "stream/system.h"
+
+namespace acp::core {
+
+struct MigrationConfig {
+  double interval_s = 120.0;  ///< scan period
+  /// A node is congested when committed load on its worst dimension exceeds
+  /// this fraction of capacity.
+  double utilization_threshold = 0.75;
+  /// Only nodes below this utilization receive migrated components.
+  double target_headroom = 0.40;
+  std::size_t max_moves_per_round = 4;
+};
+
+namespace counter {
+inline constexpr const char* kMigration = "component_migrations";
+}
+
+class MigrationManager {
+ public:
+  MigrationManager(stream::StreamSystem& sys, sim::Engine& engine, sim::CounterSet& counters,
+                   MigrationConfig config = {});
+
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  /// Schedules the periodic scan.
+  void start();
+
+  /// Utilization of `node` at `now`: max over resource dimensions of
+  /// 1 − available/capacity. Exposed for tests and benches.
+  double utilization(stream::NodeId node, double now) const;
+
+  /// One scan round: moves up to max_moves_per_round components from
+  /// congested nodes to lightly loaded ones. Returns the number of moves.
+  /// Exposed for tests; normally driven by the periodic tick.
+  std::size_t run_round();
+
+  std::uint64_t total_moves() const { return total_moves_; }
+  const MigrationConfig& config() const { return config_; }
+
+ private:
+  void schedule_tick();
+
+  stream::StreamSystem* sys_;
+  sim::Engine* engine_;
+  sim::CounterSet* counters_;
+  MigrationConfig config_;
+  std::uint64_t total_moves_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace acp::core

@@ -1,0 +1,297 @@
+#include "core/probing.h"
+
+#include <algorithm>
+
+namespace acp::core {
+
+using stream::ComponentId;
+using stream::FnNodeIndex;
+using stream::NodeId;
+
+/// One in-flight probe: a partial assignment along one source→sink path.
+struct ProbingProtocol::Probe {
+  std::size_t path_index = 0;
+  /// Components chosen for path positions [0, components.size()).
+  std::vector<ComponentId> components;
+  /// QoS accumulated along the prefix (precise values, collected hop by hop).
+  stream::QoSVector accumulated;
+  /// Node the probe currently sits on (deputy before the first hop).
+  NodeId at = 0;
+};
+
+/// Per-request probing state, shared by all of the request's probe events.
+struct ProbingProtocol::Coordinator {
+  const workload::Request* req = nullptr;
+  double alpha = 0.3;
+  PerHopPolicy hop_policy = PerHopPolicy::kGuided;
+  SelectionPolicy selection_policy = SelectionPolicy::kBestPhi;
+  std::function<void(const CompositionOutcome&)> done;
+
+  NodeId deputy = 0;
+  std::vector<std::vector<FnNodeIndex>> paths;
+  /// Completed per-path assignments returned by probes.
+  std::vector<std::vector<PathAssignment>> collected;
+  std::size_t outstanding = 0;    ///< live probes
+  std::vector<std::size_t> spawned_per_path;  ///< per-path budget accounting
+  std::size_t path_budget = 0;
+  sim::EventId timeout_event = 0;
+  bool finalized = false;
+};
+
+ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable& sessions,
+                                 sim::Engine& engine, sim::CounterSet& counters,
+                                 discovery::Registry& registry,
+                                 const stream::StateView& global_view, util::Rng rng,
+                                 ProbingConfig config)
+    : sys_(&sys),
+      sessions_(&sessions),
+      engine_(&engine),
+      counters_(&counters),
+      registry_(&registry),
+      global_view_(&global_view),
+      rng_(rng),
+      config_(config) {
+  ACP_REQUIRE(config_.probe_timeout_s > 0.0);
+  ACP_REQUIRE(config_.transient_ttl_s > 0.0);
+  ACP_REQUIRE(config_.max_probes_per_request >= 1);
+}
+
+stream::NodeId ProbingProtocol::deputy_for(net::NodeIndex client_ip) const {
+  return sys_->mesh().closest_member(client_ip);
+}
+
+void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHopPolicy hop_policy,
+                              SelectionPolicy selection_policy,
+                              std::function<void(const CompositionOutcome&)> done) {
+  ACP_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  auto coord = std::make_shared<Coordinator>();
+  coord->req = &req;
+  coord->alpha = alpha;
+  coord->hop_policy = hop_policy;
+  coord->selection_policy = selection_policy;
+  coord->done = std::move(done);
+  coord->deputy = deputy_for(req.client_ip);
+  coord->paths = req.graph.enumerate_paths();
+  coord->collected.resize(coord->paths.size());
+  coord->spawned_per_path.assign(coord->paths.size(), 0);
+  // Budget is split across source→sink paths so one branch's probe tree
+  // cannot starve the other branch of a DAG.
+  coord->path_budget = std::max<std::size_t>(1, config_.max_probes_per_request / coord->paths.size());
+
+  // Deadline: finalize with whatever has returned.
+  coord->timeout_event = engine_->schedule_after(config_.probe_timeout_s, [this, coord] {
+    coord->timeout_event = 0;
+    finalize(coord);
+  });
+
+  // One initial probe per source→sink path, processed at the deputy (the
+  // per-hop step "applies to the deputy node too").
+  for (std::size_t p = 0; p < coord->paths.size(); ++p) {
+    Probe probe;
+    probe.path_index = p;
+    probe.at = coord->deputy;
+    ++coord->outstanding;
+    ++coord->spawned_per_path[p];
+    engine_->schedule_after(config_.hop_processing_s,
+                            [this, coord, probe] { process_probe(coord, probe); });
+  }
+}
+
+void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, Probe probe) {
+  if (coord->finalized) return;  // late arrival after deadline: ignore
+  const workload::Request& req = *coord->req;
+  const auto& path = coord->paths[probe.path_index];
+  const double now = engine_->now();
+  const std::size_t level = probe.components.size();
+
+  // --- Steps 1 & 2 apply when the probe just arrived at a chosen component:
+  // conformance re-check against this node's precise state, then transient
+  // resource allocation.
+  if (level > 0) {
+    const FnNodeIndex fn = path[level - 1];
+    const ComponentId chosen = probe.components.back();
+    // The component may have been migrated to another node while the probe
+    // was in flight (dynamic placement extension); the probe finds it gone
+    // and dies — the deputy simply sees one fewer candidate.
+    if (sys_->component(chosen).node != probe.at) {
+      probe_ended(coord);
+      return;
+    }
+    const auto& true_view = sys_->true_state();
+
+    // QoS conformance (accumulated includes this component already).
+    if (!probe.accumulated.satisfies(req.qos_req)) {
+      probe_ended(coord);
+      return;
+    }
+    // Resource conformance + transient allocation for the component.
+    const double expires = now + config_.transient_ttl_s;
+    if (!sys_->reserve_node_transient(req.id, stream::node_tag(fn), probe.at,
+                                      req.graph.node(fn).required, now, expires)) {
+      probe_ended(coord);
+      return;
+    }
+    // Bandwidth of the virtual link just traversed (none before level 1).
+    if (level >= 2) {
+      const FnNodeIndex prev_fn = path[level - 2];
+      const ComponentId prev = probe.components[level - 2];
+      const auto e = req.graph.find_edge(prev_fn, fn);
+      const double bw = req.graph.edge(e).required_bandwidth_kbps;
+      if (!sys_->reserve_virtual_link_transient(req.id, stream::link_tag(req.graph, e),
+                                                sys_->component(prev).node, probe.at, bw, now,
+                                                expires)) {
+        probe_ended(coord);
+        return;
+      }
+    }
+    (void)true_view;
+  }
+
+  // --- Path complete: return to the deputy.
+  if (level == path.size()) {
+    counters_->add(sim::counter::kProbe);  // return message
+    const double delay_s = sys_->mesh().virtual_link_delay(probe.at, coord->deputy) / 1000.0;
+    engine_->schedule_after(config_.hop_processing_s + delay_s,
+                            [this, coord, probe] { probe_returned(coord, probe); });
+    return;
+  }
+
+  // --- Steps 3–6: derive next-hop function, discover candidates, select,
+  // spawn children.
+  const FnNodeIndex next_fn = path[level];
+  const auto& candidates = registry_->lookup(req.graph.node(next_fn).function);
+
+  HopContext ctx;
+  ctx.sys = sys_;
+  ctx.req = &req;
+  ctx.accumulated = probe.accumulated;
+  ctx.now = now;
+  ctx.next_fn = next_fn;
+  if (level > 0) {
+    ctx.has_upstream = true;
+    ctx.current_node = probe.at;
+    ctx.current_function = sys_->component(probe.components.back()).function;
+    ctx.edge_bw_kbps =
+        req.graph.edge(req.graph.find_edge(path[level - 1], next_fn)).required_bandwidth_kbps;
+  }
+
+  const std::size_t m = probe_count(candidates.size(), coord->alpha);
+  std::vector<ComponentId> selected;
+  if (coord->hop_policy == PerHopPolicy::kGuided) {
+    // Filter + rank on the coarse global state (possibly stale — that is
+    // the point: precise state comes from the probes themselves).
+    auto qualified = filter_qualified(ctx, *global_view_, candidates);
+    selected = select_best(ctx, *global_view_, std::move(qualified), m, config_.risk_eps,
+                           config_.ranking);
+  } else {
+    // RP: random selection among discovered, rate-compatible candidates.
+    std::vector<ComponentId> compatible;
+    for (ComponentId c : candidates) {
+      if (!ctx.has_upstream ||
+          sys_->catalog().compatible(ctx.current_function, sys_->component(c).function)) {
+        compatible.push_back(c);
+      }
+    }
+    selected = select_random(std::move(compatible), m, rng_);
+  }
+
+  // Spawn suppression beyond the per-request budget keeps the best-ranked
+  // prefix (`selected` is already ranked for kGuided).
+  for (ComponentId c : selected) {
+    if (coord->spawned_per_path[probe.path_index] >= coord->path_budget) break;
+    const stream::Component& cand = sys_->component(c);
+    Probe child = probe;
+    child.components.push_back(c);
+    child.accumulated += sys_->true_state().component_qos(c, now);
+    if (ctx.has_upstream) {
+      child.accumulated +=
+          sys_->true_state().virtual_link_qos(sys_->mesh(), probe.at, cand.node, now);
+    }
+    child.at = cand.node;
+
+    ++coord->outstanding;
+    ++coord->spawned_per_path[probe.path_index];
+    counters_->add(sim::counter::kProbe);  // probe transmission
+    const double delay_s = sys_->mesh().virtual_link_delay(probe.at, cand.node) / 1000.0;
+    engine_->schedule_after(config_.hop_processing_s + delay_s,
+                            [this, coord, child] { process_probe(coord, child); });
+  }
+
+  // The parent probe forked (or died childless).
+  probe_ended(coord);
+}
+
+void ProbingProtocol::probe_returned(const std::shared_ptr<Coordinator>& coord,
+                                     const Probe& probe) {
+  if (coord->finalized) return;
+  PathAssignment pa;
+  pa.components = probe.components;
+  pa.accumulated = probe.accumulated;
+  coord->collected[probe.path_index].push_back(std::move(pa));
+  probe_ended(coord);
+}
+
+void ProbingProtocol::probe_ended(const std::shared_ptr<Coordinator>& coord) {
+  if (coord->finalized) return;
+  ACP_ASSERT(coord->outstanding > 0);
+  if (--coord->outstanding == 0) finalize(coord);
+}
+
+void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
+  if (coord->finalized) return;
+  coord->finalized = true;
+  if (coord->timeout_event != 0) engine_->cancel(coord->timeout_event);
+
+  const workload::Request& req = *coord->req;
+  const double now = engine_->now();
+  CompositionOutcome out;
+
+  // Merge per-path assignments into complete component graphs (DAG case:
+  // combinations must agree on shared split/merge nodes).
+  bool cap_hit = false;
+  auto graphs =
+      merge_path_assignments(req.graph, coord->paths, coord->collected, config_.merge_cap,
+                             &cap_hit);
+  out.candidates_examined = graphs.size();
+
+  // Qualify against precise state and apply the selection policy. The view
+  // is scoped to the request: its own transient reservations (placed by its
+  // probes exactly so these resources are held for it) read as available.
+  const stream::StreamSystem::RequestScopedView view(*sys_, req.id);
+  std::vector<std::size_t> qualified;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs[i].qualified(*sys_, view, req.qos_req, req.policy, now)) qualified.push_back(i);
+  }
+  out.candidates_qualified = qualified.size();
+
+  std::optional<std::size_t> winner;
+  if (!qualified.empty()) {
+    if (coord->selection_policy == SelectionPolicy::kBestPhi) {
+      double best_phi = 0.0;
+      for (std::size_t i : qualified) {
+        const double phi = graphs[i].congestion_aggregation(*sys_, view, now);
+        if (!winner || phi < best_phi) {
+          winner = i;
+          best_phi = phi;
+        }
+      }
+    } else {
+      winner = qualified[rng_.below(qualified.size())];
+    }
+  }
+
+  if (winner) {
+    out.found_qualified = true;
+    out.phi = graphs[*winner].congestion_aggregation(*sys_, view, now);
+    const double end = req.arrival_time + req.duration_s;
+    out.session = sessions_->commit_probed(req.id, graphs[*winner], now, end);
+    // Confirmation messages travel the composition (one per component).
+    counters_->add(sim::counter::kConfirmation, req.graph.node_count());
+  } else {
+    sys_->cancel_request(req.id);
+  }
+
+  coord->done(out);
+}
+
+}  // namespace acp::core

@@ -1,0 +1,111 @@
+// The distributed composition probing protocol (paper Sec. 3.3, Fig. 3).
+//
+// A request is redirected to its deputy node (the overlay member closest to
+// the client). The deputy computes the probing ratio α and launches probes
+// that walk each source→sink path of the function graph hop by hop. At each
+// hop the visited node:
+//
+//   1. checks QoS/resource conformance of the probed partial composition
+//      against its own precise state — unqualified probes are dropped;
+//   2. performs transient resource allocation (expires on TTL unless
+//      confirmed; one reservation per component per request — footnote 7);
+//   3. derives next-hop functions from ξ;
+//   4. discovers candidate components (decentralized discovery);
+//   5. selects the best M = ceil(α·k) candidates — guided by the coarse
+//      global state via (D, W) ranking for ACP/SP, uniformly at random for
+//      RP;
+//   6. spawns child probes and sends them onward (one message per probe
+//      transmission, delayed by the virtual link's latency).
+//
+// Completed probes return to the deputy, which merges per-path assignments
+// into component graphs (DAG case), filters by Eqs. 2–5 on precise state,
+// applies the selection policy (min-φ for ACP/RP, random-qualified for SP),
+// and commits the winner by confirming its transient reservations.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/candidate_selection.h"
+#include "core/composer.h"
+#include "core/search.h"
+#include "discovery/registry.h"
+#include "sim/counters.h"
+#include "sim/engine.h"
+#include "stream/session.h"
+#include "util/rng.h"
+
+namespace acp::core {
+
+/// Per-hop candidate selection rule.
+enum class PerHopPolicy {
+  kGuided,  ///< filter + (D, W) ranking on the coarse global state (ACP, SP)
+  kRandom,  ///< uniformly random among discovered candidates (RP)
+};
+
+/// Final composition selection rule at the deputy.
+enum class SelectionPolicy {
+  kBestPhi,          ///< minimize φ(λ) over qualified compositions (ACP, RP)
+  kRandomQualified,  ///< uniform over qualified compositions (SP)
+};
+
+struct ProbingConfig {
+  /// Per-hop processing time at a node before children are sent (seconds).
+  double hop_processing_s = 0.001;
+  /// Transient reservation TTL; must exceed the probing round-trip.
+  double transient_ttl_s = 60.0;
+  /// Deputy gives up waiting for probes after this long and finalizes with
+  /// whatever returned.
+  double probe_timeout_s = 10.0;
+  /// Risk-similarity epsilon for the (D, W) comparator.
+  double risk_eps = 0.05;
+  /// Guided-hop ranking rule (ablation knob; paper default).
+  RankingPolicy ranking = RankingPolicy::kRiskThenCongestion;
+  /// Safety cap: total probes spawned per request (spawn suppression keeps
+  /// the best-ranked children when hit).
+  std::size_t max_probes_per_request = 2048;
+  /// Cap on merged candidate compositions at the deputy.
+  std::size_t merge_cap = 512;
+};
+
+class ProbingProtocol {
+ public:
+  /// `global_view` is the coarse state consulted by kGuided selection; RP
+  /// (kRandom) never reads it and may pass the same pointer. All references
+  /// must outlive the protocol.
+  ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable& sessions, sim::Engine& engine,
+                  sim::CounterSet& counters, discovery::Registry& registry,
+                  const stream::StateView& global_view, util::Rng rng, ProbingConfig config = {});
+
+  /// Runs the full protocol for `req` with probing ratio `alpha`. `done`
+  /// fires exactly once when the deputy finalizes (success or failure).
+  /// `req` must stay alive until then.
+  void execute(const workload::Request& req, double alpha, PerHopPolicy hop_policy,
+               SelectionPolicy selection_policy,
+               std::function<void(const CompositionOutcome&)> done);
+
+  const ProbingConfig& config() const { return config_; }
+
+  /// Deputy for a client host — the overlay member closest by IP delay.
+  stream::NodeId deputy_for(net::NodeIndex client_ip) const;
+
+ private:
+  struct Coordinator;
+  struct Probe;
+
+  void process_probe(const std::shared_ptr<Coordinator>& coord, Probe probe);
+  void probe_returned(const std::shared_ptr<Coordinator>& coord, const Probe& probe);
+  void probe_ended(const std::shared_ptr<Coordinator>& coord);
+  void finalize(const std::shared_ptr<Coordinator>& coord);
+
+  stream::StreamSystem* sys_;
+  stream::SessionTable* sessions_;
+  sim::Engine* engine_;
+  sim::CounterSet* counters_;
+  discovery::Registry* registry_;
+  const stream::StateView* global_view_;
+  util::Rng rng_;
+  ProbingConfig config_;
+};
+
+}  // namespace acp::core

@@ -1,0 +1,67 @@
+// The three probing-based composers of the paper's evaluation:
+//
+//   * ACP — guided per-hop selection on the coarse global state + min-φ
+//     final selection (the paper's contribution);
+//   * SP  — guided per-hop selection, but RANDOM final selection among
+//     qualified compositions (isolates the value of optimal selection);
+//   * RP  — RANDOM per-hop selection + min-φ final selection (isolates the
+//     value of global-state guidance; represents fully distributed probing).
+//
+// ACP's probing ratio is supplied per request by an AlphaProvider so the
+// adaptive tuner (Sec. 3.4) can drive it; the others default to a fixed α.
+#pragma once
+
+#include "core/probing.h"
+
+namespace acp::core {
+
+/// Supplies the probing ratio at composition time.
+using AlphaProvider = std::function<double()>;
+
+class ProbingComposerBase : public Composer {
+ public:
+  ProbingComposerBase(ProbingProtocol& protocol, AlphaProvider alpha, PerHopPolicy hop,
+                      SelectionPolicy selection)
+      : protocol_(&protocol), alpha_(std::move(alpha)), hop_(hop), selection_(selection) {
+    ACP_REQUIRE(alpha_ != nullptr);
+  }
+
+  void compose(const workload::Request& req,
+               std::function<void(const CompositionOutcome&)> done) override {
+    protocol_->execute(req, alpha_(), hop_, selection_, std::move(done));
+  }
+
+ private:
+  ProbingProtocol* protocol_;
+  AlphaProvider alpha_;
+  PerHopPolicy hop_;
+  SelectionPolicy selection_;
+};
+
+class AcpComposer final : public ProbingComposerBase {
+ public:
+  AcpComposer(ProbingProtocol& protocol, AlphaProvider alpha)
+      : ProbingComposerBase(protocol, std::move(alpha), PerHopPolicy::kGuided,
+                            SelectionPolicy::kBestPhi) {}
+  AcpComposer(ProbingProtocol& protocol, double fixed_alpha)
+      : AcpComposer(protocol, [fixed_alpha] { return fixed_alpha; }) {}
+  std::string name() const override { return "ACP"; }
+};
+
+class SpComposer final : public ProbingComposerBase {
+ public:
+  SpComposer(ProbingProtocol& protocol, double fixed_alpha)
+      : ProbingComposerBase(protocol, [fixed_alpha] { return fixed_alpha; },
+                            PerHopPolicy::kGuided, SelectionPolicy::kRandomQualified) {}
+  std::string name() const override { return "SP"; }
+};
+
+class RpComposer final : public ProbingComposerBase {
+ public:
+  RpComposer(ProbingProtocol& protocol, double fixed_alpha)
+      : ProbingComposerBase(protocol, [fixed_alpha] { return fixed_alpha; },
+                            PerHopPolicy::kRandom, SelectionPolicy::kBestPhi) {}
+  std::string name() const override { return "RP"; }
+};
+
+}  // namespace acp::core

@@ -1,0 +1,150 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+
+#include "core/search.h"
+
+namespace acp::core {
+
+namespace {
+PiControllerConfig pi_config_from(const TunerConfig& cfg) {
+  PiControllerConfig pi;
+  pi.target = cfg.target_success_rate;
+  pi.min_output = std::min(0.05, cfg.max_alpha);
+  pi.max_output = cfg.max_alpha;
+  pi.initial_output = std::min(cfg.base_alpha, cfg.max_alpha);
+  return pi;
+}
+}  // namespace
+
+ProbingRatioTuner::ProbingRatioTuner(const stream::StreamSystem& sys, sim::Engine& engine,
+                                     TunerConfig config)
+    : sys_(&sys),
+      engine_(&engine),
+      config_(config),
+      alpha_(config.base_alpha),
+      pi_(pi_config_from(config)) {
+  ACP_REQUIRE(config_.target_success_rate > 0.0 && config_.target_success_rate <= 1.0);
+  ACP_REQUIRE(config_.base_alpha > 0.0 && config_.base_alpha <= config_.max_alpha);
+  ACP_REQUIRE(config_.alpha_step > 0.0);
+  ACP_REQUIRE(config_.sampling_period_s > 0.0);
+}
+
+void ProbingRatioTuner::start() {
+  ACP_REQUIRE_MSG(!started_, "start() may only be called once");
+  started_ = true;
+  schedule_tick();
+}
+
+void ProbingRatioTuner::schedule_tick() {
+  engine_->schedule_after(config_.sampling_period_s, [this] {
+    run_sampling_tick();
+    schedule_tick();
+  });
+}
+
+void ProbingRatioTuner::record_request(const workload::Request& req) {
+  if (trace_.size() >= config_.max_trace) return;  // keep a bounded trace
+  trace_.push_back(req);
+}
+
+void ProbingRatioTuner::record_outcome(bool success) { window_.record(success); }
+
+double ProbingRatioTuner::run_sampling_tick() {
+  const double measured = window_.sample_and_reset();
+
+  if (config_.mode == TuningMode::kPi) {
+    // Control-theoretic path: one O(1) update per period, no replay.
+    alpha_ = pi_.update(measured);
+    trace_.clear();
+    return measured;
+  }
+
+  const double predicted = predict(alpha_);
+  const bool need_profile =
+      predicted < 0.0 ||
+      std::abs(measured - predicted) > config_.prediction_error_threshold;
+  if (need_profile && !trace_.empty()) {
+    run_profiling();
+    choose_alpha();
+  }
+  trace_.clear();  // next window collects a fresh trace
+  return measured;
+}
+
+void ProbingRatioTuner::run_profiling() {
+  ACP_REQUIRE_MSG(!trace_.empty(), "profiling requires a request trace");
+  ++profiling_runs_;
+  profile_.clear();
+
+  const double now = engine_->now();
+  double best_rate = -1.0;
+  std::size_t flat_steps = 0;
+
+  for (double a = config_.base_alpha; a <= config_.max_alpha + 1e-9; a += config_.alpha_step) {
+    const double alpha = std::min(a, config_.max_alpha);
+
+    // What-if replay: tentative commits load the snapshot so later replayed
+    // requests see a realistically loaded system.
+    WhatIfView snapshot(sys_->true_state());
+    std::size_t successes = 0;
+    for (const auto& req : trace_) {
+      const auto found = guided_search(*sys_, req, alpha, snapshot, snapshot, now);
+      if (found) {
+        ++successes;
+        snapshot.apply_composition(*sys_, *found);
+      }
+    }
+    const double rate = static_cast<double>(successes) / static_cast<double>(trace_.size());
+    profile_[alpha] = rate;
+
+    // Saturation: stop sweeping once extra probing stops paying.
+    if (rate > best_rate + config_.saturation_epsilon) {
+      best_rate = rate;
+      flat_steps = 0;
+    } else if (++flat_steps >= config_.saturation_patience) {
+      break;
+    }
+  }
+}
+
+double ProbingRatioTuner::predict(double alpha) const {
+  if (profile_.empty()) return -1.0;
+  const auto hi = profile_.lower_bound(alpha);
+  if (hi == profile_.begin()) return hi->second;
+  if (hi == profile_.end()) return std::prev(hi)->second;
+  const auto lo = std::prev(hi);
+  if (hi->first == lo->first) return hi->second;
+  const double t = (alpha - lo->first) / (hi->first - lo->first);
+  return lo->second + t * (hi->second - lo->second);
+}
+
+void ProbingRatioTuner::choose_alpha() {
+  if (profile_.empty()) return;
+  // Minimal profiled α reaching target + margin (replay is contention-free
+  // and therefore optimistic); else the saturation point (the paper: stop
+  // increasing when the overhead limit / saturation is hit).
+  const double goal = std::min(1.0, config_.target_success_rate + config_.selection_margin);
+  double desired = -1.0;
+  for (const auto& [a, rate] : profile_) {
+    if (rate >= goal) {
+      desired = a;
+      break;
+    }
+  }
+  if (desired < 0.0) {
+    const auto best = std::max_element(
+        profile_.begin(), profile_.end(),
+        [](const auto& x, const auto& y) { return x.second < y.second; });
+    desired = best->first;
+  }
+  // Raise quickly (missing the target is expensive), relax gradually (one
+  // step per period) so transient optimism cannot collapse the ratio.
+  if (desired > alpha_) {
+    alpha_ = desired;
+  } else if (desired < alpha_) {
+    alpha_ = std::max(desired, alpha_ - config_.alpha_step);
+  }
+}
+
+}  // namespace acp::core

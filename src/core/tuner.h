@@ -1,0 +1,106 @@
+// Probing ratio tuning (paper Sec. 3.4).
+//
+// ACP should always use the MINIMAL probing ratio that achieves the target
+// composition success rate, but the α → success-rate mapping is non-linear
+// and drifts with system conditions. The tuner:
+//
+//   * samples the measured success rate u'(t) every sampling period;
+//   * keeps an on-line profile (the α → u mapping) built by replaying the
+//     last period's request trace against a what-if snapshot of current
+//     resource state, sweeping α upward from a base value until the success
+//     rate saturates;
+//   * re-profiles whenever |u'(t) − predicted(α)| > δ (system conditions
+//     changed);
+//   * sets α to the smallest profiled value whose predicted success rate
+//     meets the target, or to the saturation point when the target is
+//     unachievable.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/controllers.h"
+#include "core/whatif.h"
+#include "sim/engine.h"
+#include "stream/system.h"
+#include "util/stats.h"
+#include "workload/request.h"
+
+namespace acp::core {
+
+/// How the tuner maps measurements to a probing ratio.
+enum class TuningMode {
+  kProfile,  ///< the paper's on-line profiling by trace replay (Sec. 3.4)
+  kPi,       ///< PI controller on the success-rate error (Sec. 6 future work)
+};
+
+struct TunerConfig {
+  TuningMode mode = TuningMode::kProfile;
+  double target_success_rate = 0.90;
+  double prediction_error_threshold = 0.02;  ///< δ (paper example: 2%)
+  double sampling_period_s = 300.0;          ///< paper Fig. 8: 5 minutes
+  double base_alpha = 0.1;                   ///< profiling sweep start
+  double alpha_step = 0.1;                   ///< profiling sweep step
+  double max_alpha = 1.0;
+  /// Saturation detection: stop sweeping after this many consecutive steps
+  /// improving the success rate by less than `saturation_epsilon`.
+  std::size_t saturation_patience = 2;
+  double saturation_epsilon = 0.005;
+  /// Replay at most this many trace requests per profiled α.
+  std::size_t max_trace = 200;
+  /// Safety margin on top of the target when selecting α from the profile —
+  /// compensates the optimism of contention-free trace replay.
+  double selection_margin = 0.03;
+};
+
+class ProbingRatioTuner {
+ public:
+  ProbingRatioTuner(const stream::StreamSystem& sys, sim::Engine& engine, TunerConfig config = {});
+
+  /// Schedules the periodic sampling tick.
+  void start();
+
+  /// Current probing ratio — plug into AcpComposer as the AlphaProvider.
+  double alpha() const { return alpha_; }
+
+  /// Records a request into the trace used for replay profiling.
+  void record_request(const workload::Request& req);
+
+  /// Records a composition outcome for the current sampling window.
+  void record_outcome(bool success);
+
+  /// Executes one sampling period boundary: measure, compare with the
+  /// prediction, possibly re-profile, re-select α. Normally event-driven;
+  /// exposed for tests. Returns the measured success rate of the window.
+  double run_sampling_tick();
+
+  /// Rebuilds the α → success-rate profile from the current trace, right
+  /// now. Exposed for tests.
+  void run_profiling();
+
+  /// Predicted success rate at `alpha` by linear interpolation over the
+  /// profile; -1 when no profile exists yet.
+  double predict(double alpha) const;
+
+  const std::map<double, double>& profile() const { return profile_; }
+  std::size_t profiling_runs() const { return profiling_runs_; }
+  const TunerConfig& config() const { return config_; }
+
+ private:
+  void schedule_tick();
+  void choose_alpha();
+
+  const stream::StreamSystem* sys_;
+  sim::Engine* engine_;
+  TunerConfig config_;
+
+  double alpha_;
+  PiController pi_;
+  std::map<double, double> profile_;  ///< α → predicted success rate
+  std::vector<workload::Request> trace_;
+  util::SuccessRateTracker window_;
+  std::size_t profiling_runs_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace acp::core

@@ -1,0 +1,44 @@
+#include "core/whatif.h"
+
+namespace acp::core {
+
+stream::ResourceVector WhatIfView::node_available(stream::NodeId node, double now) const {
+  stream::ResourceVector avail = base_->node_available(node, now);
+  const auto it = node_taken_.find(node);
+  if (it != node_taken_.end()) avail -= it->second;
+  return avail;
+}
+
+double WhatIfView::link_available_kbps(net::OverlayLinkIndex l, double now) const {
+  double avail = base_->link_available_kbps(l, now);
+  const auto it = link_taken_.find(l);
+  if (it != link_taken_.end()) avail -= it->second;
+  return avail;
+}
+
+stream::QoSVector WhatIfView::component_qos(stream::ComponentId c, double now) const {
+  return base_->component_qos(c, now);
+}
+
+stream::QoSVector WhatIfView::link_qos(net::OverlayLinkIndex l, double now) const {
+  return base_->link_qos(l, now);
+}
+
+void WhatIfView::take_node(stream::NodeId node, const stream::ResourceVector& amount) {
+  node_taken_[node] += amount;
+}
+
+void WhatIfView::take_link(net::OverlayLinkIndex l, double kbps) { link_taken_[l] += kbps; }
+
+void WhatIfView::apply_composition(const stream::StreamSystem& sys,
+                                   const stream::ComponentGraph& cg) {
+  for (const auto& [node, demand] : cg.demand_by_node(sys)) take_node(node, demand);
+  for (const auto& [link, kbps] : cg.bandwidth_by_link(sys)) take_link(link, kbps);
+}
+
+void WhatIfView::reset() {
+  node_taken_.clear();
+  link_taken_.clear();
+}
+
+}  // namespace acp::core

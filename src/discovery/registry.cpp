@@ -1,0 +1,23 @@
+#include "discovery/registry.h"
+
+namespace acp::discovery {
+
+Registry::Registry(const stream::StreamSystem& sys, sim::CounterSet& counters,
+                   DiscoveryConfig config)
+    : sys_(&sys), counters_(&counters), config_(config) {
+  ACP_REQUIRE(config_.min_lookup_latency_ms >= 0.0);
+  ACP_REQUIRE(config_.max_lookup_latency_ms >= config_.min_lookup_latency_ms);
+}
+
+const std::vector<stream::ComponentId>& Registry::lookup(stream::FunctionId f) const {
+  ++lookups_;
+  counters_->add(sim::counter::kDiscovery);
+  return sys_->components_providing(f);
+}
+
+double Registry::draw_lookup_latency_ms(util::Rng& rng) const {
+  if (config_.max_lookup_latency_ms == 0.0) return 0.0;
+  return rng.uniform(config_.min_lookup_latency_ms, config_.max_lookup_latency_ms);
+}
+
+}  // namespace acp::discovery

@@ -1,0 +1,211 @@
+#include "exp/experiment.h"
+
+#include <memory>
+
+#include "core/baseline_composers.h"
+#include "core/probing_composers.h"
+#include "discovery/registry.h"
+#include "stream/session.h"
+
+namespace acp::exp {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAcp: return "ACP";
+    case Algorithm::kOptimal: return "Optimal";
+    case Algorithm::kRandom: return "Random";
+    case Algorithm::kStatic: return "Static";
+    case Algorithm::kSp: return "SP";
+    case Algorithm::kRp: return "RP";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_name(const std::string& name) {
+  if (name == "ACP") return Algorithm::kAcp;
+  if (name == "Optimal") return Algorithm::kOptimal;
+  if (name == "Random") return Algorithm::kRandom;
+  if (name == "Static") return Algorithm::kStatic;
+  if (name == "SP") return Algorithm::kSp;
+  if (name == "RP") return Algorithm::kRp;
+  throw PreconditionError("unknown algorithm: " + name);
+}
+
+namespace {
+
+bool is_probing(Algorithm a) {
+  return a == Algorithm::kAcp || a == Algorithm::kSp || a == Algorithm::kRp;
+}
+
+/// Does the algorithm maintain (and pay for) the coarse global state?
+bool uses_global_state(Algorithm a) { return a == Algorithm::kAcp || a == Algorithm::kSp; }
+
+}  // namespace
+
+ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system_config,
+                                const ExperimentConfig& config) {
+  ACP_REQUIRE(config.duration_minutes > 0.0);
+  ACP_REQUIRE(config.warmup_minutes >= 0.0 && config.warmup_minutes < config.duration_minutes);
+
+  Deployment dep = build_deployment(fabric, system_config);
+  stream::StreamSystem& sys = *dep.sys;
+
+  sim::Engine engine;
+  sim::CounterSet counters;
+  stream::SessionTable sessions(sys);
+  discovery::Registry registry(sys, counters);
+
+  util::Rng run_rng(config.run_seed ^ (system_config.seed * 0x9e3779b97f4a7c15ULL));
+  util::Rng workload_rng = run_rng.split(1);
+  util::Rng probe_rng = run_rng.split(2);
+  util::Rng baseline_rng = run_rng.split(3);
+
+  // --- State management ----------------------------------------------------
+  state::GlobalStateManager global_state(sys, engine, counters, config.global_state);
+  state::LocalStateManager local_state(sys, engine, counters, config.local_state);
+  if (uses_global_state(config.algorithm)) {
+    global_state.start();
+    local_state.start();
+  } else if (is_probing(config.algorithm)) {
+    local_state.start();  // RP keeps local measurement but no global state
+  }
+
+  core::MigrationManager migration(sys, engine, counters, config.migration);
+  if (config.enable_migration) migration.start();
+
+  // --- Composer ------------------------------------------------------------
+  // RP never consults the global view; hand it ground truth defensively.
+  const stream::StateView& guidance =
+      uses_global_state(config.algorithm) ? global_state.view() : sys.true_state();
+  core::ProbingProtocol protocol(sys, sessions, engine, counters, registry, guidance, probe_rng,
+                                 config.probing);
+  core::ProbingRatioTuner tuner(sys, engine, config.tuner);
+
+  std::unique_ptr<core::Composer> composer;
+  switch (config.algorithm) {
+    case Algorithm::kAcp:
+      if (config.adaptive_alpha) {
+        tuner.start();
+        composer = std::make_unique<core::AcpComposer>(protocol,
+                                                       [&tuner] { return tuner.alpha(); });
+      } else {
+        composer = std::make_unique<core::AcpComposer>(protocol, config.alpha);
+      }
+      break;
+    case Algorithm::kSp:
+      composer = std::make_unique<core::SpComposer>(protocol, config.alpha);
+      break;
+    case Algorithm::kRp:
+      composer = std::make_unique<core::RpComposer>(protocol, config.alpha);
+      break;
+    case Algorithm::kOptimal:
+      composer = std::make_unique<core::OptimalComposer>(
+          core::BaselineContext{&sys, &sessions, &engine, &counters});
+      break;
+    case Algorithm::kRandom:
+      composer = std::make_unique<core::RandomComposer>(
+          core::BaselineContext{&sys, &sessions, &engine, &counters}, baseline_rng);
+      break;
+    case Algorithm::kStatic:
+      composer = std::make_unique<core::StaticComposer>(
+          core::BaselineContext{&sys, &sessions, &engine, &counters});
+      break;
+  }
+
+  // --- Workload ------------------------------------------------------------
+  workload::RequestGenerator generator(sys.catalog(), dep.templates, config.workload,
+                                       config.schedule, fabric.ip.node_count(), workload_rng);
+
+  const double horizon_s = config.duration_minutes * 60.0;
+  const double warmup_s = config.warmup_minutes * 60.0;
+
+  ExperimentResult result;
+  result.algorithm = config.algorithm;
+  util::SuccessRateTracker sample_window;
+  util::RunningStat phi_stat;
+  util::RunningStat qualified_stat;
+
+  // Requests must outlive their (possibly delayed) composition callback.
+  std::deque<workload::Request> live_requests;
+
+  // Measurement window for message rates starts at warmup.
+  counters.begin_window(warmup_s);
+  engine.schedule_at(warmup_s, [&] { counters.begin_window(warmup_s); });
+
+  // --- Arrival process -----------------------------------------------------
+  std::function<void()> schedule_next_arrival = [&] {
+    const double gap = generator.next_interarrival(engine.now());
+    if (!(gap < std::numeric_limits<double>::infinity())) return;
+    const double at = engine.now() + gap;
+    if (at >= horizon_s) return;
+    engine.schedule_at(at, [&] {
+      live_requests.push_back(generator.make_request(engine.now()));
+      const workload::Request& req = live_requests.back();
+      if (config.adaptive_alpha) tuner.record_request(req);
+
+      composer->compose(req, [&, arrival = engine.now()](const core::CompositionOutcome& out) {
+        const bool measured = arrival >= warmup_s;
+        if (measured) {
+          ++result.requests;
+          if (out.success()) ++result.successes;
+          sample_window.record(out.success());
+          if (out.success()) phi_stat.add(out.phi);
+          qualified_stat.add(static_cast<double>(out.candidates_qualified));
+        }
+        if (config.adaptive_alpha) tuner.record_outcome(out.success());
+        if (out.success()) {
+          const stream::SessionId sid = out.session;
+          const auto* rec = sessions.find(sid);
+          ACP_ASSERT(rec != nullptr);
+          engine.schedule_at(std::max(rec->planned_end_time, engine.now()),
+                             [&, sid] { sessions.close(sid); });
+          result.peak_active_sessions =
+              std::max<std::uint64_t>(result.peak_active_sessions, sessions.active_count());
+        }
+      });
+      schedule_next_arrival();
+    });
+  };
+  schedule_next_arrival();
+
+  // --- u(t) sampling ---------------------------------------------------------
+  const double sample_s = config.sample_period_minutes * 60.0;
+  std::function<void()> schedule_sample = [&] {
+    engine.schedule_after(sample_s, [&] {
+      const double t_min = engine.now() / 60.0;
+      result.success_series.add(t_min, sample_window.sample_and_reset());
+      if (config.adaptive_alpha) result.alpha_series.add(t_min, tuner.alpha());
+      schedule_sample();
+    });
+  };
+  schedule_sample();
+
+  // --- Run -------------------------------------------------------------------
+  // A grace period past the horizon lets in-flight probes resolve; no new
+  // requests arrive after the horizon.
+  engine.run_until(horizon_s + 120.0);
+
+  // --- Metrics -----------------------------------------------------------------
+  result.success_rate = result.requests == 0
+                            ? 1.0
+                            : static_cast<double>(result.successes) /
+                                  static_cast<double>(result.requests);
+  const double window_end = horizon_s;
+  const double window_span_min = (window_end - warmup_s) / 60.0;
+  if (window_span_min > 0) {
+    const auto per_min = [&](const char* name) {
+      return static_cast<double>(counters.window_count(name)) / window_span_min;
+    };
+    result.probe_rate_per_minute = per_min(sim::counter::kProbe);
+    result.state_update_rate_per_minute =
+        per_min(sim::counter::kGlobalStateUpdate) + per_min(sim::counter::kAggregationUpdate);
+    result.overhead_per_minute =
+        result.probe_rate_per_minute + result.state_update_rate_per_minute;
+  }
+  result.mean_phi = phi_stat.mean();
+  result.mean_candidates_qualified = qualified_stat.mean();
+  result.component_migrations = migration.total_moves();
+  return result;
+}
+
+}  // namespace acp::exp

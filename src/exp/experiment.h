@@ -1,0 +1,73 @@
+// Experiment driver — runs one simulated evaluation of one composition
+// algorithm under one workload, reproducing the paper's measurement
+// methodology: composition success rate u(t) sampled per period, overhead
+// in messages per minute (probes + global-state updates), over a 100–150
+// minute simulated horizon.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "core/migration.h"
+#include "core/probing.h"
+#include "core/tuner.h"
+#include "exp/system_builder.h"
+#include "state/global_state.h"
+#include "state/local_state.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace acp::exp {
+
+/// Algorithms under evaluation, named as in the paper's figures.
+enum class Algorithm { kAcp, kOptimal, kRandom, kStatic, kSp, kRp };
+
+std::string algorithm_name(Algorithm a);
+Algorithm algorithm_from_name(const std::string& name);
+
+struct ExperimentConfig {
+  Algorithm algorithm = Algorithm::kAcp;
+  double duration_minutes = 100.0;  ///< paper: 100 (Figs 5–7), 150 (Fig 8)
+  /// Measurement starts here (lets the system reach steady load first).
+  double warmup_minutes = 0.0;
+  std::vector<workload::RateStep> schedule{{0.0, 80.0}};
+  workload::WorkloadConfig workload;
+  double alpha = 0.3;          ///< fixed probing ratio (paper default)
+  bool adaptive_alpha = false; ///< enable the Sec. 3.4 tuner (Fig 8(b))
+  core::TunerConfig tuner;
+  core::ProbingConfig probing;
+  state::GlobalStateConfig global_state;
+  state::LocalStateConfig local_state;
+  /// Enable the dynamic component migration extension during the run.
+  bool enable_migration = false;
+  core::MigrationConfig migration;
+  double sample_period_minutes = 5.0;  ///< u(t) sampling period
+  std::uint64_t run_seed = 7;          ///< workload/probing randomness
+};
+
+struct ExperimentResult {
+  Algorithm algorithm = Algorithm::kAcp;
+  std::uint64_t requests = 0;   ///< outcomes observed in the measured window
+  std::uint64_t successes = 0;
+  double success_rate = 1.0;    ///< successes / requests (percentage basis 0..1)
+
+  double overhead_per_minute = 0.0;      ///< probes + global-state updates
+  double probe_rate_per_minute = 0.0;
+  double state_update_rate_per_minute = 0.0;
+
+  double mean_phi = 0.0;  ///< mean φ(λ) of committed compositions
+  double mean_candidates_qualified = 0.0;
+
+  util::TimeSeries success_series;  ///< u(t) per sampling period (minutes)
+  util::TimeSeries alpha_series;    ///< probing ratio over time (minutes)
+
+  std::uint64_t peak_active_sessions = 0;
+  std::uint64_t component_migrations = 0;  ///< when enable_migration
+};
+
+/// Runs one experiment on a fresh deployment over `fabric`. Deterministic
+/// given (config, system_config.seed, config.run_seed).
+ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system_config,
+                                const ExperimentConfig& config);
+
+}  // namespace acp::exp

@@ -1,0 +1,40 @@
+#include "exp/repeated.h"
+
+namespace acp::exp {
+
+namespace {
+AggregateMetric aggregate(const util::RunningStat& s) {
+  AggregateMetric m;
+  m.mean = s.mean();
+  m.stddev = s.stddev();
+  m.min = s.min();
+  m.max = s.max();
+  return m;
+}
+}  // namespace
+
+RepeatedResult run_repeated(const Fabric& fabric, const SystemConfig& system_config,
+                            ExperimentConfig config, std::size_t runs,
+                            std::uint64_t base_run_seed) {
+  ACP_REQUIRE(runs >= 1);
+  RepeatedResult out;
+  out.algorithm = config.algorithm;
+  out.runs = runs;
+
+  util::RunningStat success, overhead, phi;
+  out.individual.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    config.run_seed = base_run_seed + i;
+    auto res = run_experiment(fabric, system_config, config);
+    success.add(res.success_rate);
+    overhead.add(res.overhead_per_minute);
+    phi.add(res.mean_phi);
+    out.individual.push_back(std::move(res));
+  }
+  out.success_rate = aggregate(success);
+  out.overhead_per_minute = aggregate(overhead);
+  out.mean_phi = aggregate(phi);
+  return out;
+}
+
+}  // namespace acp::exp

@@ -1,0 +1,33 @@
+// Repeated experiments across workload seeds — mean ± stddev for every
+// headline metric. The paper reports single-run averages; multi-seed
+// aggregation quantifies how tight those estimates are.
+#pragma once
+
+#include "exp/experiment.h"
+#include "util/stats.h"
+
+namespace acp::exp {
+
+struct AggregateMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct RepeatedResult {
+  Algorithm algorithm = Algorithm::kAcp;
+  std::size_t runs = 0;
+  AggregateMetric success_rate;         ///< in [0, 1]
+  AggregateMetric overhead_per_minute;
+  AggregateMetric mean_phi;
+  std::vector<ExperimentResult> individual;  ///< per-seed results, in order
+};
+
+/// Runs `config` `runs` times with run_seed = base_run_seed + i, on fresh
+/// deployments over the shared fabric, and aggregates.
+RepeatedResult run_repeated(const Fabric& fabric, const SystemConfig& system_config,
+                            ExperimentConfig config, std::size_t runs,
+                            std::uint64_t base_run_seed = 1000);
+
+}  // namespace acp::exp

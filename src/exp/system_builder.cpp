@@ -1,0 +1,115 @@
+#include "exp/system_builder.h"
+
+#include "util/rng.h"
+
+namespace acp::exp {
+
+namespace {
+// Stable stream tags so adding a consumer never perturbs the others.
+constexpr std::uint64_t kTopologyStream = 1;
+constexpr std::uint64_t kOverlayStream = 2;
+constexpr std::uint64_t kCatalogStream = 3;
+constexpr std::uint64_t kDeployStream = 4;
+constexpr std::uint64_t kTemplateStream = 5;
+}  // namespace
+
+Fabric build_fabric(const SystemConfig& config) {
+  util::Rng master(config.seed);
+  Fabric fabric;
+  {
+    util::Rng rng = master.split(kTopologyStream);
+    fabric.ip = net::generate_power_law_topology(config.topology, rng);
+  }
+  {
+    util::Rng rng = master.split(kOverlayStream);
+    fabric.mesh = std::make_unique<net::OverlayMesh>(fabric.ip, config.overlay, rng);
+  }
+  return fabric;
+}
+
+Deployment build_deployment(const Fabric& fabric, const SystemConfig& config) {
+  ACP_REQUIRE(fabric.mesh != nullptr);
+  util::Rng master(config.seed);
+  // Consume the same split sequence as build_fabric so deployment streams
+  // are stable whether or not the fabric was rebuilt.
+  (void)master.split(kTopologyStream);
+  (void)master.split(kOverlayStream);
+
+  Deployment dep;
+  util::Rng catalog_rng = master.split(kCatalogStream);
+  auto catalog = stream::FunctionCatalog::generate(config.function_count, catalog_rng);
+
+  util::Rng deploy_rng = master.split(kDeployStream);
+  dep.sys = std::make_unique<stream::StreamSystem>(*fabric.mesh, catalog);
+  auto& sys = *dep.sys;
+
+  // Node capacities.
+  for (stream::NodeId n = 0; n < fabric.mesh->node_count(); ++n) {
+    sys.set_node_capacity(
+        n, stream::ResourceVector(
+               deploy_rng.uniform(config.min_cpu_capacity, config.max_cpu_capacity),
+               deploy_rng.uniform(config.min_memory_capacity_mb, config.max_memory_capacity_mb)));
+  }
+
+  // Component deployment: balanced with ±1 jitter. Every function gets
+  // floor/ceil(N·cpn/F) providers, then a bounded number of random transfers
+  // moves single providers between function pairs. Candidate counts k stay
+  // within ±1 of the mean — no function starves, capacity stays
+  // proportional to N (the paper's scalability assumption) — while the
+  // variance de-synchronizes M = ceil(α·k) across functions.
+  const std::size_t total = fabric.mesh->node_count() * config.components_per_node;
+  const std::size_t fn_count = config.function_count;
+  std::vector<std::size_t> provider_count(fn_count, total / fn_count);
+  for (std::size_t i = 0; i < total % fn_count; ++i) ++provider_count[i];
+  const std::size_t base = total / fn_count;
+  if (base >= 2) {
+    for (std::size_t t = 0; t < fn_count; ++t) {
+      const std::size_t from = deploy_rng.below(fn_count);
+      const std::size_t to = deploy_rng.below(fn_count);
+      if (from != to && provider_count[from] > base - 1 && provider_count[to] < base + 1) {
+        --provider_count[from];
+        ++provider_count[to];
+      }
+    }
+  }
+  std::vector<stream::FunctionId> deck;
+  deck.reserve(total);
+  for (std::size_t f = 0; f < fn_count; ++f) {
+    for (std::size_t i = 0; i < provider_count[f]; ++i) {
+      deck.push_back(static_cast<stream::FunctionId>(f));
+    }
+  }
+  ACP_ASSERT(deck.size() == total);
+  deploy_rng.shuffle(deck);
+  auto draw_attrs = [&]() {
+    stream::ComponentAttributes attrs;
+    if (config.randomize_attributes) {
+      attrs.security = static_cast<stream::SecurityLevel>(deploy_rng.below(4));
+      attrs.license = static_cast<stream::LicenseClass>(deploy_rng.below(4));
+    }
+    return attrs;
+  };
+  const std::size_t node_count = fabric.mesh->node_count();
+  auto draw_host = [&](stream::NodeId round_robin) -> stream::NodeId {
+    if (config.placement_skew <= 0.0) return round_robin;
+    // Zipf-like skew: rank-1 node receives the most components.
+    return static_cast<stream::NodeId>(
+        deploy_rng.zipf(node_count, config.placement_skew) - 1);
+  };
+  std::size_t next_card = 0;
+  for (stream::NodeId n = 0; n < node_count; ++n) {
+    for (std::size_t c = 0; c < config.components_per_node; ++c) {
+      const auto qos = stream::QoSVector::from_metrics(
+          deploy_rng.uniform(config.min_processing_delay_ms, config.max_processing_delay_ms),
+          deploy_rng.uniform(config.min_component_loss, config.max_component_loss));
+      sys.add_component(deck[next_card++], draw_host(n), qos, draw_attrs());
+    }
+  }
+
+  util::Rng template_rng = master.split(kTemplateStream);
+  dep.templates =
+      workload::TemplateLibrary::generate(sys.catalog(), config.templates, template_rng);
+  return dep;
+}
+
+}  // namespace acp::exp

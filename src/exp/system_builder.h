@@ -1,0 +1,82 @@
+// Builds the simulated world of the paper's evaluation (Sec. 4.1):
+//
+//   * a 3200-node power-law IP topology (Inet-style generator);
+//   * an overlay mesh of N ∈ [200, 600] stream processing nodes, log N
+//     neighbors each;
+//   * 80 predefined functions; components deployed across nodes so each
+//     function's candidate count grows proportionally with N;
+//   * uniformly distributed node capacities and component QoS profiles;
+//   * 20 application templates.
+//
+// Split into the immutable, expensive-to-build network Fabric (reused
+// across runs of a sweep) and the per-run Deployment (pools + components +
+// templates), both fully deterministic from the seed.
+#pragma once
+
+#include <memory>
+
+#include "net/overlay.h"
+#include "net/topology.h"
+#include "stream/system.h"
+#include "workload/templates.h"
+
+namespace acp::exp {
+
+struct SystemConfig {
+  std::uint64_t seed = 42;
+
+  net::TopologyConfig topology;  ///< default: 3200-node power-law graph
+  net::OverlayConfig overlay;    ///< default: 400 members, log N neighbors
+
+  std::size_t function_count = 80;  ///< paper: 80 predefined functions
+  /// Components hosted per stream processing node. Functions are dealt
+  /// near-evenly (every function's candidate count is N·cpn/80 ± 1, with
+  /// randomized jitter), so candidate density scales with N exactly as the
+  /// paper's scalability experiment requires and no function starves.
+  std::size_t components_per_node = 1;
+
+  // Node resource capacities (uniform). Calibrated so the paper's operating
+  // points hold: near-100% success at 20–40 req/min on 400 nodes, declining
+  // toward ~60–70% at 100 req/min.
+  double min_cpu_capacity = 60.0, max_cpu_capacity = 150.0;
+  double min_memory_capacity_mb = 384.0, max_memory_capacity_mb = 1024.0;
+
+  // Component QoS profiles (uniform).
+  double min_processing_delay_ms = 5.0, max_processing_delay_ms = 25.0;
+  double min_component_loss = 0.0, max_component_loss = 0.01;
+
+  /// When true, components get uniformly random security levels and license
+  /// classes (for the policy-constraint extension); default: every
+  /// component is open/permissive, matching the paper's evaluation.
+  bool randomize_attributes = false;
+
+  /// Placement skew: 0 = uniform placement (paper). With s > 0, component
+  /// hosts are drawn Zipf(s)-like over nodes, concentrating components on a
+  /// few popular nodes — the skewed-load scenario for the migration
+  /// extension (bench/ablation_migration).
+  double placement_skew = 0.0;
+
+  workload::TemplateConfig templates;  ///< default: 20 templates
+};
+
+/// Immutable network substrate (IP topology + overlay mesh + routing).
+struct Fabric {
+  net::Graph ip;
+  std::unique_ptr<net::OverlayMesh> mesh;
+};
+
+/// Per-run world state: the stream system (components + pools) and the
+/// application template library.
+struct Deployment {
+  std::unique_ptr<stream::StreamSystem> sys;
+  workload::TemplateLibrary templates;
+};
+
+/// Builds the fabric. Deterministic from config.seed.
+Fabric build_fabric(const SystemConfig& config);
+
+/// Builds a fresh deployment over `fabric`. Deterministic from config.seed,
+/// so rebuilding yields an identical world with pristine pools.
+Deployment build_deployment(const Fabric& fabric, const SystemConfig& config);
+
+}  // namespace acp::exp

@@ -1,0 +1,62 @@
+#include "net/graph.h"
+
+#include <queue>
+
+namespace acp::net {
+
+NodeIndex Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeIndex>(adjacency_.size() - 1);
+}
+
+EdgeIndex Graph::add_edge(NodeIndex a, NodeIndex b, double delay_ms, double capacity_kbps) {
+  ACP_REQUIRE(a < adjacency_.size() && b < adjacency_.size());
+  ACP_REQUIRE_MSG(a != b, "self-loops are not allowed");
+  ACP_REQUIRE(delay_ms >= 0.0 && capacity_kbps >= 0.0);
+  const EdgeIndex e = static_cast<EdgeIndex>(edges_.size());
+  edges_.push_back(Edge{a, b, delay_ms, capacity_kbps});
+  adjacency_[a].push_back(e);
+  adjacency_[b].push_back(e);
+  return e;
+}
+
+EdgeIndex Graph::find_edge(NodeIndex a, NodeIndex b) const {
+  ACP_REQUIRE(a < adjacency_.size() && b < adjacency_.size());
+  for (EdgeIndex e : adjacency_[a]) {
+    if (edges_[e].other(a) == b) return e;
+  }
+  return kNoEdge;
+}
+
+bool Graph::is_connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<std::uint32_t> labels;
+  return components(labels) == 1;
+}
+
+std::size_t Graph::components(std::vector<std::uint32_t>& label_out) const {
+  constexpr std::uint32_t kUnlabeled = static_cast<std::uint32_t>(-1);
+  label_out.assign(adjacency_.size(), kUnlabeled);
+  std::uint32_t next_label = 0;
+  std::queue<NodeIndex> frontier;
+  for (NodeIndex start = 0; start < adjacency_.size(); ++start) {
+    if (label_out[start] != kUnlabeled) continue;
+    label_out[start] = next_label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeIndex n = frontier.front();
+      frontier.pop();
+      for (EdgeIndex e : adjacency_[n]) {
+        const NodeIndex m = edges_[e].other(n);
+        if (label_out[m] == kUnlabeled) {
+          label_out[m] = next_label;
+          frontier.push(m);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return next_label;
+}
+
+}  // namespace acp::net

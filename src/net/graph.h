@@ -1,0 +1,80 @@
+// Weighted undirected graph used for both the IP-layer topology and the
+// overlay mesh. Nodes are dense indices [0, node_count); edges carry a
+// propagation delay (the routing metric, per the paper's delay-based
+// shortest-path routing) and a capacity in kbps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::net {
+
+using NodeIndex = std::uint32_t;
+using EdgeIndex = std::uint32_t;
+
+inline constexpr EdgeIndex kNoEdge = static_cast<EdgeIndex>(-1);
+inline constexpr NodeIndex kNoNode = static_cast<NodeIndex>(-1);
+
+struct Edge {
+  NodeIndex a = 0;
+  NodeIndex b = 0;
+  double delay_ms = 0.0;      ///< propagation delay; routing metric
+  double capacity_kbps = 0.0; ///< raw link capacity
+
+  NodeIndex other(NodeIndex n) const {
+    ACP_REQUIRE(n == a || n == b);
+    return n == a ? b : a;
+  }
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count = 0) : adjacency_(node_count) {}
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Appends a node; returns its index.
+  NodeIndex add_node();
+
+  /// Adds an undirected edge; rejects self-loops. Parallel edges are allowed
+  /// by the structure but the topology generator avoids them.
+  EdgeIndex add_edge(NodeIndex a, NodeIndex b, double delay_ms, double capacity_kbps);
+
+  const Edge& edge(EdgeIndex e) const {
+    ACP_REQUIRE(e < edges_.size());
+    return edges_[e];
+  }
+  Edge& edge(EdgeIndex e) {
+    ACP_REQUIRE(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// Edge ids incident to `n`.
+  const std::vector<EdgeIndex>& neighbors(NodeIndex n) const {
+    ACP_REQUIRE(n < adjacency_.size());
+    return adjacency_[n];
+  }
+
+  std::size_t degree(NodeIndex n) const { return neighbors(n).size(); }
+
+  /// Returns the edge between a and b, or kNoEdge. O(deg(a)).
+  EdgeIndex find_edge(NodeIndex a, NodeIndex b) const;
+
+  bool has_edge(NodeIndex a, NodeIndex b) const { return find_edge(a, b) != kNoEdge; }
+
+  /// True if every node is reachable from node 0 (or the graph is empty).
+  bool is_connected() const;
+
+  /// Connected components as a label per node (labels are 0-based and
+  /// contiguous); returns the number of components.
+  std::size_t components(std::vector<std::uint32_t>& label_out) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeIndex>> adjacency_;
+};
+
+}  // namespace acp::net

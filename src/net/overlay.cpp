@@ -1,0 +1,138 @@
+#include "net/overlay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acp::net {
+
+OverlayMesh::OverlayMesh(const Graph& ip, const OverlayConfig& config, util::Rng& rng) {
+  ACP_REQUIRE(config.member_count >= 2);
+  ACP_REQUIRE_MSG(config.member_count <= ip.node_count(),
+                  "cannot select more overlay members than IP hosts");
+
+  // 1. Select member hosts uniformly without replacement.
+  const auto picks = rng.sample_without_replacement(ip.node_count(), config.member_count);
+  members_.reserve(picks.size());
+  for (std::size_t p : picks) members_.push_back(static_cast<NodeIndex>(p));
+
+  // 2. IP routing trees rooted at members (for link metrics and deputy
+  //    selection).
+  ip_routes_ = std::make_unique<RoutingTable>(ip, members_);
+
+  // 3. Wire each member to its K nearest members by IP delay.
+  const std::size_t n = members_.size();
+  std::size_t k = config.neighbors_per_node;
+  if (k == 0) k = static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(n))));
+  k = std::min(k, n - 1);
+
+  mesh_ = Graph(n);
+  auto add_overlay_link = [&](OverlayNodeIndex a, OverlayNodeIndex b) {
+    if (mesh_.has_edge(a, b)) return;
+    const double delay = ip_routes_->distance(members_[a], members_[b]);
+    ACP_ASSERT_MSG(delay != kUnreachable, "IP topology must be connected");
+    const double cap = ip_routes_->bottleneck_capacity(ip, members_[a], members_[b]);
+    mesh_.add_edge(a, b, delay, cap);
+    OverlayLink l;
+    l.a = a;
+    l.b = b;
+    l.delay_ms = delay;
+    l.capacity_kbps = cap;
+    l.loss_rate = rng.uniform(config.min_loss_rate, config.max_loss_rate);
+    l.additive_loss = -std::log(1.0 - l.loss_rate);
+    links_.push_back(l);
+  };
+
+  std::vector<std::pair<double, OverlayNodeIndex>> by_delay;
+  for (OverlayNodeIndex a = 0; a < n; ++a) {
+    by_delay.clear();
+    for (OverlayNodeIndex b = 0; b < n; ++b) {
+      if (b == a) continue;
+      by_delay.emplace_back(ip_routes_->distance(members_[a], members_[b]), b);
+    }
+    std::partial_sort(by_delay.begin(), by_delay.begin() + static_cast<std::ptrdiff_t>(k),
+                      by_delay.end());
+    for (std::size_t i = 0; i < k; ++i) add_overlay_link(a, by_delay[i].second);
+  }
+
+  // 4. Connectivity repair: nearest-neighbor wiring can leave islands; join
+  //    components through their closest cross-component member pair.
+  std::vector<std::uint32_t> labels;
+  while (mesh_.components(labels) > 1) {
+    double best = kUnreachable;
+    OverlayNodeIndex best_a = 0, best_b = 0;
+    for (OverlayNodeIndex a = 0; a < n; ++a) {
+      for (OverlayNodeIndex b = a + 1; b < n; ++b) {
+        if (labels[a] == labels[b]) continue;
+        const double d = ip_routes_->distance(members_[a], members_[b]);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    add_overlay_link(best_a, best_b);
+  }
+
+  // 5. Overlay all-pairs routing (one Dijkstra per member over the mesh),
+  //    then materialize every pair's path once — composition hot paths walk
+  //    virtual links constantly.
+  overlay_routes_ = std::make_unique<RoutingTable>(mesh_);
+  pair_paths_.resize(n * n);
+  for (OverlayNodeIndex a = 0; a < n; ++a) {
+    for (OverlayNodeIndex b = 0; b < n; ++b) {
+      if (a == b) continue;
+      auto edges = overlay_routes_->path_edges(a, b);
+      ACP_ASSERT_MSG(!edges.empty(), "overlay mesh must be connected");
+      pair_paths_[static_cast<std::size_t>(a) * n + b] = {edges.begin(), edges.end()};
+    }
+  }
+}
+
+NodeIndex OverlayMesh::ip_host(OverlayNodeIndex o) const {
+  ACP_REQUIRE(o < members_.size());
+  return members_[o];
+}
+
+const OverlayLink& OverlayMesh::link(OverlayLinkIndex l) const {
+  ACP_REQUIRE(l < links_.size());
+  return links_[l];
+}
+
+std::vector<OverlayLinkIndex> OverlayMesh::links_of(OverlayNodeIndex o) const {
+  ACP_REQUIRE(o < members_.size());
+  const auto& edges = mesh_.neighbors(o);
+  return {edges.begin(), edges.end()};
+}
+
+std::vector<OverlayNodeIndex> OverlayMesh::neighbors_of(OverlayNodeIndex o) const {
+  std::vector<OverlayNodeIndex> out;
+  for (OverlayLinkIndex l : links_of(o)) out.push_back(links_[l].other(o));
+  return out;
+}
+
+const std::vector<OverlayLinkIndex>& OverlayMesh::virtual_link_path(OverlayNodeIndex a,
+                                                                    OverlayNodeIndex b) const {
+  ACP_REQUIRE(a < members_.size() && b < members_.size());
+  return pair_paths_[static_cast<std::size_t>(a) * members_.size() + b];
+}
+
+double OverlayMesh::virtual_link_delay(OverlayNodeIndex a, OverlayNodeIndex b) const {
+  if (a == b) return 0.0;  // co-located components: 0 network delay
+  return overlay_routes_->distance(a, b);
+}
+
+OverlayNodeIndex OverlayMesh::closest_member(NodeIndex ip_node) const {
+  double best = kUnreachable;
+  OverlayNodeIndex best_member = 0;
+  for (OverlayNodeIndex o = 0; o < members_.size(); ++o) {
+    const double d = ip_routes_->distance(members_[o], ip_node);
+    if (d < best) {
+      best = d;
+      best_member = o;
+    }
+  }
+  return best_member;
+}
+
+}  // namespace acp::net

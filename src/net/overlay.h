@@ -1,0 +1,99 @@
+// Overlay mesh of stream processing nodes on top of the IP topology.
+//
+// Mirrors the paper's setup: N ∈ [200, 600] hosts of the 3200-node IP graph
+// are selected as stream processing nodes and connected into an overlay mesh
+// where each node has ~log2(N) neighbors. An overlay link's delay is the
+// delay of the shortest IP path between its endpoint hosts and its capacity
+// is the bottleneck IP-link capacity along that path. Virtual links between
+// arbitrary node pairs are delay-shortest overlay paths (sequences of
+// overlay links).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/routing.h"
+#include "util/rng.h"
+
+namespace acp::net {
+
+/// Index of a stream processing node within the overlay (not an IP index).
+using OverlayNodeIndex = std::uint32_t;
+/// Index of an overlay link.
+using OverlayLinkIndex = std::uint32_t;
+
+inline constexpr OverlayLinkIndex kNoOverlayLink = static_cast<OverlayLinkIndex>(-1);
+
+struct OverlayLink {
+  OverlayNodeIndex a = 0;
+  OverlayNodeIndex b = 0;
+  double delay_ms = 0.0;       ///< IP shortest-path delay between endpoints
+  double capacity_kbps = 0.0;  ///< bottleneck IP capacity along that path
+  double loss_rate = 0.0;      ///< per-link loss probability in [0, 1)
+  double additive_loss = 0.0;  ///< -ln(1 - loss_rate), precomputed
+
+  OverlayNodeIndex other(OverlayNodeIndex n) const {
+    ACP_REQUIRE(n == a || n == b);
+    return n == a ? b : a;
+  }
+};
+
+struct OverlayConfig {
+  std::size_t member_count = 400;  ///< N, paper uses 200..600
+  /// Neighbors per node; 0 means ceil(log2(N)) as in the paper.
+  std::size_t neighbors_per_node = 0;
+  double min_loss_rate = 0.0;
+  double max_loss_rate = 0.005;  ///< up to 0.5% per overlay link
+};
+
+class OverlayMesh {
+ public:
+  /// Selects `config.member_count` distinct hosts from `ip`, wires each to
+  /// its nearest neighbors by IP delay, repairs connectivity if needed, and
+  /// builds the overlay all-pairs routing table.
+  OverlayMesh(const Graph& ip, const OverlayConfig& config, util::Rng& rng);
+
+  std::size_t node_count() const { return members_.size(); }
+  std::size_t link_count() const { return mesh_.edge_count(); }
+
+  /// IP host backing overlay node `n`.
+  NodeIndex ip_host(OverlayNodeIndex n) const;
+
+  const OverlayLink& link(OverlayLinkIndex l) const;
+
+  /// Overlay link ids incident to `n`.
+  std::vector<OverlayLinkIndex> links_of(OverlayNodeIndex n) const;
+
+  /// Neighbor overlay nodes of `n`.
+  std::vector<OverlayNodeIndex> neighbors_of(OverlayNodeIndex n) const;
+
+  /// Delay-shortest overlay path a→b as a sequence of overlay link ids;
+  /// empty when a == b (co-location) — never empty otherwise, because the
+  /// mesh is connected by construction. Cached per pair; the reference stays
+  /// valid for the mesh's lifetime.
+  const std::vector<OverlayLinkIndex>& virtual_link_path(OverlayNodeIndex a,
+                                                         OverlayNodeIndex b) const;
+
+  /// Sum of link delays along the virtual link a→b (0 when a == b).
+  double virtual_link_delay(OverlayNodeIndex a, OverlayNodeIndex b) const;
+
+  /// Overlay member closest (by IP delay) to an arbitrary IP host — the
+  /// paper's deputy-node selection by proximity.
+  OverlayNodeIndex closest_member(NodeIndex ip_node) const;
+
+  /// Underlying overlay graph (for tests / diagnostics).
+  const Graph& mesh_graph() const { return mesh_; }
+
+ private:
+  std::vector<NodeIndex> members_;          ///< overlay index -> IP host
+  Graph mesh_;                              ///< overlay graph (delay, capacity)
+  std::vector<OverlayLink> links_;          ///< parallel to mesh_ edges
+  std::unique_ptr<RoutingTable> ip_routes_; ///< trees rooted at member hosts
+  std::unique_ptr<RoutingTable> overlay_routes_;  ///< APSP over mesh_
+  /// Per-pair cached paths, row-major (a * node_count + b).
+  std::vector<std::vector<OverlayLinkIndex>> pair_paths_;
+};
+
+}  // namespace acp::net

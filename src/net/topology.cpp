@@ -1,0 +1,128 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace acp::net {
+
+std::size_t sample_power_law_degree(const TopologyConfig& config, util::Rng& rng) {
+  ACP_REQUIRE(config.min_degree >= 1);
+  ACP_REQUIRE(config.max_degree >= config.min_degree);
+  // Inverse-CDF sampling over the truncated discrete power law. The CDF is
+  // small (max_degree terms), computed on the fly; callers generating many
+  // degrees pay O(max_degree) each, which is negligible at setup time.
+  double norm = 0.0;
+  for (std::size_t d = config.min_degree; d <= config.max_degree; ++d) {
+    norm += std::pow(static_cast<double>(d), -config.power_law_exponent);
+  }
+  double u = rng.uniform01() * norm;
+  double acc = 0.0;
+  for (std::size_t d = config.min_degree; d <= config.max_degree; ++d) {
+    acc += std::pow(static_cast<double>(d), -config.power_law_exponent);
+    if (u <= acc) return d;
+  }
+  return config.max_degree;
+}
+
+Graph generate_power_law_topology(const TopologyConfig& config, util::Rng& rng) {
+  ACP_REQUIRE(config.node_count >= 2);
+  const std::size_t n = config.node_count;
+
+  // 1. Degree sequence. Ensure the sum of stubs is even and >= 2(n-1) so a
+  //    spanning tree plus stub matching is feasible.
+  std::vector<std::size_t> target_degree(n);
+  for (auto& d : target_degree) d = sample_power_law_degree(config, rng);
+  // Sort descending: high-degree nodes form the core, as in Inet.
+  std::sort(target_degree.begin(), target_degree.end(), std::greater<>());
+
+  Graph g(n);
+  std::vector<std::size_t> remaining = target_degree;
+
+  // 2. Spanning tree by preferential attachment over remaining stubs. Node i
+  //    (i >= 1) attaches to a node j < i chosen with probability
+  //    proportional to remaining[j] (falling back to uniform if all earlier
+  //    stubs are exhausted).
+  auto draw_delay = [&] { return rng.uniform(config.min_delay_ms, config.max_delay_ms); };
+  auto draw_cap = [&] { return rng.uniform(config.min_capacity_kbps, config.max_capacity_kbps); };
+
+  for (NodeIndex i = 1; i < n; ++i) {
+    double total = 0.0;
+    for (NodeIndex j = 0; j < i; ++j) total += static_cast<double>(remaining[j]);
+    NodeIndex pick = kNoNode;
+    if (total > 0.0) {
+      double u = rng.uniform01() * total;
+      for (NodeIndex j = 0; j < i; ++j) {
+        u -= static_cast<double>(remaining[j]);
+        if (u <= 0.0) {
+          pick = j;
+          break;
+        }
+      }
+      if (pick == kNoNode) pick = i - 1;
+    } else {
+      pick = static_cast<NodeIndex>(rng.below(i));
+    }
+    g.add_edge(i, pick, draw_delay(), draw_cap());
+    if (remaining[pick] > 0) --remaining[pick];
+    if (remaining[i] > 0) --remaining[i];
+  }
+
+  // 3. Stub matching for the remaining degree stubs. Collect stubs, shuffle,
+  //    and pair them up, skipping self-loops and duplicates. A bounded number
+  //    of retries avoids pathological tails; leftover stubs are dropped,
+  //    which only slightly truncates the highest degrees.
+  std::vector<NodeIndex> stubs;
+  for (NodeIndex i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < remaining[i]; ++s) stubs.push_back(i);
+  }
+  rng.shuffle(stubs);
+  std::size_t lo = 0, hi = stubs.empty() ? 0 : stubs.size() - 1;
+  std::size_t retries = stubs.size() * 2;
+  while (lo < hi) {
+    const NodeIndex a = stubs[lo], b = stubs[hi];
+    if (a != b && !g.has_edge(a, b)) {
+      g.add_edge(a, b, draw_delay(), draw_cap());
+      ++lo;
+      --hi;
+    } else if (retries > 0) {
+      // Rotate the tail to try a different pairing. (Guard BEFORE
+      // decrementing: the counter is unsigned.)
+      --retries;
+      const std::size_t swap_with = lo + rng.below(hi - lo);
+      std::swap(stubs[hi], stubs[swap_with]);
+    } else {
+      ++lo;  // give up on this stub
+    }
+  }
+
+  ACP_ASSERT_MSG(g.is_connected(), "spanning-tree construction must yield a connected graph");
+  return g;
+}
+
+double estimate_power_law_slope(const Graph& g) {
+  // log-log least-squares fit over the degree histogram (degree >= 1).
+  std::map<std::size_t, std::size_t> hist;
+  for (NodeIndex i = 0; i < g.node_count(); ++i) {
+    const std::size_t d = g.degree(i);
+    if (d >= 1) ++hist[d];
+  }
+  if (hist.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = 0;
+  for (const auto& [deg, cnt] : hist) {
+    const double x = std::log(static_cast<double>(deg));
+    const double y = std::log(static_cast<double>(cnt));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    n += 1.0;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace acp::net

@@ -1,0 +1,44 @@
+// Degree-based power-law Internet topology generator.
+//
+// Stand-in for Inet-3.0 (Winick & Jamin), which the paper uses to generate a
+// 3200-node power-law graph for the IP layer. Like Inet, the generator:
+//   1. draws a degree sequence from a discrete power law P(d) ∝ d^-gamma,
+//   2. builds a spanning tree by preferential attachment (new nodes attach
+//      to existing nodes with probability proportional to remaining degree
+//      stubs) so the graph is always connected,
+//   3. fills remaining degree stubs by stub matching, skipping self-loops
+//      and duplicate edges.
+// Link delays and capacities are drawn uniformly from configured ranges.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace acp::net {
+
+struct TopologyConfig {
+  std::size_t node_count = 3200;   ///< paper: 3200-node IP graph
+  double power_law_exponent = 2.2; ///< gamma for P(d) ∝ d^-gamma
+  std::size_t min_degree = 1;
+  std::size_t max_degree = 100;    ///< cap to keep hubs realistic
+  double min_delay_ms = 1.0;       ///< per-IP-link propagation delay range
+  double max_delay_ms = 20.0;
+  double min_capacity_kbps = 10'000.0;   ///< 10 Mbps
+  double max_capacity_kbps = 100'000.0;  ///< 100 Mbps
+};
+
+/// Generates a connected power-law graph. Deterministic given the Rng state.
+Graph generate_power_law_topology(const TopologyConfig& config, util::Rng& rng);
+
+/// Draws one degree from the truncated discrete power law in `config`.
+/// Exposed for tests of the degree distribution.
+std::size_t sample_power_law_degree(const TopologyConfig& config, util::Rng& rng);
+
+/// Fits the slope of log(count) vs log(degree) of the graph's degree
+/// histogram via least squares; a power-law graph yields a clearly negative
+/// slope. Exposed so tests can assert the generated shape.
+double estimate_power_law_slope(const Graph& g);
+
+}  // namespace acp::net

@@ -1,0 +1,62 @@
+#include "sim/counters.h"
+
+namespace acp::sim {
+
+void CounterSet::add(const std::string& name, std::uint64_t n) { counts_[name] += n; }
+
+std::uint64_t CounterSet::total(const std::string& name) const {
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t CounterSet::grand_total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : counts_) {
+    (void)k;
+    sum += v;
+  }
+  return sum;
+}
+
+std::map<std::string, std::uint64_t> CounterSet::snapshot() const { return counts_; }
+
+void CounterSet::begin_window(SimTime t) {
+  window_start_ = t;
+  window_start_counts_ = counts_;
+}
+
+std::uint64_t CounterSet::window_count(const std::string& name) const {
+  const auto it = window_start_counts_.find(name);
+  const std::uint64_t start = it == window_start_counts_.end() ? 0 : it->second;
+  return total(name) - start;
+}
+
+std::uint64_t CounterSet::window_grand_count() const {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : counts_) {
+    const auto it = window_start_counts_.find(k);
+    const std::uint64_t start = it == window_start_counts_.end() ? 0 : it->second;
+    sum += v - start;
+  }
+  return sum;
+}
+
+double CounterSet::window_rate_per_minute(const std::string& name, SimTime t) const {
+  const double span = t - window_start_;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(window_count(name)) * 60.0 / span;
+}
+
+double CounterSet::window_grand_rate_per_minute(SimTime t) const {
+  const double span = t - window_start_;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(window_grand_count()) * 60.0 / span;
+}
+
+void CounterSet::reset() {
+  counts_.clear();
+  window_start_counts_.clear();
+  window_start_ = 0.0;
+}
+
+}  // namespace acp::sim

@@ -1,0 +1,64 @@
+// Named message/operation counters with time-window sampling.
+//
+// The paper's "overhead" metric is messages per minute, broken down by kind
+// (probes, global-state updates, confirmations, ...). CounterSet gives each
+// kind a named counter and can compute per-minute rates over a window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace acp::sim {
+
+class CounterSet {
+ public:
+  /// Adds `n` to counter `name` (created on first use).
+  void add(const std::string& name, std::uint64_t n = 1);
+
+  /// Total since construction (0 for unknown names).
+  std::uint64_t total(const std::string& name) const;
+
+  /// Sum of totals across all counters.
+  std::uint64_t grand_total() const;
+
+  /// Snapshot of all counter totals.
+  std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Marks the start of a measurement window at simulated time `t`.
+  void begin_window(SimTime t);
+
+  /// Counter delta since begin_window().
+  std::uint64_t window_count(const std::string& name) const;
+
+  /// Sum of deltas across all counters since begin_window().
+  std::uint64_t window_grand_count() const;
+
+  /// Rate in events/minute since begin_window(), evaluated at time `t`.
+  /// Returns 0 when the window has zero width.
+  double window_rate_per_minute(const std::string& name, SimTime t) const;
+  double window_grand_rate_per_minute(SimTime t) const;
+
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::map<std::string, std::uint64_t> window_start_counts_;
+  SimTime window_start_ = 0.0;
+};
+
+/// Well-known counter names shared across modules, so experiment code and
+/// tests agree on spelling.
+namespace counter {
+inline constexpr const char* kProbe = "probe_messages";
+inline constexpr const char* kGlobalStateUpdate = "global_state_updates";
+inline constexpr const char* kAggregationUpdate = "aggregation_updates";
+inline constexpr const char* kConfirmation = "confirmation_messages";
+inline constexpr const char* kDiscovery = "discovery_lookups";
+inline constexpr const char* kLocalRefresh = "local_state_refresh";
+}  // namespace counter
+
+}  // namespace acp::sim

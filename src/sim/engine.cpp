@@ -1,0 +1,65 @@
+#include "sim/engine.h"
+
+namespace acp::sim {
+
+EventId Engine::schedule_at(SimTime at, Callback cb) {
+  ACP_REQUIRE_MSG(at >= now_, "cannot schedule events in the past");
+  ACP_REQUIRE(cb != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Engine::pop_next(Scheduled& out) {
+  while (!queue_.empty()) {
+    Scheduled top = queue_.top();
+    queue_.pop();
+    if (callbacks_.count(top.id)) {
+      out = top;
+      return true;
+    }
+    // Cancelled entry: skip (lazy deletion).
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Scheduled ev;
+  if (!pop_next(ev)) return false;
+  now_ = ev.at;
+  auto it = callbacks_.find(ev.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  ++fired_;
+  cb();
+  return true;
+}
+
+std::uint64_t Engine::run_until(SimTime until) {
+  ACP_REQUIRE(until >= now_);
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without consuming live ones after `until`.
+    Scheduled top = queue_.top();
+    if (!callbacks_.count(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    step();
+    ++n;
+  }
+  now_ = until;
+  return n;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace acp::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation engine.
+//
+// The whole reproduction is driven by this engine: request arrivals, probe
+// hops (delayed by overlay-link latency), transient-reservation timeouts,
+// state-update ticks, session teardowns, and sampling ticks are all events.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonic sequence number breaks ties), so a fixed RNG seed reproduces a
+// run exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Handle that allows cancelling a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time (seconds since simulation start).
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to fire at absolute time `at` (>= now()).
+  EventId schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` to fire `delay` seconds from now (delay >= 0).
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns false if it already fired, was
+  /// cancelled before, or never existed. O(1) via lazy deletion.
+  bool cancel(EventId id);
+
+  /// Runs events with timestamp <= `until` (inclusive), then advances the
+  /// clock to `until`. Returns the number of events run.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs all remaining events. Returns the number of events run.
+  std::uint64_t run();
+
+  /// Fires exactly one event if any is pending; returns false if idle.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return callbacks_.size(); }
+
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Scheduled {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Scheduled& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;  // FIFO among same-time events
+    }
+  };
+
+  /// Pops the next live (non-cancelled) entry; false if none remain.
+  bool pop_next(Scheduled& out);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<Scheduled>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace acp::sim

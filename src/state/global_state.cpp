@@ -1,0 +1,132 @@
+#include "state/global_state.h"
+
+#include <cmath>
+
+namespace acp::state {
+
+// Queryable coarse view over the published copies.
+class GlobalStateManager::CoarseView final : public stream::StateView {
+ public:
+  explicit CoarseView(const GlobalStateManager& m) : m_(m) {}
+
+  stream::ResourceVector node_available(stream::NodeId node, double /*now*/) const override {
+    ACP_REQUIRE(node < m_.node_avail_.size());
+    return m_.node_avail_[node];
+  }
+
+  double link_available_kbps(net::OverlayLinkIndex l, double /*now*/) const override {
+    ACP_REQUIRE(l < m_.link_avail_.size());
+    return m_.link_avail_[l];
+  }
+
+  stream::QoSVector component_qos(stream::ComponentId c, double /*now*/) const override {
+    // Component QoS profiles are static in the simulated system, so the
+    // coarse copy is exact; the update path still exists for resources.
+    return m_.sys_->component(c).qos;
+  }
+
+  stream::QoSVector link_qos(net::OverlayLinkIndex l, double /*now*/) const override {
+    const auto& link = m_.sys_->mesh().link(l);
+    return stream::QoSVector::from_additive(link.delay_ms, link.additive_loss);
+  }
+
+ private:
+  const GlobalStateManager& m_;
+};
+
+GlobalStateManager::GlobalStateManager(const stream::StreamSystem& sys, sim::Engine& engine,
+                                       sim::CounterSet& counters, GlobalStateConfig config)
+    : sys_(&sys), engine_(&engine), counters_(&counters), config_(config) {
+  ACP_REQUIRE(config_.check_interval_s > 0.0);
+  ACP_REQUIRE(config_.threshold_fraction >= 0.0 && config_.threshold_fraction <= 1.0);
+  ACP_REQUIRE(config_.aggregation_publish_interval_s > 0.0);
+  node_avail_.resize(sys.node_count());
+  link_avail_.resize(sys.mesh().link_count());
+  agg_link_avail_.resize(sys.mesh().link_count());
+  link_reported_.resize(sys.mesh().link_count());
+  view_ = std::make_unique<CoarseView>(*this);
+}
+
+GlobalStateManager::~GlobalStateManager() = default;
+
+const stream::StateView& GlobalStateManager::view() const { return *view_; }
+
+void GlobalStateManager::start() {
+  ACP_REQUIRE_MSG(!started_, "start() may only be called once");
+  started_ = true;
+  const double now = engine_->now();
+  // Seed every copy from ground truth — a fresh system announces itself.
+  for (stream::NodeId n = 0; n < node_avail_.size(); ++n) {
+    node_avail_[n] = sys_->node_pool(n).available(now);
+  }
+  for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); ++l) {
+    const double avail = sys_->link_pool(l).available(now);
+    link_avail_[l] = avail;
+    agg_link_avail_[l] = avail;
+    link_reported_[l] = avail;
+  }
+  schedule_check();
+  schedule_publish();
+}
+
+void GlobalStateManager::schedule_check() {
+  engine_->schedule_after(config_.check_interval_s, [this] {
+    run_check_sweep();
+    schedule_check();
+  });
+}
+
+void GlobalStateManager::schedule_publish() {
+  engine_->schedule_after(config_.aggregation_publish_interval_s, [this] {
+    run_publish();
+    schedule_publish();
+  });
+}
+
+void GlobalStateManager::run_check_sweep() {
+  const double now = engine_->now();
+
+  // Node resource states: push to global state when any dimension moved by
+  // more than threshold * capacity since the last report.
+  for (stream::NodeId n = 0; n < node_avail_.size(); ++n) {
+    const stream::ResourceVector live = sys_->node_pool(n).available(now);
+    const stream::ResourceVector& cap = sys_->node_pool(n).capacity();
+    bool significant = false;
+    for (std::size_t k = 0; k < stream::kResourceDims; ++k) {
+      const double delta = std::abs(live.dim(k) - node_avail_[n].dim(k));
+      if (delta > config_.threshold_fraction * cap.dim(k)) {
+        significant = true;
+        break;
+      }
+    }
+    if (significant) {
+      node_avail_[n] = live;
+      counters_->add(sim::counter::kGlobalStateUpdate);
+    }
+  }
+
+  // Overlay-link states: owners report significant changes to the
+  // aggregation node (not yet visible to queries until the next publish).
+  for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); ++l) {
+    const double live = sys_->link_pool(l).available(now);
+    const double cap = sys_->link_pool(l).capacity();
+    if (std::abs(live - link_reported_[l]) > config_.threshold_fraction * cap) {
+      link_reported_[l] = live;
+      agg_link_avail_[l] = live;
+      counters_->add(sim::counter::kAggregationUpdate);
+    }
+  }
+}
+
+void GlobalStateManager::run_publish() {
+  // The aggregation node folds its collected link states into the global
+  // state (one bulk update message) and the role rotates for load sharing.
+  link_avail_ = agg_link_avail_;
+  counters_->add(sim::counter::kGlobalStateUpdate);
+  if (config_.rotate_aggregation_node && sys_->node_count() > 0) {
+    aggregation_node_ =
+        static_cast<stream::NodeId>((aggregation_node_ + 1) % sys_->node_count());
+  }
+}
+
+}  // namespace acp::state

@@ -1,0 +1,96 @@
+// Coarse-grain global state maintenance (paper Sec. 3.2).
+//
+// Every node measures its own QoS/resource state frequently but only pushes
+// an update into the global state when the change since its last report
+// exceeds a threshold (the paper triggers at 10% of a metric's maximum
+// value) — insignificant variations are filtered out. Overlay-link states
+// flow to a rotating *aggregation node*, which periodically publishes them
+// so virtual-link (per-pair) properties can be derived; all other nodes
+// query the published copy.
+//
+// The resulting CoarseStateView is what ACP's candidate selection consults:
+// cheap to query, possibly stale — precise state comes from probes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/counters.h"
+#include "sim/engine.h"
+#include "stream/state_view.h"
+#include "stream/system.h"
+
+namespace acp::state {
+
+struct GlobalStateConfig {
+  /// How often nodes compare their live state against their last report.
+  double check_interval_s = 10.0;
+  /// Update trigger: |live - reported| > threshold_fraction * capacity on
+  /// any dimension (paper: 10% of the maximum value).
+  double threshold_fraction = 0.10;
+  /// How often the aggregation node publishes collected link states into
+  /// the globally queryable copy. (The paper recomputes the all-pairs
+  /// virtual-link table at a long period — e.g. 10 minutes; we derive
+  /// per-pair state on demand from published per-link states, so this is
+  /// the publish period of those link states.)
+  double aggregation_publish_interval_s = 120.0;
+  /// Aggregation role rotation: round-robin each publish period.
+  bool rotate_aggregation_node = true;
+};
+
+class GlobalStateManager {
+ public:
+  /// Registers with `engine` but does not start ticking until start().
+  GlobalStateManager(const stream::StreamSystem& sys, sim::Engine& engine,
+                     sim::CounterSet& counters, GlobalStateConfig config = {});
+  ~GlobalStateManager();
+
+  GlobalStateManager(const GlobalStateManager&) = delete;
+  GlobalStateManager& operator=(const GlobalStateManager&) = delete;
+
+  /// Seeds the global state from current ground truth and schedules the
+  /// periodic check/publish ticks.
+  void start();
+
+  /// The coarse, possibly stale view that composition logic queries.
+  const stream::StateView& view() const;
+
+  /// Which node currently plays the aggregation role.
+  stream::NodeId aggregation_node() const { return aggregation_node_; }
+
+  const GlobalStateConfig& config() const { return config_; }
+
+  /// Forces one check sweep right now (normally driven by the tick). Counts
+  /// update messages exactly like the periodic path. Exposed for tests.
+  void run_check_sweep();
+
+  /// Forces an aggregation publish right now. Exposed for tests.
+  void run_publish();
+
+ private:
+  class CoarseView;
+
+  void schedule_check();
+  void schedule_publish();
+
+  const stream::StreamSystem* sys_;
+  sim::Engine* engine_;
+  sim::CounterSet* counters_;
+  GlobalStateConfig config_;
+
+  // Published (queryable) coarse copies.
+  std::vector<stream::ResourceVector> node_avail_;
+  std::vector<double> link_avail_;
+
+  // Link states collected at the aggregation node since the last publish
+  // (threshold-updated by link owners, fresher than the published copy).
+  std::vector<double> agg_link_avail_;
+  // Last value each owner reported for its link (threshold baseline).
+  std::vector<double> link_reported_;
+
+  stream::NodeId aggregation_node_ = 0;
+  bool started_ = false;
+  std::unique_ptr<CoarseView> view_;
+};
+
+}  // namespace acp::state

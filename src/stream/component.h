@@ -1,0 +1,20 @@
+// A deployed stream processing component instance: one atomic function
+// hosted on one stream processing node, with its own QoS profile
+// (processing delay; loss under overload). Components are placed at system
+// build time; composition selects among the current placement (paper
+// footnote 1).
+#pragma once
+
+#include "stream/qos.h"
+#include "stream/types.h"
+
+namespace acp::stream {
+
+struct Component {
+  ComponentId id = kNoComponent;
+  FunctionId function = kNoFunction;
+  NodeId node = 0;
+  QoSVector qos;  ///< [processing delay, loss] of this provider instance
+};
+
+}  // namespace acp::stream

@@ -1,0 +1,188 @@
+#include "stream/component_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace acp::stream {
+
+ComponentGraph::ComponentGraph(const FunctionGraph& fg)
+    : fg_(&fg), assignment_(fg.node_count(), kNoComponent) {}
+
+void ComponentGraph::assign(FnNodeIndex fn, ComponentId c) {
+  ACP_REQUIRE(fn < assignment_.size());
+  assignment_[fn] = c;
+}
+
+bool ComponentGraph::is_assigned(FnNodeIndex fn) const {
+  ACP_REQUIRE(fn < assignment_.size());
+  return assignment_[fn] != kNoComponent;
+}
+
+bool ComponentGraph::fully_assigned() const {
+  return std::none_of(assignment_.begin(), assignment_.end(),
+                      [](ComponentId c) { return c == kNoComponent; });
+}
+
+ComponentId ComponentGraph::component_at(FnNodeIndex fn) const {
+  ACP_REQUIRE(fn < assignment_.size());
+  ACP_REQUIRE_MSG(assignment_[fn] != kNoComponent, "function node not assigned");
+  return assignment_[fn];
+}
+
+std::vector<ComponentId> ComponentGraph::components() const {
+  std::vector<ComponentId> out;
+  for (ComponentId c : assignment_) {
+    if (c != kNoComponent) out.push_back(c);
+  }
+  return out;
+}
+
+bool ComponentGraph::functions_match(const StreamSystem& sys) const {
+  for (FnNodeIndex i = 0; i < assignment_.size(); ++i) {
+    if (assignment_[i] == kNoComponent) return false;
+    if (sys.component(assignment_[i]).function != fg_->node(i).function) return false;
+  }
+  return true;
+}
+
+QoSVector ComponentGraph::path_qos(const StreamSystem& sys, const StateView& view,
+                                   const std::vector<FnNodeIndex>& path, double now) const {
+  QoSVector q;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const ComponentId c = component_at(path[i]);
+    q += view.component_qos(c, now);
+    if (i + 1 < path.size()) {
+      const ComponentId next = component_at(path[i + 1]);
+      q += view.virtual_link_qos(sys.mesh(), sys.component(c).node, sys.component(next).node, now);
+    }
+  }
+  return q;
+}
+
+bool ComponentGraph::satisfies_qos(const StreamSystem& sys, const StateView& view,
+                                   const QoSVector& req, double now) const {
+  for (const auto& path : fg_->enumerate_paths()) {
+    if (!path_qos(sys, view, path, now).satisfies(req)) return false;
+  }
+  return true;
+}
+
+std::map<NodeId, ResourceVector> ComponentGraph::demand_by_node(const StreamSystem& sys) const {
+  std::map<NodeId, ResourceVector> demand;
+  for (FnNodeIndex i = 0; i < assignment_.size(); ++i) {
+    const NodeId node = sys.component(component_at(i)).node;
+    demand[node] += fg_->node(i).required;
+  }
+  return demand;
+}
+
+std::map<net::OverlayLinkIndex, double> ComponentGraph::bandwidth_by_link(
+    const StreamSystem& sys) const {
+  std::map<net::OverlayLinkIndex, double> demand;
+  for (FnEdgeIndex e = 0; e < fg_->edge_count(); ++e) {
+    const FnEdge& edge = fg_->edge(static_cast<FnEdgeIndex>(e));
+    const NodeId a = sys.component(component_at(edge.from)).node;
+    const NodeId b = sys.component(component_at(edge.to)).node;
+    if (a == b) continue;  // co-located: no bandwidth consumed
+    for (net::OverlayLinkIndex l : sys.mesh().virtual_link_path(a, b)) {
+      demand[l] += edge.required_bandwidth_kbps;
+    }
+  }
+  return demand;
+}
+
+bool ComponentGraph::resources_feasible(const StreamSystem& sys, const StateView& view,
+                                        double now) const {
+  for (const auto& [node, demand] : demand_by_node(sys)) {
+    if (!demand.fits_within(view.node_available(node, now))) return false;
+  }
+  for (const auto& [link, kbps] : bandwidth_by_link(sys)) {
+    if (kbps > view.link_available_kbps(link, now)) return false;
+  }
+  return true;
+}
+
+double ComponentGraph::congestion_aggregation(const StreamSystem& sys, const StateView& view,
+                                              double now) const {
+  ACP_REQUIRE(fully_assigned());
+  double phi = 0.0;
+
+  // Node terms: residual on each node accounts for the composition's entire
+  // demand there (footnote 5), then each component contributes
+  // Σ_k r_k / (rr_k + r_k).
+  const auto node_demand = demand_by_node(sys);
+  for (FnNodeIndex i = 0; i < assignment_.size(); ++i) {
+    const NodeId node = sys.component(component_at(i)).node;
+    const ResourceVector avail = view.node_available(node, now);
+    const ResourceVector residual = avail - node_demand.at(node);
+    phi += congestion_terms(fg_->node(i).required, residual);
+  }
+
+  // Virtual-link terms: b / (rb + b) where rb is the bottleneck residual
+  // along the virtual link after all of this composition's link demands.
+  const auto link_demand = bandwidth_by_link(sys);
+  for (FnEdgeIndex e = 0; e < fg_->edge_count(); ++e) {
+    const FnEdge& edge = fg_->edge(e);
+    const NodeId a = sys.component(component_at(edge.from)).node;
+    const NodeId b = sys.component(component_at(edge.to)).node;
+    if (a == b) continue;  // rb = ∞ ⇒ term = 0 (footnote 8)
+    double residual = std::numeric_limits<double>::infinity();
+    for (net::OverlayLinkIndex l : sys.mesh().virtual_link_path(a, b)) {
+      residual = std::min(residual, view.link_available_kbps(l, now) - link_demand.at(l));
+    }
+    phi += congestion_term(edge.required_bandwidth_kbps, residual);
+  }
+  return phi;
+}
+
+bool ComponentGraph::satisfies_policy(const StreamSystem& sys,
+                                      const PolicyConstraint& policy) const {
+  if (policy.is_permissive()) return true;
+  for (ComponentId c : assignment_) {
+    if (c == kNoComponent) return false;
+    if (!policy.admits(sys.component_attributes(c))) return false;
+  }
+  return true;
+}
+
+bool ComponentGraph::interfaces_compatible(const StreamSystem& sys) const {
+  const auto& catalog = sys.catalog();
+  for (FnEdgeIndex e = 0; e < fg_->edge_count(); ++e) {
+    const FnEdge& edge = fg_->edge(e);
+    if (!catalog.compatible(fg_->node(edge.from).function, fg_->node(edge.to).function)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ComponentGraph::qualified(const StreamSystem& sys, const StateView& view,
+                               const QoSVector& qos_req, double now) const {
+  return fully_assigned() && functions_match(sys) && interfaces_compatible(sys) &&
+         satisfies_qos(sys, view, qos_req, now) && resources_feasible(sys, view, now);
+}
+
+bool ComponentGraph::qualified(const StreamSystem& sys, const StateView& view,
+                               const QoSVector& qos_req, const PolicyConstraint& policy,
+                               double now) const {
+  return satisfies_policy(sys, policy) && qualified(sys, view, qos_req, now);
+}
+
+std::string ComponentGraph::to_string(const StreamSystem& sys) const {
+  std::ostringstream os;
+  os << "λ{";
+  for (FnNodeIndex i = 0; i < assignment_.size(); ++i) {
+    if (i) os << ", ";
+    os << i << "→";
+    if (assignment_[i] == kNoComponent) {
+      os << "∅";
+    } else {
+      os << "c" << assignment_[i] << "@n" << sys.component(assignment_[i]).node;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace acp::stream

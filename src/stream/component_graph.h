@@ -1,0 +1,102 @@
+// ComponentGraph — a composed stream processing application λ = (C, L).
+//
+// Maps every node of a FunctionGraph to a concrete component; virtual links
+// are implied by the chosen components' host nodes (delay-shortest overlay
+// paths). Provides the paper's evaluation primitives:
+//
+//   * accumulated QoS along each source→sink path (Eq. 3 check)
+//   * residual-resource feasibility (Eq. 4, 5)
+//   * the congestion aggregation metric φ(λ) (Eq. 1), co-location aware
+//     (footnotes 4, 5, 8)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/component.h"
+#include "stream/function_graph.h"
+#include "stream/state_view.h"
+#include "stream/system.h"
+
+namespace acp::stream {
+
+class ComponentGraph {
+ public:
+  /// An unassigned graph over `fg`; the graph must outlive this object.
+  explicit ComponentGraph(const FunctionGraph& fg);
+
+  const FunctionGraph& function_graph() const { return *fg_; }
+
+  /// Assigns function node `fn` to component `c` (must provide fn's
+  /// function; checked against `sys` on evaluation, not here).
+  void assign(FnNodeIndex fn, ComponentId c);
+
+  bool is_assigned(FnNodeIndex fn) const;
+  bool fully_assigned() const;
+  ComponentId component_at(FnNodeIndex fn) const;
+
+  /// Distinct components in the composition (Eq. 2 requires one per fn).
+  std::vector<ComponentId> components() const;
+
+  // ---- Evaluation (all read-only against a StateView) ---------------------
+
+  /// Eq. 2: every assigned component provides the requested function.
+  bool functions_match(const StreamSystem& sys) const;
+
+  /// Interface compatibility: along every dependency edge, the upstream
+  /// function's output format feeds the downstream function's input format
+  /// (the paper's input/output stream-rate compatibility check). A property
+  /// of the function graph; template-generated requests satisfy it by
+  /// construction.
+  bool interfaces_compatible(const StreamSystem& sys) const;
+
+  /// Accumulated QoS of one source→sink path (components + virtual links).
+  QoSVector path_qos(const StreamSystem& sys, const StateView& view,
+                     const std::vector<FnNodeIndex>& path, double now) const;
+
+  /// Eq. 3: every source→sink path's accumulated QoS satisfies `req`.
+  bool satisfies_qos(const StreamSystem& sys, const StateView& view, const QoSVector& req,
+                     double now) const;
+
+  /// Eq. 4 + 5: per-node aggregated demand fits available resources and
+  /// per-overlay-link aggregated bandwidth demand fits available bandwidth.
+  /// Demand aggregation makes this co-location correct: two components of
+  /// this request on one node must jointly fit (footnote 5).
+  bool resources_feasible(const StreamSystem& sys, const StateView& view, double now) const;
+
+  /// Eq. 1: congestion aggregation φ(λ). Lower is better. Uses residual
+  /// resources (available minus this composition's total demand on each
+  /// node/link). Components co-located with their neighbor contribute no
+  /// bandwidth term. Requires fully_assigned().
+  double congestion_aggregation(const StreamSystem& sys, const StateView& view, double now) const;
+
+  /// Every assigned component satisfies the request's security/license
+  /// policy (extension: paper Sec. 6 future-work constraints).
+  bool satisfies_policy(const StreamSystem& sys, const PolicyConstraint& policy) const;
+
+  /// All constraint checks at once (Eqs. 2–5).
+  bool qualified(const StreamSystem& sys, const StateView& view, const QoSVector& qos_req,
+                 double now) const;
+
+  /// Eqs. 2–5 plus the policy constraint.
+  bool qualified(const StreamSystem& sys, const StateView& view, const QoSVector& qos_req,
+                 const PolicyConstraint& policy, double now) const;
+
+  /// Per-node total resource demand of this composition (exposed for tests
+  /// and for the commit path).
+  std::map<NodeId, ResourceVector> demand_by_node(const StreamSystem& sys) const;
+
+  /// Per-overlay-link total bandwidth demand (exposed for tests/commit).
+  std::map<net::OverlayLinkIndex, double> bandwidth_by_link(const StreamSystem& sys) const;
+
+  bool operator==(const ComponentGraph& o) const { return assignment_ == o.assignment_; }
+
+  std::string to_string(const StreamSystem& sys) const;
+
+ private:
+  const FunctionGraph* fg_;
+  std::vector<ComponentId> assignment_;  ///< per fn node; kNoComponent if unset
+};
+
+}  // namespace acp::stream

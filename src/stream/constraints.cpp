@@ -1,0 +1,42 @@
+#include "stream/constraints.h"
+
+#include <sstream>
+
+namespace acp::stream {
+
+const char* to_string(SecurityLevel level) {
+  switch (level) {
+    case SecurityLevel::kOpen: return "open";
+    case SecurityLevel::kBasic: return "basic";
+    case SecurityLevel::kHardened: return "hardened";
+    case SecurityLevel::kCertified: return "certified";
+  }
+  return "?";
+}
+
+const char* to_string(LicenseClass license) {
+  switch (license) {
+    case LicenseClass::kPermissive: return "permissive";
+    case LicenseClass::kCopyleft: return "copyleft";
+    case LicenseClass::kCommercial: return "commercial";
+    case LicenseClass::kEvaluation: return "evaluation";
+  }
+  return "?";
+}
+
+std::string PolicyConstraint::to_string() const {
+  std::ostringstream os;
+  os << "Policy{security>=" << stream::to_string(min_security_) << ", licenses:";
+  bool first = true;
+  for (std::size_t i = 0; i < kLicenseClassCount; ++i) {
+    const auto c = static_cast<LicenseClass>(i);
+    if (license_allowed(c)) {
+      os << (first ? " " : ", ") << stream::to_string(c);
+      first = false;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace acp::stream

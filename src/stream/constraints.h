@@ -1,0 +1,96 @@
+// Application-specific composition constraints (paper Sec. 6, future work
+// item 2: "supporting other application specific constraints (e.g.,
+// security level, software licence) in component composition").
+//
+// Each deployed component carries attributes: a security level and a
+// license class. A request may demand a minimum security level and
+// restrict acceptable license classes; candidates failing the policy are
+// filtered exactly like QoS/resource-unqualified ones (per-hop and at
+// final qualification).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace acp::stream {
+
+/// Security level of a component's execution environment, ordered.
+enum class SecurityLevel : std::uint8_t {
+  kOpen = 0,       ///< no isolation guarantees
+  kBasic = 1,      ///< process isolation
+  kHardened = 2,   ///< sandboxed, attested host
+  kCertified = 3,  ///< certified/audited deployment
+};
+
+/// License classes a component binary may be distributed under.
+enum class LicenseClass : std::uint8_t {
+  kPermissive = 0,   ///< MIT/BSD-style
+  kCopyleft = 1,     ///< GPL-style
+  kCommercial = 2,   ///< proprietary, per-seat
+  kEvaluation = 3,   ///< time-limited evaluation
+};
+
+inline constexpr std::size_t kLicenseClassCount = 4;
+
+/// Attributes attached to every deployed component.
+struct ComponentAttributes {
+  SecurityLevel security = SecurityLevel::kOpen;
+  LicenseClass license = LicenseClass::kPermissive;
+};
+
+/// A request's policy constraint. The default accepts everything, so
+/// policy-free workloads behave exactly as the paper's evaluation.
+class PolicyConstraint {
+ public:
+  PolicyConstraint() = default;
+
+  /// Requires candidates to have at least this security level.
+  void require_security(SecurityLevel min_level) { min_security_ = min_level; }
+
+  /// Restricts acceptable licenses to the given classes. Calling with an
+  /// empty list resets to accept-all.
+  void allow_licenses(std::initializer_list<LicenseClass> classes) {
+    if (classes.size() == 0) {
+      license_mask_ = kAllLicenses;
+      return;
+    }
+    license_mask_ = 0;
+    for (LicenseClass c : classes) license_mask_ |= bit(c);
+  }
+
+  SecurityLevel min_security() const { return min_security_; }
+
+  bool license_allowed(LicenseClass c) const { return (license_mask_ & bit(c)) != 0; }
+
+  /// True when `attrs` satisfies this policy.
+  bool admits(const ComponentAttributes& attrs) const {
+    return static_cast<std::uint8_t>(attrs.security) >=
+               static_cast<std::uint8_t>(min_security_) &&
+           license_allowed(attrs.license);
+  }
+
+  /// True when the policy accepts every component (the default).
+  bool is_permissive() const {
+    return min_security_ == SecurityLevel::kOpen && license_mask_ == kAllLicenses;
+  }
+
+  std::string to_string() const;
+
+ private:
+  static constexpr std::uint8_t kAllLicenses = (1u << kLicenseClassCount) - 1;
+  static std::uint8_t bit(LicenseClass c) {
+    const auto i = static_cast<std::uint8_t>(c);
+    ACP_REQUIRE(i < kLicenseClassCount);
+    return static_cast<std::uint8_t>(1u << i);
+  }
+
+  SecurityLevel min_security_ = SecurityLevel::kOpen;
+  std::uint8_t license_mask_ = kAllLicenses;
+};
+
+const char* to_string(SecurityLevel level);
+const char* to_string(LicenseClass license);
+
+}  // namespace acp::stream

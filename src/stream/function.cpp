@@ -1,0 +1,55 @@
+#include "stream/function.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace acp::stream {
+
+namespace {
+// Name stems matching the paper's examples of atomic stream functions.
+constexpr std::array<const char*, 10> kNameStems = {
+    "filter",    "aggregate", "correlate", "transcode", "split",
+    "join",      "classify",  "detect",    "annotate",  "compress",
+};
+}  // namespace
+
+FunctionCatalog FunctionCatalog::generate(std::size_t count, util::Rng& rng) {
+  ACP_REQUIRE(count >= 1);
+  FunctionCatalog cat;
+  // A small pool of formats (≈ count/8) gives each function several
+  // compatible successors, so random graph templates remain well-formed.
+  cat.format_count_ = std::max<std::size_t>(2, count / 8);
+  cat.specs_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FunctionSpec s;
+    s.id = static_cast<FunctionId>(i);
+    s.name = std::string(kNameStems[i % kNameStems.size()]) + "_" + std::to_string(i);
+    // Round-robin input formats guarantee every format has acceptors, so
+    // template generation can always extend a chain; outputs are random.
+    s.input_format = static_cast<FormatId>(i % cat.format_count_);
+    s.output_format = static_cast<FormatId>(rng.below(cat.format_count_));
+    s.rate_factor = rng.uniform(0.5, 1.5);
+    cat.specs_.push_back(std::move(s));
+  }
+  return cat;
+}
+
+const FunctionSpec& FunctionCatalog::spec(FunctionId f) const {
+  ACP_REQUIRE(f < specs_.size());
+  return specs_[f];
+}
+
+bool FunctionCatalog::compatible(FunctionId upstream, FunctionId downstream) const {
+  return spec(upstream).output_format == spec(downstream).input_format;
+}
+
+std::vector<FunctionId> FunctionCatalog::functions_accepting(FormatId fmt) const {
+  std::vector<FunctionId> out;
+  for (const auto& s : specs_) {
+    if (s.input_format == fmt) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace acp::stream

@@ -1,0 +1,57 @@
+// Catalog of atomic stream processing functions.
+//
+// The paper predefines 80 functions (filtering, aggregation, correlation,
+// audio/video analysis, ...). Each function has an interface: an input
+// format, an output format, and a rate factor (output stream rate as a
+// multiple of input rate). Two adjacent components are compatible when the
+// upstream component's output format matches the downstream's input format —
+// the paper's "input/output stream rate compatibility" check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/types.h"
+#include "util/rng.h"
+
+namespace acp::stream {
+
+/// Opaque data format token; formats are compatible iff equal.
+using FormatId = std::uint32_t;
+
+struct FunctionSpec {
+  FunctionId id = 0;
+  std::string name;
+  FormatId input_format = 0;
+  FormatId output_format = 0;
+  /// Output stream rate = input rate * rate_factor (e.g. filters < 1,
+  /// decoders > 1).
+  double rate_factor = 1.0;
+};
+
+class FunctionCatalog {
+ public:
+  /// Builds a catalog of `count` functions with randomized interface specs.
+  /// Names follow the paper's examples (filter_0, aggregate_1, ...).
+  static FunctionCatalog generate(std::size_t count, util::Rng& rng);
+
+  std::size_t size() const { return specs_.size(); }
+  const FunctionSpec& spec(FunctionId f) const;
+
+  /// True when `upstream`'s output can feed `downstream`'s input.
+  bool compatible(FunctionId upstream, FunctionId downstream) const;
+
+  /// All functions whose input format equals `fmt` — used by template
+  /// generation to build well-formed function graphs.
+  std::vector<FunctionId> functions_accepting(FormatId fmt) const;
+
+  /// Number of distinct format tokens in use.
+  std::size_t format_count() const { return format_count_; }
+
+ private:
+  std::vector<FunctionSpec> specs_;
+  std::size_t format_count_ = 0;
+};
+
+}  // namespace acp::stream

@@ -1,0 +1,96 @@
+// Function graphs — the paper's stream processing request templates.
+//
+// A function graph ξ is a DAG of function nodes connected by dependency
+// links (Fig. 1(c)). The paper's workload draws each request's graph from 20
+// predefined application templates; each graph is either a linear path or a
+// DAG with two branch paths (split after the source, merge at the sink),
+// with 2–5 functions per path.
+//
+// Each function node carries the per-request end-system resource demand
+// R^ci; each dependency edge carries the bandwidth demand b^li of the
+// virtual link that will realize it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/function.h"
+#include "stream/resources.h"
+#include "stream/types.h"
+#include "util/error.h"
+
+namespace acp::stream {
+
+/// Index of a node within one FunctionGraph.
+using FnNodeIndex = std::uint32_t;
+/// Index of an edge within one FunctionGraph.
+using FnEdgeIndex = std::uint32_t;
+
+struct FnNode {
+  FunctionId function = kNoFunction;
+  ResourceVector required;  ///< R^ci — per-request demand for this function
+};
+
+struct FnEdge {
+  FnNodeIndex from = 0;
+  FnNodeIndex to = 0;
+  double required_bandwidth_kbps = 0.0;  ///< b^li
+};
+
+class FunctionGraph {
+ public:
+  FunctionGraph() = default;
+
+  FnNodeIndex add_node(FunctionId f, const ResourceVector& required);
+  FnEdgeIndex add_edge(FnNodeIndex from, FnNodeIndex to, double bandwidth_kbps);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const FnNode& node(FnNodeIndex i) const;
+  FnNode& node(FnNodeIndex i);
+  const FnEdge& edge(FnEdgeIndex i) const;
+
+  const std::vector<FnEdgeIndex>& out_edges(FnNodeIndex i) const;
+  const std::vector<FnEdgeIndex>& in_edges(FnNodeIndex i) const;
+
+  /// Successor node indices (the paper's "next-hop functions").
+  std::vector<FnNodeIndex> successors(FnNodeIndex i) const;
+
+  /// Nodes with no predecessors / no successors.
+  std::vector<FnNodeIndex> sources() const;
+  std::vector<FnNodeIndex> sinks() const;
+
+  /// True when the graph is a single linear chain.
+  bool is_path() const;
+
+  /// True iff acyclic (always the case for generated templates; checked on
+  /// arbitrary user input).
+  bool is_dag() const;
+
+  /// Topological order; requires is_dag().
+  std::vector<FnNodeIndex> topological_order() const;
+
+  /// Every source→sink simple path, as node-index sequences. Probing walks
+  /// these paths; the deputy later merges per-path compositions. The count
+  /// is capped (precondition: fewer than `max_paths`) — generated templates
+  /// have at most two.
+  std::vector<std::vector<FnNodeIndex>> enumerate_paths(std::size_t max_paths = 64) const;
+
+  /// Edge index from->to; throws if absent.
+  FnEdgeIndex find_edge(FnNodeIndex from, FnNodeIndex to) const;
+
+  /// Sum of all node resource demands (used by admission heuristics/tests).
+  ResourceVector total_node_demand() const;
+
+  std::string to_string(const FunctionCatalog& catalog) const;
+
+ private:
+  std::vector<FnNode> nodes_;
+  std::vector<FnEdge> edges_;
+  std::vector<std::vector<FnEdgeIndex>> out_;
+  std::vector<std::vector<FnEdgeIndex>> in_;
+};
+
+}  // namespace acp::stream

@@ -1,0 +1,28 @@
+#include "stream/qos.h"
+
+#include <limits>
+#include <sstream>
+
+namespace acp::stream {
+
+double QoSVector::max_ratio(const QoSVector& req) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < kQoSDims; ++i) {
+    double ratio;
+    if (req.dims_[i] > 0.0) {
+      ratio = dims_[i] / req.dims_[i];
+    } else {
+      ratio = dims_[i] == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    worst = std::max(worst, ratio);
+  }
+  return worst;
+}
+
+std::string QoSVector::to_string() const {
+  std::ostringstream os;
+  os << "QoS{delay=" << delay_ms() << "ms, loss=" << loss_probability() * 100.0 << "%}";
+  return os.str();
+}
+
+}  // namespace acp::stream

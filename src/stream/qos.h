@@ -1,0 +1,99 @@
+// QoS vectors and their algebra.
+//
+// The paper assumes QoS metrics are additive and minimum-optimal (footnote
+// 3): non-additive metrics like loss rate are made additive by a logarithm
+// transform. We carry two metrics, exactly the ones the paper names:
+//
+//   dim 0: processing/transmission delay, in ms          (already additive)
+//   dim 1: loss, stored as -ln(1 - p)                    (additive transform)
+//
+// End-to-end loss over a chain is 1 - Π(1 - p_i); summing -ln(1-p_i) and
+// inverting recovers it exactly.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "util/error.h"
+
+namespace acp::stream {
+
+inline constexpr std::size_t kQoSDims = 2;
+inline constexpr std::size_t kQoSDelay = 0;
+inline constexpr std::size_t kQoSLoss = 1;
+
+/// Converts a loss probability p ∈ [0, 1) into the additive domain.
+inline double loss_to_additive(double p) {
+  ACP_REQUIRE(p >= 0.0 && p < 1.0);
+  return -std::log(1.0 - p);
+}
+
+/// Inverse of loss_to_additive.
+inline double additive_to_loss(double a) {
+  ACP_REQUIRE(a >= 0.0);
+  return 1.0 - std::exp(-a);
+}
+
+/// A point in additive QoS space. All dims are additive and min-optimal.
+class QoSVector {
+ public:
+  QoSVector() { dims_.fill(0.0); }
+
+  /// Builds from user-facing units: delay in ms, loss as a probability.
+  static QoSVector from_metrics(double delay_ms, double loss_probability) {
+    QoSVector q;
+    q.dims_[kQoSDelay] = delay_ms;
+    q.dims_[kQoSLoss] = loss_to_additive(loss_probability);
+    ACP_REQUIRE(delay_ms >= 0.0);
+    return q;
+  }
+
+  /// Builds directly from additive-domain values (used by tests/aggregation).
+  static QoSVector from_additive(double delay_ms, double additive_loss) {
+    ACP_REQUIRE(delay_ms >= 0.0 && additive_loss >= 0.0);
+    QoSVector q;
+    q.dims_[kQoSDelay] = delay_ms;
+    q.dims_[kQoSLoss] = additive_loss;
+    return q;
+  }
+
+  double delay_ms() const { return dims_[kQoSDelay]; }
+  double additive_loss() const { return dims_[kQoSLoss]; }
+  double loss_probability() const { return additive_to_loss(dims_[kQoSLoss]); }
+
+  double dim(std::size_t i) const {
+    ACP_REQUIRE(i < kQoSDims);
+    return dims_[i];
+  }
+
+  QoSVector& operator+=(const QoSVector& o) {
+    for (std::size_t i = 0; i < kQoSDims; ++i) dims_[i] += o.dims_[i];
+    return *this;
+  }
+  friend QoSVector operator+(QoSVector a, const QoSVector& b) { return a += b; }
+
+  /// Element-wise: does this accumulated QoS satisfy requirement `req`
+  /// (Eq. 3: accumulated <= required on every dim)?
+  bool satisfies(const QoSVector& req) const {
+    for (std::size_t i = 0; i < kQoSDims; ++i) {
+      if (dims_[i] > req.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  /// max_i dims_[i] / req[i] — the core of the paper's risk function D(c)
+  /// (Eq. 9). Requirement dims of 0 are treated as: ratio 0 when the value
+  /// is also 0, +inf otherwise.
+  double max_ratio(const QoSVector& req) const;
+
+  bool operator==(const QoSVector& o) const { return dims_ == o.dims_; }
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kQoSDims> dims_;
+};
+
+}  // namespace acp::stream

@@ -1,0 +1,131 @@
+#include "stream/resources.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace acp::stream {
+
+std::string ResourceVector::to_string() const {
+  std::ostringstream os;
+  os << "Res{cpu=" << cpu() << ", mem=" << memory_mb() << "MB}";
+  return os.str();
+}
+
+double congestion_term(double required, double residual) {
+  if (required <= 0.0) return 0.0;
+  // Feasible placements have residual >= 0, so each term lies in (0, 1].
+  // Candidate scoring may evaluate infeasible placements against *stale*
+  // coarse-grain state; saturate those at the worst feasible value so the
+  // ordering stays sensible instead of throwing.
+  const double denom = residual + required;
+  if (denom <= required) return 1.0;  // residual <= 0 ⇒ fully congested
+  return required / denom;
+}
+
+double congestion_terms(const ResourceVector& req, const ResourceVector& residual) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < kResourceDims; ++k) {
+    sum += congestion_term(req.dim(k), residual.dim(k));
+  }
+  return sum;
+}
+
+template <typename Q>
+bool ReservationPool<Q>::reserve_transient(RequestId request, std::uint32_t tag, const Q& amount,
+                                           double now, double expires_at) {
+  ACP_REQUIRE(expires_at > now);
+  // Refresh an existing live reservation for the same (request, tag).
+  for (auto& r : transients_) {
+    if (r.request == request && r.tag == tag && r.expires_at > now) {
+      r.expires_at = expires_at;
+      return true;
+    }
+  }
+  if (!pool_fits(amount, available(now))) return false;
+  transients_.push_back(Transient{request, tag, amount, expires_at});
+  return true;
+}
+
+template <typename Q>
+bool ReservationPool<Q>::confirm(RequestId request, std::uint32_t tag, SessionId session,
+                                 double now) {
+  for (auto it = transients_.begin(); it != transients_.end(); ++it) {
+    if (it->request == request && it->tag == tag && it->expires_at > now) {
+      committed_ += it->amount;
+      commits_.push_back(Commit{session, it->amount});
+      transients_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Q>
+void ReservationPool<Q>::cancel_request(RequestId request) {
+  transients_.erase(std::remove_if(transients_.begin(), transients_.end(),
+                                   [&](const Transient& r) { return r.request == request; }),
+                    transients_.end());
+}
+
+template <typename Q>
+void ReservationPool<Q>::cancel_request_tag(RequestId request, std::uint32_t tag) {
+  transients_.erase(
+      std::remove_if(transients_.begin(), transients_.end(),
+                     [&](const Transient& r) { return r.request == request && r.tag == tag; }),
+      transients_.end());
+}
+
+template <typename Q>
+bool ReservationPool<Q>::release_session_one(SessionId session, const Q& amount) {
+  for (auto it = commits_.begin(); it != commits_.end(); ++it) {
+    if (it->session == session && it->amount == amount) {
+      committed_ -= it->amount;
+      commits_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Q>
+bool ReservationPool<Q>::commit_direct(SessionId session, const Q& amount, double now) {
+  if (!pool_fits(amount, available(now))) return false;
+  committed_ += amount;
+  commits_.push_back(Commit{session, amount});
+  return true;
+}
+
+template <typename Q>
+void ReservationPool<Q>::release_session(SessionId session) {
+  for (auto it = commits_.begin(); it != commits_.end();) {
+    if (it->session == session) {
+      committed_ -= it->amount;
+      it = commits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+template <typename Q>
+std::size_t ReservationPool<Q>::prune_expired(double now) {
+  const std::size_t before = transients_.size();
+  transients_.erase(std::remove_if(transients_.begin(), transients_.end(),
+                                   [&](const Transient& r) { return r.expires_at <= now; }),
+                    transients_.end());
+  return before - transients_.size();
+}
+
+template <typename Q>
+std::size_t ReservationPool<Q>::live_transient_count(double now) const {
+  std::size_t n = 0;
+  for (const auto& r : transients_) {
+    if (r.expires_at > now) ++n;
+  }
+  return n;
+}
+
+template class ReservationPool<ResourceVector>;
+template class ReservationPool<double>;
+
+}  // namespace acp::stream

@@ -1,0 +1,190 @@
+// End-system resource vectors and reservation pools.
+//
+// The paper models each node with a resource availability vector (CPU,
+// memory, ...) and each virtual link with available bandwidth. Composition
+// subtracts per-component requirements; "transient resource allocation"
+// (Sec. 3.3 step 2) holds resources for in-flight probes and expires on a
+// timeout unless confirmed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/types.h"
+#include "util/error.h"
+
+namespace acp::stream {
+
+inline constexpr std::size_t kResourceDims = 2;
+inline constexpr std::size_t kResCpu = 0;    ///< abstract CPU units
+inline constexpr std::size_t kResMemory = 1; ///< MB
+
+/// A point in end-system resource space (CPU units, memory MB).
+class ResourceVector {
+ public:
+  ResourceVector() { dims_.fill(0.0); }
+  ResourceVector(double cpu, double memory_mb) {
+    ACP_REQUIRE(cpu >= 0.0 && memory_mb >= 0.0);
+    dims_[kResCpu] = cpu;
+    dims_[kResMemory] = memory_mb;
+  }
+
+  double cpu() const { return dims_[kResCpu]; }
+  double memory_mb() const { return dims_[kResMemory]; }
+  double dim(std::size_t i) const {
+    ACP_REQUIRE(i < kResourceDims);
+    return dims_[i];
+  }
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    for (std::size_t i = 0; i < kResourceDims; ++i) dims_[i] += o.dims_[i];
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    for (std::size_t i = 0; i < kResourceDims; ++i) dims_[i] -= o.dims_[i];
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) { return a -= b; }
+
+  /// Every dim >= 0 (Eq. 4's residual-nonnegativity check).
+  bool nonnegative() const {
+    for (double d : dims_) {
+      if (d < 0.0) return false;
+    }
+    return true;
+  }
+
+  /// Element-wise `this <= o` on every dim.
+  bool fits_within(const ResourceVector& o) const {
+    for (std::size_t i = 0; i < kResourceDims; ++i) {
+      if (dims_[i] > o.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const ResourceVector& o) const { return dims_ == o.dims_; }
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kResourceDims> dims_;
+};
+
+/// Congestion contribution of placing demand `req` on a pool whose residual
+/// after ALL of this composition's demands is `residual`:
+///     Σ_k req_k / (residual_k + req_k)                    (part of Eq. 1)
+/// Dimensions with zero demand contribute 0.
+double congestion_terms(const ResourceVector& req, const ResourceVector& residual);
+
+/// Scalar version for bandwidth: b / (rb + b); 0 when b == 0.
+double congestion_term(double required, double residual);
+
+/// A reservation pool over an additive quantity Q (ResourceVector for nodes,
+/// double for link bandwidth). Tracks committed allocations per session and
+/// transient (probe-time) reservations that expire unless confirmed.
+template <typename Q>
+class ReservationPool {
+ public:
+  explicit ReservationPool(Q capacity) : capacity_(capacity), committed_{} {}
+
+  const Q& capacity() const { return capacity_; }
+
+  /// Available quantity at time `now`: capacity - committed - live transients.
+  Q available(double now) const {
+    Q avail = capacity_;
+    avail -= committed_;
+    for (const auto& r : transients_) {
+      if (r.expires_at > now) avail -= r.amount;
+    }
+    return avail;
+  }
+
+  /// Like available(), but ignores live transients belonging to `request` —
+  /// resources a request has itself reserved are available *to it* when its
+  /// deputy evaluates candidate compositions.
+  Q available_excluding(double now, RequestId request) const {
+    Q avail = capacity_;
+    avail -= committed_;
+    for (const auto& r : transients_) {
+      if (r.expires_at > now && r.request != request) avail -= r.amount;
+    }
+    return avail;
+  }
+
+  /// Sum of committed allocations.
+  const Q& committed() const { return committed_; }
+
+  /// Places a transient reservation tagged (request, tag). At most one live
+  /// reservation per (request, tag) is kept (paper footnote 7: a node
+  /// reserves once per component per request); a duplicate refreshes the
+  /// expiry instead of double-reserving. Returns false (no change) if the
+  /// amount does not fit in available(now).
+  bool reserve_transient(RequestId request, std::uint32_t tag, const Q& amount, double now,
+                         double expires_at);
+
+  /// Converts the (request, tag) transient into a committed allocation owned
+  /// by `session`. Returns false if the transient expired or never existed —
+  /// in which case the caller must re-admit from scratch.
+  bool confirm(RequestId request, std::uint32_t tag, SessionId session, double now);
+
+  /// Drops all transient reservations of `request` (probe failed/abandoned).
+  void cancel_request(RequestId request);
+
+  /// Drops only the (request, tag) transient — used to roll back a partial
+  /// multi-link reservation without disturbing the request's other tags.
+  void cancel_request_tag(RequestId request, std::uint32_t tag);
+
+  /// Commits `amount` directly for `session` without a prior transient
+  /// (used by composers that do not probe). Returns false if it doesn't fit.
+  bool commit_direct(SessionId session, const Q& amount, double now);
+
+  /// Releases every allocation owned by `session` (session teardown).
+  void release_session(SessionId session);
+
+  /// Releases one commit record of `session` whose amount equals `amount`
+  /// exactly (rollback of a partial direct commit). Returns false if no
+  /// matching record exists.
+  bool release_session_one(SessionId session, const Q& amount);
+
+  /// Removes expired transient records; available() is correct without this,
+  /// it only reclaims memory. Returns the number pruned.
+  std::size_t prune_expired(double now);
+
+  std::size_t live_transient_count(double now) const;
+  std::size_t committed_count() const { return commits_.size(); }
+
+ private:
+  struct Transient {
+    RequestId request;
+    std::uint32_t tag;
+    Q amount;
+    double expires_at;
+  };
+  struct Commit {
+    SessionId session;
+    Q amount;
+  };
+
+  Q capacity_;
+  Q committed_;
+  std::vector<Transient> transients_;
+  std::vector<Commit> commits_;
+};
+
+// --- Helpers so ReservationPool works for both Q types -------------------
+
+inline bool pool_fits(const ResourceVector& amount, const ResourceVector& avail) {
+  return amount.fits_within(avail);
+}
+inline bool pool_fits(double amount, double avail) { return amount <= avail; }
+
+extern template class ReservationPool<ResourceVector>;
+extern template class ReservationPool<double>;
+
+using NodePool = ReservationPool<ResourceVector>;
+using BandwidthPool = ReservationPool<double>;
+
+}  // namespace acp::stream

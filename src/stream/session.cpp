@@ -1,0 +1,94 @@
+#include "stream/session.h"
+
+namespace acp::stream {
+
+namespace {
+SessionRecord make_record(SessionId id, RequestId request, const ComponentGraph& cg, double now,
+                          double end) {
+  SessionRecord rec;
+  rec.id = id;
+  rec.request = request;
+  rec.start_time = now;
+  rec.planned_end_time = end;
+  rec.components = cg.components();
+  return rec;
+}
+}  // namespace
+
+SessionId SessionTable::commit_probed(RequestId request, const ComponentGraph& cg, double now,
+                                      double planned_end_time) {
+  ACP_REQUIRE(cg.fully_assigned());
+  const FunctionGraph& fg = cg.function_graph();
+  const SessionId id = allocate_id();
+
+  bool ok = true;
+  // Confirm component reservations.
+  for (FnNodeIndex i = 0; ok && i < fg.node_count(); ++i) {
+    const NodeId node = sys_->component(cg.component_at(i)).node;
+    ok = sys_->confirm_node(request, node_tag(i), node, id, now);
+  }
+  // Confirm virtual-link bandwidth reservations.
+  for (FnEdgeIndex e = 0; ok && e < fg.edge_count(); ++e) {
+    const FnEdge& edge = fg.edge(e);
+    const NodeId a = sys_->component(cg.component_at(edge.from)).node;
+    const NodeId b = sys_->component(cg.component_at(edge.to)).node;
+    ok = sys_->confirm_virtual_link(request, link_tag(fg, e), a, b, id, now);
+  }
+
+  // Either way, the request's remaining transients (losing candidates, or
+  // everything on failure) are dropped.
+  sys_->cancel_request(request);
+
+  if (!ok) {
+    sys_->release_session(id);  // roll back partial confirms
+    return kNullSession;
+  }
+  records_.emplace(id, make_record(id, request, cg, now, planned_end_time));
+  return id;
+}
+
+SessionId SessionTable::commit_direct(RequestId request, const ComponentGraph& cg, double now,
+                                      double planned_end_time) {
+  ACP_REQUIRE(cg.fully_assigned());
+  const SessionId id = allocate_id();
+
+  bool ok = true;
+  // Per-node aggregated commit keeps co-located components honest: both
+  // demands must fit together.
+  for (const auto& [node, demand] : cg.demand_by_node(*sys_)) {
+    if (!sys_->commit_node_direct(id, node, demand, now)) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    const FunctionGraph& fg = cg.function_graph();
+    for (FnEdgeIndex e = 0; ok && e < fg.edge_count(); ++e) {
+      const FnEdge& edge = fg.edge(e);
+      const NodeId a = sys_->component(cg.component_at(edge.from)).node;
+      const NodeId b = sys_->component(cg.component_at(edge.to)).node;
+      ok = sys_->commit_virtual_link_direct(id, a, b, edge.required_bandwidth_kbps, now);
+    }
+  }
+  if (!ok) {
+    sys_->release_session(id);
+    return kNullSession;
+  }
+  records_.emplace(id, make_record(id, request, cg, now, planned_end_time));
+  return id;
+}
+
+bool SessionTable::close(SessionId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  sys_->release_session(id);
+  records_.erase(it);
+  return true;
+}
+
+const SessionRecord* SessionTable::find(SessionId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace acp::stream

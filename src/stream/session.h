@@ -1,0 +1,66 @@
+// Session management — the paper's Find/Process/Close middleware interface.
+//
+// Find() runs a composer and, on success, commits the chosen composition's
+// resources under a fresh sessionId (confirmation messages making transient
+// allocations permanent). Close() releases everything. A null sessionId (0)
+// signals composition failure.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "stream/component_graph.h"
+#include "stream/system.h"
+
+namespace acp::stream {
+
+/// Tag helpers: transient reservations are tagged per function node
+/// (components) and per function edge (virtual-link bandwidth), offset so
+/// the two spaces never collide within a request.
+inline std::uint32_t node_tag(FnNodeIndex fn) { return fn; }
+inline std::uint32_t link_tag(const FunctionGraph& fg, FnEdgeIndex e) {
+  return static_cast<std::uint32_t>(fg.node_count()) + e;
+}
+
+struct SessionRecord {
+  SessionId id = kNullSession;
+  RequestId request = 0;
+  double start_time = 0.0;
+  double planned_end_time = 0.0;
+  std::vector<ComponentId> components;  ///< winning composition, for diagnostics
+};
+
+class SessionTable {
+ public:
+  explicit SessionTable(StreamSystem& sys) : sys_(&sys) {}
+
+  /// Commits `cg` by CONFIRMING the transient reservations previously placed
+  /// by probes for `request` (tags per node_tag/link_tag). Any leftover
+  /// transients of the request are cancelled. Returns kNullSession if any
+  /// confirmation fails (e.g. the transient expired) — in that case every
+  /// partial commit is rolled back.
+  SessionId commit_probed(RequestId request, const ComponentGraph& cg, double now,
+                          double planned_end_time);
+
+  /// Commits `cg` by DIRECT allocation (no prior probing) — used by the
+  /// Random/Static/Optimal baselines, which the paper grants free state
+  /// access instead of probe-based reservation. All-or-nothing.
+  SessionId commit_direct(RequestId request, const ComponentGraph& cg, double now,
+                          double planned_end_time);
+
+  /// Releases the session's resources and forgets it. Safe on unknown ids
+  /// (returns false).
+  bool close(SessionId id);
+
+  std::size_t active_count() const { return records_.size(); }
+  const SessionRecord* find(SessionId id) const;
+
+ private:
+  SessionId allocate_id() { return next_id_++; }
+
+  StreamSystem* sys_;
+  SessionId next_id_ = 1;
+  std::map<SessionId, SessionRecord> records_;
+};
+
+}  // namespace acp::stream

@@ -1,0 +1,221 @@
+#include "stream/system.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace acp::stream {
+
+// ---- StateView shared derived quantities ----------------------------------
+
+double StateView::virtual_link_available_kbps(const net::OverlayMesh& mesh, NodeId a, NodeId b,
+                                              double now) const {
+  if (a == b) return std::numeric_limits<double>::infinity();
+  double avail = std::numeric_limits<double>::infinity();
+  for (net::OverlayLinkIndex l : mesh.virtual_link_path(a, b)) {
+    avail = std::min(avail, link_available_kbps(l, now));
+  }
+  return avail;
+}
+
+QoSVector StateView::virtual_link_qos(const net::OverlayMesh& mesh, NodeId a, NodeId b,
+                                      double now) const {
+  QoSVector q;
+  if (a == b) return q;  // co-located: 0 network delay, no loss
+  for (net::OverlayLinkIndex l : mesh.virtual_link_path(a, b)) q += link_qos(l, now);
+  return q;
+}
+
+// ---- Ground-truth view ------------------------------------------------------
+
+class StreamSystem::TrueView final : public StateView {
+ public:
+  explicit TrueView(const StreamSystem& sys) : sys_(sys) {}
+
+  ResourceVector node_available(NodeId node, double now) const override {
+    return sys_.node_pool(node).available(now);
+  }
+
+  double link_available_kbps(net::OverlayLinkIndex l, double now) const override {
+    return sys_.link_pool(l).available(now);
+  }
+
+  QoSVector component_qos(ComponentId c, double /*now*/) const override {
+    return sys_.component(c).qos;
+  }
+
+  QoSVector link_qos(net::OverlayLinkIndex l, double /*now*/) const override {
+    const auto& link = sys_.mesh().link(l);
+    return QoSVector::from_additive(link.delay_ms, link.additive_loss);
+  }
+
+ private:
+  const StreamSystem& sys_;
+};
+
+// ---- StreamSystem -----------------------------------------------------------
+
+StreamSystem::StreamSystem(const net::OverlayMesh& mesh, FunctionCatalog catalog)
+    : mesh_(&mesh), catalog_(std::move(catalog)), by_function_(catalog_.size()) {
+  by_node_.resize(mesh.node_count());
+  node_pools_.reserve(mesh.node_count());
+  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
+    node_pools_.emplace_back(ResourceVector{});  // capacity set by builder
+  }
+  link_pools_.reserve(mesh.link_count());
+  for (std::size_t l = 0; l < mesh.link_count(); ++l) {
+    link_pools_.emplace_back(mesh.link(static_cast<net::OverlayLinkIndex>(l)).capacity_kbps);
+  }
+  true_view_ = std::make_unique<TrueView>(*this);
+}
+
+StreamSystem::~StreamSystem() = default;
+
+const StateView& StreamSystem::true_state() const { return *true_view_; }
+
+void StreamSystem::set_node_capacity(NodeId node, const ResourceVector& capacity) {
+  ACP_REQUIRE(node < node_pools_.size());
+  ACP_REQUIRE_MSG(node_pools_[node].committed_count() == 0,
+                  "cannot resize a pool with live allocations");
+  node_pools_[node] = NodePool(capacity);
+}
+
+ComponentId StreamSystem::add_component(FunctionId function, NodeId node, const QoSVector& qos,
+                                        const ComponentAttributes& attrs) {
+  ACP_REQUIRE(function < catalog_.size());
+  ACP_REQUIRE(node < node_pools_.size());
+  const ComponentId id = static_cast<ComponentId>(components_.size());
+  components_.push_back(Component{id, function, node, qos});
+  attributes_.push_back(attrs);
+  by_function_[function].push_back(id);
+  by_node_[node].push_back(id);
+  return id;
+}
+
+void StreamSystem::set_component_attributes(ComponentId c, const ComponentAttributes& attrs) {
+  ACP_REQUIRE(c < attributes_.size());
+  attributes_[c] = attrs;
+}
+
+const ComponentAttributes& StreamSystem::component_attributes(ComponentId c) const {
+  ACP_REQUIRE(c < attributes_.size());
+  return attributes_[c];
+}
+
+NodeId StreamSystem::move_component(ComponentId c, NodeId new_node) {
+  ACP_REQUIRE(c < components_.size());
+  ACP_REQUIRE(new_node < node_pools_.size());
+  const NodeId old_node = components_[c].node;
+  if (old_node == new_node) return old_node;
+  auto& old_list = by_node_[old_node];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), c), old_list.end());
+  by_node_[new_node].push_back(c);
+  components_[c].node = new_node;
+  return old_node;
+}
+
+const Component& StreamSystem::component(ComponentId c) const {
+  ACP_REQUIRE(c < components_.size());
+  return components_[c];
+}
+
+const std::vector<ComponentId>& StreamSystem::components_providing(FunctionId f) const {
+  ACP_REQUIRE(f < by_function_.size());
+  return by_function_[f];
+}
+
+const std::vector<ComponentId>& StreamSystem::components_on(NodeId node) const {
+  ACP_REQUIRE(node < by_node_.size());
+  return by_node_[node];
+}
+
+NodePool& StreamSystem::node_pool(NodeId node) {
+  ACP_REQUIRE(node < node_pools_.size());
+  return node_pools_[node];
+}
+const NodePool& StreamSystem::node_pool(NodeId node) const {
+  ACP_REQUIRE(node < node_pools_.size());
+  return node_pools_[node];
+}
+BandwidthPool& StreamSystem::link_pool(net::OverlayLinkIndex l) {
+  ACP_REQUIRE(l < link_pools_.size());
+  return link_pools_[l];
+}
+const BandwidthPool& StreamSystem::link_pool(net::OverlayLinkIndex l) const {
+  ACP_REQUIRE(l < link_pools_.size());
+  return link_pools_[l];
+}
+
+bool StreamSystem::reserve_node_transient(RequestId request, std::uint32_t tag, NodeId node,
+                                          const ResourceVector& amount, double now,
+                                          double expires_at) {
+  return node_pool(node).reserve_transient(request, tag, amount, now, expires_at);
+}
+
+bool StreamSystem::reserve_virtual_link_transient(RequestId request, std::uint32_t tag, NodeId a,
+                                                  NodeId b, double kbps, double now,
+                                                  double expires_at) {
+  if (a == b) return true;  // co-located: no bandwidth consumed
+  const auto& path = mesh_->virtual_link_path(a, b);
+  std::size_t done = 0;
+  for (; done < path.size(); ++done) {
+    if (!link_pools_[path[done]].reserve_transient(request, tag, kbps, now, expires_at)) break;
+  }
+  if (done == path.size()) return true;
+  // Roll back partial reservations (only this tag's) on already-done links.
+  for (std::size_t i = 0; i < done; ++i) {
+    // cancel_request would drop other tags of the same request; emulate a
+    // narrow cancel by confirming impossible — instead, drop and re-add is
+    // avoided by cancelling just this tag via a dedicated path:
+    link_pools_[path[i]].cancel_request_tag(request, tag);
+  }
+  return false;
+}
+
+bool StreamSystem::confirm_node(RequestId request, std::uint32_t tag, NodeId node,
+                                SessionId session, double now) {
+  return node_pool(node).confirm(request, tag, session, now);
+}
+
+bool StreamSystem::confirm_virtual_link(RequestId request, std::uint32_t tag, NodeId a, NodeId b,
+                                        SessionId session, double now) {
+  if (a == b) return true;
+  for (net::OverlayLinkIndex l : mesh_->virtual_link_path(a, b)) {
+    if (!link_pools_[l].confirm(request, tag, session, now)) return false;
+  }
+  return true;
+}
+
+void StreamSystem::cancel_request(RequestId request) {
+  for (auto& p : node_pools_) p.cancel_request(request);
+  for (auto& p : link_pools_) p.cancel_request(request);
+}
+
+bool StreamSystem::commit_node_direct(SessionId session, NodeId node, const ResourceVector& amount,
+                                      double now) {
+  return node_pool(node).commit_direct(session, amount, now);
+}
+
+bool StreamSystem::commit_virtual_link_direct(SessionId session, NodeId a, NodeId b, double kbps,
+                                              double now) {
+  if (a == b) return true;
+  const auto& path = mesh_->virtual_link_path(a, b);
+  std::size_t done = 0;
+  for (; done < path.size(); ++done) {
+    if (!link_pools_[path[done]].commit_direct(session, kbps, now)) break;
+  }
+  if (done == path.size()) return true;
+  for (std::size_t i = 0; i < done; ++i) link_pools_[path[i]].release_session_one(session, kbps);
+  return false;
+}
+
+void StreamSystem::release_session(SessionId session) {
+  for (auto& p : node_pools_) p.release_session(session);
+  for (auto& p : link_pools_) p.release_session(session);
+}
+
+void StreamSystem::prune_expired(double now) {
+  for (auto& p : node_pools_) p.prune_expired(now);
+  for (auto& p : link_pools_) p.prune_expired(now);
+}
+
+}  // namespace acp::stream

@@ -1,0 +1,153 @@
+// StreamSystem — ground truth of the distributed stream processing system.
+//
+// Owns: the function catalog, the deployed components, one resource pool per
+// node (CPU/memory) and one bandwidth pool per overlay link. All admission
+// control — transient reservations during probing, commits at session setup,
+// releases at teardown — goes through this class, so Eq. 4/5 residual
+// non-negativity is enforced in exactly one place.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/overlay.h"
+#include "stream/component.h"
+#include "stream/constraints.h"
+#include "stream/function.h"
+#include "stream/resources.h"
+#include "stream/state_view.h"
+
+namespace acp::stream {
+
+class StreamSystem {
+ public:
+  /// The mesh must outlive the system.
+  StreamSystem(const net::OverlayMesh& mesh, FunctionCatalog catalog);
+  ~StreamSystem();
+
+  // The internal state view points back at this object, so the system is
+  // pinned in memory (hold it behind unique_ptr to pass around).
+  StreamSystem(const StreamSystem&) = delete;
+  StreamSystem& operator=(const StreamSystem&) = delete;
+  StreamSystem(StreamSystem&&) = delete;
+  StreamSystem& operator=(StreamSystem&&) = delete;
+
+  const net::OverlayMesh& mesh() const { return *mesh_; }
+  const FunctionCatalog& catalog() const { return catalog_; }
+
+  // ---- Construction-time population --------------------------------------
+
+  /// Sets the resource capacity of `node` (replaces the pool; only valid
+  /// before any reservation has been made on it).
+  void set_node_capacity(NodeId node, const ResourceVector& capacity);
+
+  /// Deploys a component of `function` on `node`; returns its id.
+  /// Attributes default to (open security, permissive license).
+  ComponentId add_component(FunctionId function, NodeId node, const QoSVector& qos,
+                            const ComponentAttributes& attrs = {});
+
+  /// Replaces a component's policy attributes.
+  void set_component_attributes(ComponentId c, const ComponentAttributes& attrs);
+  const ComponentAttributes& component_attributes(ComponentId c) const;
+
+  /// Migrates component `c` to `new_node` (paper footnote 1: composition
+  /// operates on the current placement; running sessions keep their node
+  /// allocations, only future compositions see the move). Returns the old
+  /// node.
+  NodeId move_component(ComponentId c, NodeId new_node);
+
+  // ---- Introspection ------------------------------------------------------
+
+  std::size_t node_count() const { return node_pools_.size(); }
+  std::size_t component_count() const { return components_.size(); }
+  const Component& component(ComponentId c) const;
+  const std::vector<ComponentId>& components_providing(FunctionId f) const;
+  const std::vector<ComponentId>& components_on(NodeId node) const;
+
+  NodePool& node_pool(NodeId node);
+  const NodePool& node_pool(NodeId node) const;
+  BandwidthPool& link_pool(net::OverlayLinkIndex l);
+  const BandwidthPool& link_pool(net::OverlayLinkIndex l) const;
+
+  /// Ground-truth state view (precise, current).
+  const StateView& true_state() const;
+
+  /// Ground-truth view as seen BY one request: the request's own transient
+  /// reservations count as available to it (its probes reserved them for
+  /// exactly this decision), everything else is precise and current. Used by
+  /// the deputy's optimal-composition-selection step.
+  class RequestScopedView;
+
+  // ---- Admission (used by composers / protocol) ---------------------------
+
+  /// Transiently reserves `amount` on `node` for (request, tag); expires at
+  /// `expires_at` unless confirmed. Returns false if it does not fit now.
+  bool reserve_node_transient(RequestId request, std::uint32_t tag, NodeId node,
+                              const ResourceVector& amount, double now, double expires_at);
+
+  /// Transiently reserves `kbps` on every overlay link of the virtual link
+  /// a→b. All-or-nothing: on any failure already-made reservations for this
+  /// (request, tag) are cancelled. a == b trivially succeeds.
+  bool reserve_virtual_link_transient(RequestId request, std::uint32_t tag, NodeId a, NodeId b,
+                                      double kbps, double now, double expires_at);
+
+  /// Confirms the (request, tag) node reservation into `session` ownership.
+  bool confirm_node(RequestId request, std::uint32_t tag, NodeId node, SessionId session,
+                    double now);
+
+  /// Confirms the (request, tag) virtual-link reservation into `session`.
+  bool confirm_virtual_link(RequestId request, std::uint32_t tag, NodeId a, NodeId b,
+                            SessionId session, double now);
+
+  /// Drops every transient reservation belonging to `request`, system-wide.
+  void cancel_request(RequestId request);
+
+  /// Direct commits without probing (used by non-probing baselines).
+  bool commit_node_direct(SessionId session, NodeId node, const ResourceVector& amount,
+                          double now);
+  bool commit_virtual_link_direct(SessionId session, NodeId a, NodeId b, double kbps, double now);
+
+  /// Releases everything owned by `session` on all nodes and links.
+  void release_session(SessionId session);
+
+  /// Drops expired transient records everywhere (housekeeping).
+  void prune_expired(double now);
+
+ private:
+  class TrueView;
+
+  const net::OverlayMesh* mesh_;
+  FunctionCatalog catalog_;
+  std::vector<Component> components_;
+  std::vector<ComponentAttributes> attributes_;  ///< parallel to components_
+  std::vector<std::vector<ComponentId>> by_function_;
+  std::vector<std::vector<ComponentId>> by_node_;
+  std::vector<NodePool> node_pools_;
+  std::vector<BandwidthPool> link_pools_;
+  std::unique_ptr<TrueView> true_view_;
+};
+
+class StreamSystem::RequestScopedView final : public StateView {
+ public:
+  RequestScopedView(const StreamSystem& sys, RequestId request) : sys_(sys), request_(request) {}
+
+  ResourceVector node_available(NodeId node, double now) const override {
+    return sys_.node_pool(node).available_excluding(now, request_);
+  }
+  double link_available_kbps(net::OverlayLinkIndex l, double now) const override {
+    return sys_.link_pool(l).available_excluding(now, request_);
+  }
+  QoSVector component_qos(ComponentId c, double /*now*/) const override {
+    return sys_.component(c).qos;
+  }
+  QoSVector link_qos(net::OverlayLinkIndex l, double /*now*/) const override {
+    const auto& link = sys_.mesh().link(l);
+    return QoSVector::from_additive(link.delay_ms, link.additive_loss);
+  }
+
+ private:
+  const StreamSystem& sys_;
+  RequestId request_;
+};
+
+}  // namespace acp::stream

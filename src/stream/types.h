@@ -1,0 +1,30 @@
+// Strong identifier types shared across the stream-processing model.
+#pragma once
+
+#include <cstdint>
+
+#include "net/overlay.h"
+
+namespace acp::stream {
+
+/// One of the 80 predefined atomic stream processing functions.
+using FunctionId = std::uint32_t;
+
+/// A deployed component instance (a function hosted on a specific node).
+using ComponentId = std::uint32_t;
+
+/// A stream processing node (same index space as the overlay node index).
+using NodeId = net::OverlayNodeIndex;
+
+/// A user composition request.
+using RequestId = std::uint64_t;
+
+/// An established stream processing session (paper's sessionId); 0 = null
+/// sessionId, returned on composition failure.
+using SessionId = std::uint64_t;
+
+inline constexpr SessionId kNullSession = 0;
+inline constexpr ComponentId kNoComponent = static_cast<ComponentId>(-1);
+inline constexpr FunctionId kNoFunction = static_cast<FunctionId>(-1);
+
+}  // namespace acp::stream

@@ -1,0 +1,65 @@
+// Error-handling primitives shared by every acpstream module.
+//
+// Philosophy (per C++ Core Guidelines E.*): exceptions report violations of
+// API preconditions and unrecoverable internal invariants; recoverable
+// domain outcomes (e.g. "composition failed") are ordinary return values.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace acp {
+
+/// Thrown when a caller violates a documented API precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant is found broken (a bug in acpstream).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant violated: " + expr +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace acp
+
+/// Validate a caller-supplied precondition; throws acp::PreconditionError.
+#define ACP_REQUIRE(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::acp::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ACP_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::acp::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; throws acp::InvariantError.
+#define ACP_ASSERT(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::acp::detail::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ACP_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::acp::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace acp::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+bool g_capture = false;
+std::string g_buffer;
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Logger::capture_to_buffer(bool enable) {
+  g_capture = enable;
+  if (enable) g_buffer.clear();
+}
+
+std::string Logger::take_buffer() {
+  std::string out;
+  out.swap(g_buffer);
+  return out;
+}
+
+const char* Logger::level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel lvl, const std::string& msg) {
+  if (g_capture) {
+    g_buffer += msg;
+    g_buffer += '\n';
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  }
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel lvl, const char* file, int line) : lvl_(lvl) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << (base ? base + 1 : file) << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { Logger::write(lvl_, stream_.str()); }
+
+}  // namespace detail
+}  // namespace acp::util

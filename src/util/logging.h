@@ -1,0 +1,51 @@
+// Minimal leveled logging. Default level is kWarn so simulations stay quiet;
+// experiments and examples raise it explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace acp::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration (single-threaded simulator; no locking).
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Redirect output to an in-memory buffer (for tests); empty target means
+  /// stderr.
+  static void capture_to_buffer(bool enable);
+  static std::string take_buffer();
+
+  static void write(LogLevel lvl, const std::string& msg);
+
+  static const char* level_name(LogLevel lvl);
+};
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel lvl, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace acp::util
+
+#define ACP_LOG(lvl)                                                       \
+  if (::acp::util::Logger::level() <= ::acp::util::LogLevel::lvl)          \
+  ::acp::util::detail::LogMessage(::acp::util::LogLevel::lvl, __FILE__, __LINE__).stream()
+
+#define ACP_LOG_TRACE ACP_LOG(kTrace)
+#define ACP_LOG_DEBUG ACP_LOG(kDebug)
+#define ACP_LOG_INFO ACP_LOG(kInfo)
+#define ACP_LOG_WARN ACP_LOG(kWarn)
+#define ACP_LOG_ERROR ACP_LOG(kError)

@@ -1,0 +1,104 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace acp::util {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  ACP_REQUIRE(n > 0);
+  // Lemire's nearly-divisionless bounded integers.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ACP_REQUIRE(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::exponential(double rate) {
+  ACP_REQUIRE(rate > 0.0);
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  ACP_REQUIRE(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = uniform01();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // workload-arrival use case (mean counts per interval).
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; draws two uniforms per variate.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::pareto(double xmin, double alpha) {
+  ACP_REQUIRE(xmin > 0.0 && alpha > 0.0);
+  double u = 1.0 - uniform01();  // in (0, 1]
+  return xmin / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  ACP_REQUIRE(n > 0);
+  double norm = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(static_cast<double>(k), s);
+  double u = uniform01() * norm;
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (u <= acc) return k;
+  }
+  return n;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  ACP_REQUIRE(k <= n);
+  // Selection sampling (Algorithm S) is O(n); fine for simulator setup. For
+  // k << n a Floyd sample would be faster, but n here is at most a few
+  // thousand nodes.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::size_t remaining = k;
+  for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+    const std::size_t left = n - i;
+    if (below(left) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+}  // namespace acp::util

@@ -1,0 +1,137 @@
+// Deterministic, portable random-number generation.
+//
+// The standard library's engines are portable but its *distributions* are
+// not (their algorithms are implementation-defined), so every distribution
+// here is implemented from first principles. All simulator randomness flows
+// from a single seeded Rng, optionally split into independent streams so
+// that changing one consumer (e.g. the workload generator) does not perturb
+// another (e.g. the topology generator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into engine state and to
+/// derive independent stream seeds. Reference: Steele, Lea & Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine by expanding `seed` through SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9d1db39aa5e9c2fULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derives an independent child stream; children with distinct tags are
+  /// statistically independent of the parent and of each other.
+  Rng split(std::uint64_t stream_tag) {
+    SplitMix64 sm(next() ^ (stream_tag * 0x9e3779b97f4a7c15ULL));
+    Rng child(sm.next());
+    return child;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  // ---- Distributions (portable, hand-rolled) -----------------------------
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    ACP_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0. Uses Lemire's rejection method
+  /// for unbiased bounded integers.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p in [0,1].
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential variate with given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Poisson variate with given mean (Knuth for small mean, normal
+  /// approximation with continuity correction for large mean).
+  std::uint64_t poisson(double mean);
+
+  /// Standard normal via Box–Muller (cached spare discarded for determinism
+  /// simplicity — every call draws fresh uniforms).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Pareto (power-law) variate with shape `alpha` and minimum `xmin`.
+  /// P(X > x) = (xmin/x)^alpha for x >= xmin.
+  double pareto(double xmin, double alpha);
+
+  /// Zipf-like integer in [1, n]: P(k) ∝ k^-s. Exact inverse-CDF over a
+  /// precomputable table is the caller's job for hot paths; this method is
+  /// O(n) and fine for setup-time use.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (order unspecified but
+  /// deterministic). Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace acp::util

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acp::util {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) { *this = other; return; }
+  const double delta = other.mean_ - mean_;
+  const std::size_t total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  n_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentiles::percentile(double p) {
+  ACP_REQUIRE(!xs_.empty());
+  ACP_REQUIRE(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  if (xs_.size() == 1) return xs_[0];
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  ACP_REQUIRE(hi > lo);
+  ACP_REQUIRE(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t b;
+  if (x < lo_) {
+    b = 0;
+  } else if (x >= hi_) {
+    b = counts_.size() - 1;
+  } else {
+    b = static_cast<std::size_t>((x - lo_) / width_);
+    b = std::min(b, counts_.size() - 1);
+  }
+  ++counts_[b];
+  ++total_;
+}
+
+std::uint64_t Histogram::count_in(std::size_t bucket) const {
+  ACP_REQUIRE(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  ACP_REQUIRE(bucket < counts_.size());
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + width_;
+}
+
+void TimeSeries::add(double t, double v) {
+  ACP_REQUIRE_MSG(points_.empty() || t >= points_.back().t,
+                  "TimeSeries points must be added in time order");
+  points_.push_back({t, v});
+}
+
+double TimeSeries::window_mean(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= t0 && p.t < t1) {
+      sum += p.v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::value_at_time(double t, double fallback) const {
+  double v = fallback;
+  for (const auto& p : points_) {
+    if (p.t > t) break;
+    v = p.v;
+  }
+  return v;
+}
+
+double SuccessRateTracker::sample_and_reset() {
+  const std::uint64_t req = requests_ - window_start_requests_;
+  const std::uint64_t suc = successes_ - window_start_successes_;
+  window_start_requests_ = requests_;
+  window_start_successes_ = successes_;
+  return req == 0 ? 1.0 : static_cast<double>(suc) / static_cast<double>(req);
+}
+
+}  // namespace acp::util

@@ -1,0 +1,120 @@
+// Streaming statistics and time-series helpers used by the experiment
+// harness and by tests that assert distributional properties.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::util {
+
+/// Welford's online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset() { *this = RunningStat(); }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile helper over a retained sample vector. Intended for
+/// experiment post-processing, not hot paths.
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires count() > 0.
+  double percentile(double p);
+  double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count_in(std::size_t bucket) const;
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// A (time, value) series with helpers for windowed averaging — used for the
+/// paper's success-rate-over-time plots (Fig 8).
+class TimeSeries {
+ public:
+  void add(double t, double v);
+  std::size_t size() const { return points_.size(); }
+  double time_at(std::size_t i) const { return points_[i].t; }
+  double value_at(std::size_t i) const { return points_[i].v; }
+
+  /// Mean of values with t in [t0, t1); 0 if the window is empty.
+  double window_mean(double t0, double t1) const;
+
+  /// Last value with time <= t; `fallback` if none.
+  double value_at_time(double t, double fallback = 0.0) const;
+
+ private:
+  struct Point { double t, v; };
+  std::vector<Point> points_;
+};
+
+/// Ratio counter with windowed sampling — computes the paper's composition
+/// success rate u(t) = successes / requests over each sampling period.
+class SuccessRateTracker {
+ public:
+  void record(bool success) { ++requests_; if (success) ++successes_; }
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t successes() const { return successes_; }
+
+  /// Overall rate in [0,1]; 1.0 when no requests were seen (vacuous success,
+  /// matching the paper's plots that start at 100%).
+  double rate() const {
+    return requests_ == 0 ? 1.0 : static_cast<double>(successes_) / static_cast<double>(requests_);
+  }
+
+  /// Rate over events since the previous sample_and_reset() call, then
+  /// resets the window.
+  double sample_and_reset();
+
+ private:
+  std::uint64_t requests_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t window_start_requests_ = 0;
+  std::uint64_t window_start_successes_ = 0;
+};
+
+}  // namespace acp::util

@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace acp::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ACP_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  ACP_REQUIRE_MSG(row.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+const Table::Cell& Table::at(std::size_t row, std::size_t col) const {
+  ACP_REQUIRE(row < rows_.size() && col < headers_.size());
+  return rows_[row][col];
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      cells[r].push_back(format_cell(rows_[r][c]));
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto line = [&](char fill, char sep) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << sep << std::string(widths[c] + 2, fill);
+    }
+    os << sep << '\n';
+  };
+  line('-', '+');
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << headers_[c] << ' ';
+  }
+  os << "|\n";
+  line('-', '+');
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::right << std::setw(static_cast<int>(widths[c])) << row[c] << ' ';
+    }
+    os << "|\n";
+  }
+  line('-', '+');
+}
+
+std::string Table::csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw PreconditionError("cannot open for writing: " + path);
+  write_csv(f);
+}
+
+}  // namespace acp::util

@@ -1,0 +1,51 @@
+// Tabular output used by the benchmark harness to print paper-style series
+// (aligned text tables to stdout, CSV to files for replotting).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::util {
+
+/// A simple column-typed table. Cells are strings, doubles, or integers;
+/// numeric cells are formatted with fixed precision on output.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a row; must have exactly columns() cells.
+  void add_row(std::vector<Cell> row);
+
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Number of digits after the decimal point for double cells (default 2).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Writes an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write_csv to a file path; throws on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+  static std::string csv_escape(const std::string& s);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace acp::util

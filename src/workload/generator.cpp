@@ -1,0 +1,102 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace acp::workload {
+
+RequestGenerator::RequestGenerator(const stream::FunctionCatalog& catalog,
+                                   const TemplateLibrary& templates, WorkloadConfig config,
+                                   std::vector<RateStep> schedule, std::size_t ip_node_count,
+                                   util::Rng rng)
+    : catalog_(&catalog),
+      templates_(&templates),
+      config_(config),
+      schedule_(std::move(schedule)),
+      ip_node_count_(ip_node_count),
+      rng_(rng) {
+  ACP_REQUIRE(templates.size() >= 1);
+  ACP_REQUIRE(ip_node_count >= 1);
+  ACP_REQUIRE(!schedule_.empty());
+  ACP_REQUIRE(config_.qos_scale > 0.0);
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const RateStep& a, const RateStep& b) { return a.start_minute < b.start_minute; });
+}
+
+double RequestGenerator::rate_at(double t_seconds) const {
+  const double t_min = t_seconds / 60.0;
+  double rate = 0.0;
+  for (const auto& step : schedule_) {
+    if (step.start_minute <= t_min) rate = step.requests_per_minute;
+  }
+  return rate;
+}
+
+double RequestGenerator::next_interarrival(double t_seconds) {
+  const double rate_per_min = rate_at(t_seconds);
+  if (rate_per_min <= 0.0) {
+    // Jump to the next schedule step with a positive rate, if any.
+    const double t_min = t_seconds / 60.0;
+    for (const auto& step : schedule_) {
+      if (step.start_minute > t_min && step.requests_per_minute > 0.0) {
+        return step.start_minute * 60.0 - t_seconds;
+      }
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+  return rng_.exponential(rate_per_min / 60.0);
+}
+
+Request RequestGenerator::make_request(double t_seconds) {
+  Request req;
+  req.id = next_id_++;
+  req.arrival_time = t_seconds;
+  req.template_index = rng_.below(templates_->size());
+  req.client_ip = static_cast<net::NodeIndex>(rng_.below(ip_node_count_));
+  req.duration_s = rng_.uniform(config_.min_duration_s, config_.max_duration_s);
+
+  // Instantiate the template with fresh demands.
+  const TemplateShape& shape = templates_->shape(req.template_index);
+  for (stream::FunctionId f : shape.functions) {
+    const stream::ResourceVector demand(rng_.uniform(config_.min_cpu, config_.max_cpu),
+                                        rng_.uniform(config_.min_memory_mb, config_.max_memory_mb));
+    req.graph.add_node(f, demand);
+  }
+  for (const auto& [from, to] : shape.edges) {
+    req.graph.add_edge(from, to,
+                       rng_.uniform(config_.min_bandwidth_kbps, config_.max_bandwidth_kbps));
+  }
+
+  // QoS requirement, scaled for strictness sweeps. DAG requests get the
+  // same end-to-end bound applied to each branch path.
+  const double delay_req =
+      rng_.uniform(config_.min_delay_req_ms, config_.max_delay_req_ms) * config_.qos_scale;
+  double loss_req = rng_.uniform(config_.min_loss_req, config_.max_loss_req) * config_.qos_scale;
+  loss_req = std::clamp(loss_req, 1e-6, 0.999);
+  req.qos_req = stream::QoSVector::from_metrics(delay_req, loss_req);
+
+  if (config_.strict_policy_fraction > 0.0 &&
+      rng_.bernoulli(config_.strict_policy_fraction)) {
+    req.policy.require_security(stream::SecurityLevel::kHardened);
+    req.policy.allow_licenses(
+        {stream::LicenseClass::kPermissive, stream::LicenseClass::kCopyleft});
+  }
+  return req;
+}
+
+std::vector<Request> RequestGenerator::generate_trace(double horizon_s) {
+  std::vector<Request> trace;
+  double t = 0.0;
+  for (;;) {
+    const double gap = next_interarrival(t);
+    if (gap == std::numeric_limits<double>::infinity()) break;
+    t += gap;
+    if (t >= horizon_s) break;
+    trace.push_back(make_request(t));
+  }
+  return trace;
+}
+
+}  // namespace acp::workload

@@ -1,0 +1,75 @@
+// Request generator: Poisson arrivals at a piecewise-constant rate schedule,
+// with per-request demands drawn uniformly (paper Sec. 4.1).
+//
+// The dynamic-workload experiment (Fig. 8) changes the request rate at
+// runtime: the schedule is a list of (start_minute, requests_per_minute)
+// steps. QoS-requirement strictness is controlled by `qos_scale` (Fig. 5(b)
+// sweeps it: lower scale = tighter requirements = "higher QoS").
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/request.h"
+#include "workload/templates.h"
+
+namespace acp::workload {
+
+struct RateStep {
+  double start_minute = 0.0;
+  double requests_per_minute = 0.0;
+};
+
+struct WorkloadConfig {
+  // End-system demand per function node (uniform).
+  double min_cpu = 2.0, max_cpu = 8.0;
+  double min_memory_mb = 10.0, max_memory_mb = 40.0;
+  // Bandwidth demand per dependency edge (uniform, kbps).
+  double min_bandwidth_kbps = 100.0, max_bandwidth_kbps = 400.0;
+  // End-to-end QoS requirement (uniform), scaled by qos_scale.
+  double min_delay_req_ms = 350.0, max_delay_req_ms = 1300.0;
+  double min_loss_req = 0.03, max_loss_req = 0.12;
+  /// < 1 tightens all QoS requirements ("higher QoS" in Fig. 5(b)).
+  double qos_scale = 1.0;
+  /// Fraction of requests carrying a strict security/license policy
+  /// (extension; see stream/constraints.h). The strict policy demands
+  /// security >= hardened and permissive/copyleft licenses.
+  double strict_policy_fraction = 0.0;
+  // Session lifetime (uniform; paper: 5–15 minutes).
+  double min_duration_s = 300.0, max_duration_s = 900.0;
+};
+
+class RequestGenerator {
+ public:
+  /// `ip_node_count` bounds client placement (clients are random IP hosts).
+  RequestGenerator(const stream::FunctionCatalog& catalog, const TemplateLibrary& templates,
+                   WorkloadConfig config, std::vector<RateStep> schedule,
+                   std::size_t ip_node_count, util::Rng rng);
+
+  /// Current request rate (requests/minute) at simulated time t (seconds).
+  double rate_at(double t_seconds) const;
+
+  /// Draws the next inter-arrival gap (seconds) for an arrival at time `t`
+  /// — exponential with the instantaneous rate. Returns +inf if the rate is
+  /// zero at `t` and every later step.
+  double next_interarrival(double t_seconds);
+
+  /// Materializes a request arriving at `t`.
+  Request make_request(double t_seconds);
+
+  /// Convenience: all arrivals in [0, horizon_s) as a ready-made trace.
+  std::vector<Request> generate_trace(double horizon_s);
+
+  std::uint64_t generated_count() const { return next_id_ - 1; }
+
+ private:
+  const stream::FunctionCatalog* catalog_;
+  const TemplateLibrary* templates_;
+  WorkloadConfig config_;
+  std::vector<RateStep> schedule_;
+  std::size_t ip_node_count_;
+  util::Rng rng_;
+  stream::RequestId next_id_ = 1;
+};
+
+}  // namespace acp::workload

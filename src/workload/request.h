@@ -1,0 +1,27 @@
+// A stream processing request: (ξ, Q^req, R^req) plus session metadata.
+//
+// The resource requirements R^req live inside the function graph (per-node
+// demands and per-edge bandwidth); the QoS requirement is the end-to-end
+// bound applied to every source→sink path.
+#pragma once
+
+#include "net/graph.h"
+#include "stream/constraints.h"
+#include "stream/function_graph.h"
+#include "stream/qos.h"
+#include "stream/types.h"
+
+namespace acp::workload {
+
+struct Request {
+  stream::RequestId id = 0;
+  stream::FunctionGraph graph;   ///< ξ with embedded R^req
+  stream::QoSVector qos_req;     ///< Q^req
+  stream::PolicyConstraint policy;  ///< security/license constraints (default: permissive)
+  double arrival_time = 0.0;     ///< seconds
+  double duration_s = 0.0;       ///< session lifetime (paper: 5–15 minutes)
+  net::NodeIndex client_ip = 0;  ///< IP host originating the request
+  std::size_t template_index = 0;  ///< which application template produced it
+};
+
+}  // namespace acp::workload

@@ -1,0 +1,153 @@
+#include "workload/templates.h"
+
+#include "util/error.h"
+
+namespace acp::workload {
+
+namespace {
+
+using stream::FunctionCatalog;
+using stream::FunctionId;
+
+/// Draws a chain of `len` pairwise-compatible functions starting from a
+/// random function (or from one accepting `start_fmt` when constrained).
+std::vector<FunctionId> draw_chain(const FunctionCatalog& catalog, std::size_t len,
+                                   util::Rng& rng) {
+  ACP_REQUIRE(len >= 1);
+  std::vector<FunctionId> chain;
+  chain.push_back(static_cast<FunctionId>(rng.below(catalog.size())));
+  while (chain.size() < len) {
+    const auto& prev = catalog.spec(chain.back());
+    const auto options = catalog.functions_accepting(prev.output_format);
+    ACP_ASSERT_MSG(!options.empty(), "catalog guarantees acceptors for every format");
+    chain.push_back(options[rng.below(options.size())]);
+  }
+  return chain;
+}
+
+/// Draws an interior chain for the second branch of a DAG: it must accept
+/// the split function's output and end with a function whose output feeds
+/// the merge function. Falls back to reusing the first branch's interior
+/// when constraints cannot be met within a bounded number of retries.
+std::vector<FunctionId> draw_branch_interior(const FunctionCatalog& catalog,
+                                             FunctionId split_fn, FunctionId merge_fn,
+                                             std::size_t interior_len,
+                                             const std::vector<FunctionId>& fallback,
+                                             util::Rng& rng) {
+  const auto& split = catalog.spec(split_fn);
+  const auto& merge = catalog.spec(merge_fn);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    std::vector<FunctionId> interior;
+    stream::FormatId fmt = split.output_format;
+    bool ok = true;
+    for (std::size_t i = 0; i < interior_len; ++i) {
+      auto options = catalog.functions_accepting(fmt);
+      if (i + 1 == interior_len) {
+        // Last interior function must output the merge function's input.
+        std::vector<FunctionId> constrained;
+        for (FunctionId f : options) {
+          if (catalog.spec(f).output_format == merge.input_format) constrained.push_back(f);
+        }
+        options = std::move(constrained);
+      }
+      if (options.empty()) {
+        ok = false;
+        break;
+      }
+      const FunctionId pick = options[rng.below(options.size())];
+      interior.push_back(pick);
+      fmt = catalog.spec(pick).output_format;
+    }
+    if (ok) return interior;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+TemplateLibrary TemplateLibrary::generate(const stream::FunctionCatalog& catalog,
+                                          const TemplateConfig& config, util::Rng& rng) {
+  ACP_REQUIRE(config.template_count >= 1);
+  ACP_REQUIRE(config.min_path_len >= 2 && config.max_path_len >= config.min_path_len);
+  TemplateLibrary lib;
+  lib.shapes_.reserve(config.template_count);
+
+  for (std::size_t t = 0; t < config.template_count; ++t) {
+    const bool dag = rng.uniform01() < config.dag_fraction;
+    TemplateShape shape;
+    shape.is_dag = dag;
+
+    if (!dag) {
+      const std::size_t len = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(config.min_path_len),
+                          static_cast<std::int64_t>(config.max_path_len)));
+      shape.functions = draw_chain(catalog, len, rng);
+      for (std::uint32_t i = 0; i + 1 < shape.functions.size(); ++i) {
+        shape.edges.emplace_back(i, i + 1);
+      }
+    } else {
+      // Two branch paths sharing split (first) and merge (last) functions.
+      // Branch path length counts split + interior + merge, so interiors
+      // have len-2 nodes; a branch path needs >= 3 nodes to have interior.
+      const std::size_t min_len = std::max<std::size_t>(3, config.min_path_len);
+      auto draw_len = [&] {
+        return static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(min_len),
+                            static_cast<std::int64_t>(std::max(min_len, config.max_path_len))));
+      };
+      const std::size_t len1 = draw_len();
+      const std::size_t len2 = draw_len();
+
+      const auto chain1 = draw_chain(catalog, len1, rng);  // split..merge inclusive
+      const FunctionId split_fn = chain1.front();
+      const FunctionId merge_fn = chain1.back();
+      const std::vector<FunctionId> interior1(chain1.begin() + 1, chain1.end() - 1);
+      const auto interior2 = draw_branch_interior(catalog, split_fn, merge_fn, len2 - 2,
+                                                  interior1, rng);
+
+      // Node layout: 0 = split, [1..n1] = branch 1, [n1+1..] = branch 2,
+      // last = merge.
+      shape.functions.push_back(split_fn);
+      for (FunctionId f : interior1) shape.functions.push_back(f);
+      for (FunctionId f : interior2) shape.functions.push_back(f);
+      shape.functions.push_back(merge_fn);
+
+      const std::uint32_t merge_idx = static_cast<std::uint32_t>(shape.functions.size() - 1);
+      std::uint32_t prev = 0;
+      for (std::size_t i = 0; i < interior1.size(); ++i) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(1 + i);
+        shape.edges.emplace_back(prev, idx);
+        prev = idx;
+      }
+      shape.edges.emplace_back(prev, merge_idx);
+      prev = 0;
+      for (std::size_t i = 0; i < interior2.size(); ++i) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(1 + interior1.size() + i);
+        shape.edges.emplace_back(prev, idx);
+        prev = idx;
+      }
+      shape.edges.emplace_back(prev, merge_idx);
+    }
+
+    ACP_ASSERT_MSG(well_formed(shape, catalog), "generated template must be well-formed");
+    lib.shapes_.push_back(std::move(shape));
+  }
+  return lib;
+}
+
+const TemplateShape& TemplateLibrary::shape(std::size_t i) const {
+  ACP_REQUIRE(i < shapes_.size());
+  return shapes_[i];
+}
+
+bool TemplateLibrary::well_formed(const TemplateShape& shape,
+                                  const stream::FunctionCatalog& catalog) {
+  if (shape.functions.empty()) return false;
+  for (const auto& [from, to] : shape.edges) {
+    if (from >= shape.functions.size() || to >= shape.functions.size()) return false;
+    if (!catalog.compatible(shape.functions[from], shape.functions[to])) return false;
+  }
+  return true;
+}
+
+}  // namespace acp::workload

@@ -1,0 +1,54 @@
+// Application templates (paper Sec. 4.1).
+//
+// The workload draws each request's function graph from 20 predefined
+// stream processing application templates. A template fixes the graph shape
+// and the function at each node — chosen so adjacent functions are
+// interface-compatible — while per-request resource demands, bandwidth
+// demands, and QoS requirements are drawn fresh by the request generator.
+//
+// Shapes follow the paper: a linear path, or a DAG with two branch paths
+// that share their first (split) and last (merge) function; each source→sink
+// path has 2–5 function nodes.
+#pragma once
+
+#include <vector>
+
+#include "stream/function.h"
+#include "stream/function_graph.h"
+#include "util/rng.h"
+
+namespace acp::workload {
+
+struct TemplateShape {
+  /// Function at each template node.
+  std::vector<stream::FunctionId> functions;
+  /// Edges between template node indices.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  bool is_dag = false;  ///< true when two branch paths exist
+};
+
+struct TemplateConfig {
+  std::size_t template_count = 20;  ///< paper: 20 templates
+  std::size_t min_path_len = 2;     ///< nodes per (branch) path, inclusive
+  std::size_t max_path_len = 5;
+  double dag_fraction = 0.5;  ///< fraction of templates that are 2-branch DAGs
+};
+
+class TemplateLibrary {
+ public:
+  /// Generates `config.template_count` interface-compatible templates.
+  static TemplateLibrary generate(const stream::FunctionCatalog& catalog,
+                                  const TemplateConfig& config, util::Rng& rng);
+
+  std::size_t size() const { return shapes_.size(); }
+  const TemplateShape& shape(std::size_t i) const;
+
+  /// Validates a shape against the catalog: every edge connects compatible
+  /// functions. Exposed for tests.
+  static bool well_formed(const TemplateShape& shape, const stream::FunctionCatalog& catalog);
+
+ private:
+  std::vector<TemplateShape> shapes_;
+};
+
+}  // namespace acp::workload

@@ -1,0 +1,125 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace acp::workload {
+
+namespace {
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& why) {
+  throw PreconditionError("trace line " + std::to_string(line_no) + ": " + why);
+}
+
+std::uint32_t license_mask_of(const stream::PolicyConstraint& policy) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < stream::kLicenseClassCount; ++i) {
+    if (policy.license_allowed(static_cast<stream::LicenseClass>(i))) {
+      mask |= 1u << i;
+    }
+  }
+  return mask;
+}
+
+stream::PolicyConstraint policy_from(std::uint32_t min_security, std::uint32_t license_mask) {
+  stream::PolicyConstraint policy;
+  policy.require_security(static_cast<stream::SecurityLevel>(min_security));
+  const std::uint32_t all = (1u << stream::kLicenseClassCount) - 1;
+  if ((license_mask & all) != all) {
+    std::vector<stream::LicenseClass> allowed;
+    for (std::size_t i = 0; i < stream::kLicenseClassCount; ++i) {
+      if (license_mask & (1u << i)) allowed.push_back(static_cast<stream::LicenseClass>(i));
+    }
+    // allow_licenses takes an initializer_list; rebuild explicitly.
+    switch (allowed.size()) {
+      case 0: malformed(0, "policy allows no licenses");
+      case 1: policy.allow_licenses({allowed[0]}); break;
+      case 2: policy.allow_licenses({allowed[0], allowed[1]}); break;
+      case 3: policy.allow_licenses({allowed[0], allowed[1], allowed[2]}); break;
+      default: break;  // all four = permissive, nothing to restrict
+    }
+  }
+  return policy;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<Request>& trace) {
+  os << "# acpstream request trace v1: " << trace.size() << " requests\n";
+  os.precision(17);
+  for (const auto& req : trace) {
+    os << "R " << req.id << ' ' << req.arrival_time << ' ' << req.duration_s << ' '
+       << req.client_ip << ' ' << req.template_index << ' ' << req.qos_req.delay_ms() << ' '
+       << req.qos_req.loss_probability() << ' '
+       << static_cast<unsigned>(req.policy.min_security()) << ' '
+       << license_mask_of(req.policy) << '\n';
+    for (stream::FnNodeIndex n = 0; n < req.graph.node_count(); ++n) {
+      const auto& node = req.graph.node(n);
+      os << "N " << node.function << ' ' << node.required.cpu() << ' '
+         << node.required.memory_mb() << '\n';
+    }
+    for (stream::FnEdgeIndex e = 0; e < req.graph.edge_count(); ++e) {
+      const auto& edge = req.graph.edge(e);
+      os << "E " << edge.from << ' ' << edge.to << ' ' << edge.required_bandwidth_kbps << '\n';
+    }
+  }
+}
+
+std::vector<Request> read_trace(std::istream& is) {
+  std::vector<Request> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'R') {
+      Request req;
+      double delay_req = 0, loss_req = 0;
+      unsigned min_sec = 0;
+      std::uint32_t mask = 0;
+      ls >> req.id >> req.arrival_time >> req.duration_s >> req.client_ip >>
+          req.template_index >> delay_req >> loss_req >> min_sec >> mask;
+      if (!ls) malformed(line_no, "bad request header");
+      if (min_sec > 3) malformed(line_no, "bad security level");
+      req.qos_req = stream::QoSVector::from_metrics(delay_req, loss_req);
+      req.policy = policy_from(min_sec, mask);
+      trace.push_back(std::move(req));
+    } else if (tag == 'N') {
+      if (trace.empty()) malformed(line_no, "node record before any request header");
+      stream::FunctionId fn = 0;
+      double cpu = 0, mem = 0;
+      ls >> fn >> cpu >> mem;
+      if (!ls) malformed(line_no, "bad node record");
+      trace.back().graph.add_node(fn, stream::ResourceVector(cpu, mem));
+    } else if (tag == 'E') {
+      if (trace.empty()) malformed(line_no, "edge record before any request header");
+      stream::FnNodeIndex from = 0, to = 0;
+      double bw = 0;
+      ls >> from >> to >> bw;
+      if (!ls) malformed(line_no, "bad edge record");
+      trace.back().graph.add_edge(from, to, bw);
+    } else {
+      malformed(line_no, std::string("unknown record tag '") + tag + "'");
+    }
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const std::vector<Request>& trace) {
+  std::ofstream f(path);
+  if (!f) throw PreconditionError("cannot open for writing: " + path);
+  write_trace(f, trace);
+}
+
+std::vector<Request> load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw PreconditionError("cannot open for reading: " + path);
+  return read_trace(f);
+}
+
+}  // namespace acp::workload

@@ -1,0 +1,35 @@
+// Request-trace serialization.
+//
+// The paper's profiling uses "trace replay of actual workloads in the last
+// sampling period" (Sec. 3.4); persisting traces also makes experiments
+// portable: record a workload once, replay it bit-for-bit anywhere.
+//
+// Format: a line-oriented text format, one record per line.
+//   R <id> <arrival> <duration> <client_ip> <template> <delay_req_ms>
+//     <loss_req> <min_security> <license_mask_bits...>   — request header
+//   N <function> <cpu> <mem>                             — one per fn node
+//   E <from> <to> <bw_kbps>                              — one per edge
+// Requests are separated by their headers; nodes/edges belong to the most
+// recent header. '#' starts a comment line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace acp::workload {
+
+/// Writes `trace` to a stream. Policy constraints are preserved.
+void write_trace(std::ostream& os, const std::vector<Request>& trace);
+
+/// Reads a trace written by write_trace. Throws PreconditionError on
+/// malformed input (with the offending line number).
+std::vector<Request> read_trace(std::istream& is);
+
+/// File convenience wrappers; throw on I/O failure.
+void save_trace(const std::string& path, const std::vector<Request>& trace);
+std::vector<Request> load_trace(const std::string& path);
+
+}  // namespace acp::workload

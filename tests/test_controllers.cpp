@@ -1,0 +1,143 @@
+// Tests for the PI probing-ratio controller (paper Sec. 6 extension) and
+// its integration into the tuner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/controllers.h"
+#include "core/tuner.h"
+#include "net/topology.h"
+
+namespace acp::core {
+namespace {
+
+TEST(PiController, StartsAtInitialOutput) {
+  PiController pi;
+  EXPECT_DOUBLE_EQ(pi.output(), 0.1);
+}
+
+TEST(PiController, RaisesOutputWhenBelowTarget) {
+  PiControllerConfig cfg;
+  cfg.target = 0.9;
+  PiController pi(cfg);
+  const double before = pi.output();
+  pi.update(0.5);  // measured far below target
+  EXPECT_GT(pi.output(), before);
+}
+
+TEST(PiController, LowersOutputWhenAboveTarget) {
+  PiControllerConfig cfg;
+  cfg.target = 0.5;
+  cfg.initial_output = 0.8;
+  PiController pi(cfg);
+  pi.update(1.0);
+  EXPECT_LT(pi.output(), 0.8);
+}
+
+TEST(PiController, OutputStaysClamped) {
+  PiControllerConfig cfg;
+  cfg.target = 0.99;
+  PiController pi(cfg);
+  for (int i = 0; i < 50; ++i) pi.update(0.0);  // persistent miss
+  EXPECT_DOUBLE_EQ(pi.output(), cfg.max_output);
+  for (int i = 0; i < 50; ++i) pi.update(1.0);  // persistent overshoot
+  EXPECT_GE(pi.output(), cfg.min_output);
+}
+
+TEST(PiController, AntiWindupLimitsIntegral) {
+  PiControllerConfig cfg;
+  cfg.target = 0.9;
+  PiController pi(cfg);
+  for (int i = 0; i < 100; ++i) pi.update(0.0);  // saturated high
+  const double wound = pi.integral();
+  // Without anti-windup the integral would be ~100 * 0.9 = 90.
+  EXPECT_LT(wound, 10.0);
+  // Recovery must be fast: a few good windows bring output off the rail.
+  for (int i = 0; i < 5; ++i) pi.update(1.0);
+  EXPECT_LT(pi.output(), cfg.max_output);
+}
+
+TEST(PiController, ConvergesOnAffinePlant) {
+  // Plant: success = clamp(0.3 + 0.7 * alpha). Fixed point for target 0.8
+  // is alpha ≈ 0.714.
+  PiControllerConfig cfg;
+  cfg.target = 0.8;
+  cfg.kp = 0.4;
+  cfg.ki = 0.15;
+  PiController pi(cfg);
+  double alpha = pi.output();
+  for (int i = 0; i < 200; ++i) {
+    const double success = std::min(1.0, 0.3 + 0.7 * alpha);
+    alpha = pi.update(success);
+  }
+  EXPECT_NEAR(alpha, (0.8 - 0.3) / 0.7, 0.02);
+}
+
+TEST(PiController, ResetRestoresInitialState) {
+  PiController pi;
+  pi.update(0.0);
+  pi.update(0.0);
+  pi.reset();
+  EXPECT_DOUBLE_EQ(pi.output(), pi.config().initial_output);
+  EXPECT_DOUBLE_EQ(pi.integral(), 0.0);
+}
+
+TEST(PiController, RejectsBadConfigAndInput) {
+  PiControllerConfig bad;
+  bad.min_output = 0.0;
+  EXPECT_THROW(PiController{bad}, acp::PreconditionError);
+  PiController pi;
+  EXPECT_THROW(pi.update(-0.1), acp::PreconditionError);
+  EXPECT_THROW(pi.update(1.1), acp::PreconditionError);
+}
+
+// ---- Tuner integration -------------------------------------------------------
+
+struct PiTunerFixture : ::testing::Test {
+  void SetUp() override {
+    util::Rng rng(42);
+    net::TopologyConfig tc;
+    tc.node_count = 150;
+    ip = net::generate_power_law_topology(tc, rng);
+    net::OverlayConfig oc;
+    oc.member_count = 8;
+    util::Rng orng(43);
+    mesh = std::make_unique<net::OverlayMesh>(ip, oc, orng);
+    util::Rng crng(44);
+    sys = std::make_unique<stream::StreamSystem>(*mesh,
+                                                 stream::FunctionCatalog::generate(4, crng));
+  }
+
+  net::Graph ip;
+  std::unique_ptr<net::OverlayMesh> mesh;
+  std::unique_ptr<stream::StreamSystem> sys;
+  sim::Engine engine;
+};
+
+TEST_F(PiTunerFixture, PiModeAdjustsAlphaWithoutTrace) {
+  TunerConfig cfg;
+  cfg.mode = TuningMode::kPi;
+  cfg.target_success_rate = 0.9;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  const double before = tuner.alpha();
+  // Below-target window: alpha must rise, with NO profiling run (no trace
+  // needed in PI mode).
+  for (int i = 0; i < 20; ++i) tuner.record_outcome(false);
+  tuner.run_sampling_tick();
+  EXPECT_GT(tuner.alpha(), before);
+  EXPECT_EQ(tuner.profiling_runs(), 0u);
+}
+
+TEST_F(PiTunerFixture, PiModeRelaxesWhenOverTarget) {
+  TunerConfig cfg;
+  cfg.mode = TuningMode::kPi;
+  cfg.target_success_rate = 0.5;
+  cfg.base_alpha = 0.6;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 20; ++i) tuner.record_outcome(true);
+  tuner.run_sampling_tick();
+  EXPECT_LT(tuner.alpha(), 0.6);
+}
+
+}  // namespace
+}  // namespace acp::core

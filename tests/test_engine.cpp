@@ -1,0 +1,168 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/counters.h"
+
+namespace acp::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  double seen = -1;
+  e.schedule_at(5.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.5);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  double seen = -1;
+  e.schedule_at(2.0, [&] {
+    e.schedule_after(3.0, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), PreconditionError);
+}
+
+TEST(Engine, RejectsNullCallback) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, nullptr), PreconditionError);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const auto id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelReturnsFalseTwice) {
+  Engine e;
+  const auto id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(99999));
+}
+
+TEST(Engine, RunUntilIsInclusiveAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.schedule_at(2.5, [&] { ++fired; });
+  const auto n = e.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) e.schedule_after(1.0, recurse);
+  };
+  e.schedule_at(0.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+  EXPECT_EQ(e.events_fired(), 10u);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const auto a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Counters, TotalsAndGrandTotal) {
+  CounterSet c;
+  c.add("a");
+  c.add("a", 4);
+  c.add("b", 2);
+  EXPECT_EQ(c.total("a"), 5u);
+  EXPECT_EQ(c.total("b"), 2u);
+  EXPECT_EQ(c.total("missing"), 0u);
+  EXPECT_EQ(c.grand_total(), 7u);
+}
+
+TEST(Counters, WindowRates) {
+  CounterSet c;
+  c.add("probe", 100);
+  c.begin_window(60.0);  // t = 1 min
+  c.add("probe", 30);
+  c.add("update", 6);
+  EXPECT_EQ(c.window_count("probe"), 30u);
+  EXPECT_EQ(c.window_count("update"), 6u);
+  EXPECT_EQ(c.window_grand_count(), 36u);
+  // 3 minutes later: 30 probes / 3 min = 10/min.
+  EXPECT_DOUBLE_EQ(c.window_rate_per_minute("probe", 240.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.window_grand_rate_per_minute(240.0), 12.0);
+}
+
+TEST(Counters, ZeroWidthWindowRateIsZero) {
+  CounterSet c;
+  c.begin_window(10.0);
+  c.add("x");
+  EXPECT_DOUBLE_EQ(c.window_rate_per_minute("x", 10.0), 0.0);
+}
+
+TEST(Counters, ResetClearsEverything) {
+  CounterSet c;
+  c.add("x", 5);
+  c.begin_window(0.0);
+  c.reset();
+  EXPECT_EQ(c.grand_total(), 0u);
+  EXPECT_EQ(c.window_count("x"), 0u);
+}
+
+}  // namespace
+}  // namespace acp::sim

@@ -1,0 +1,33 @@
+// Shared helpers for test fixtures.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "stream/function.h"
+
+namespace acp::testing {
+
+/// Finds `len` pairwise interface-compatible functions (a valid chain) in
+/// the catalog via DFS. Fixtures use this so hand-built function graphs
+/// satisfy the same compatibility invariants template-generated ones do.
+inline std::vector<stream::FunctionId> compatible_chain(const stream::FunctionCatalog& catalog,
+                                                        std::size_t len) {
+  std::vector<stream::FunctionId> chain;
+  std::function<bool()> extend = [&]() -> bool {
+    if (chain.size() == len) return true;
+    for (stream::FunctionId f = 0; f < catalog.size(); ++f) {
+      if (std::find(chain.begin(), chain.end(), f) != chain.end()) continue;  // distinct
+      if (!chain.empty() && !catalog.compatible(chain.back(), f)) continue;
+      chain.push_back(f);
+      if (extend()) return true;
+      chain.pop_back();
+    }
+    return false;
+  };
+  if (!extend()) throw PreconditionError("catalog admits no compatible chain of that length");
+  return chain;
+}
+
+}  // namespace acp::testing

@@ -1,0 +1,224 @@
+// Tests for the graph container, topology generator, and routing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/graph.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace acp::net {
+namespace {
+
+// ---- Graph -----------------------------------------------------------------
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  const auto e = g.add_edge(0, 1, 5.0, 100.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).other(0), 1u);
+  EXPECT_EQ(g.edge(e).other(1), 0u);
+  EXPECT_EQ(g.add_node(), 3u);
+}
+
+TEST(Graph, RejectsSelfLoopAndBadIndices) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0, 1.0), acp::PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0, 1.0), acp::PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0, 1.0), acp::PreconditionError);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  EXPECT_NE(g.find_edge(0, 1), kNoEdge);
+  EXPECT_NE(g.find_edge(1, 0), kNoEdge);
+  EXPECT_EQ(g.find_edge(0, 2), kNoEdge);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Graph, ComponentsAndConnectivity) {
+  Graph g(5);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  std::vector<std::uint32_t> labels;
+  EXPECT_EQ(g.components(labels), 3u);  // {0,1} {2,3} {4}
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(3, 4, 1, 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, DegreeAndNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(0, 3, 1, 1);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+}
+
+// ---- Topology generator ------------------------------------------------------
+
+TEST(Topology, GeneratesConnectedGraphOfRequestedSize) {
+  util::Rng rng(42);
+  TopologyConfig cfg;
+  cfg.node_count = 500;
+  const auto g = generate_power_law_topology(cfg, rng);
+  EXPECT_EQ(g.node_count(), 500u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.edge_count(), 499u);  // at least the spanning tree
+}
+
+TEST(Topology, DeterministicForSeed) {
+  TopologyConfig cfg;
+  cfg.node_count = 200;
+  util::Rng r1(7), r2(7);
+  const auto g1 = generate_power_law_topology(cfg, r1);
+  const auto g2 = generate_power_law_topology(cfg, r2);
+  ASSERT_EQ(g1.edge_count(), g2.edge_count());
+  for (EdgeIndex e = 0; e < g1.edge_count(); ++e) {
+    EXPECT_EQ(g1.edge(e).a, g2.edge(e).a);
+    EXPECT_EQ(g1.edge(e).b, g2.edge(e).b);
+    EXPECT_DOUBLE_EQ(g1.edge(e).delay_ms, g2.edge(e).delay_ms);
+  }
+}
+
+TEST(Topology, LinkMetricsWithinConfiguredRanges) {
+  util::Rng rng(11);
+  TopologyConfig cfg;
+  cfg.node_count = 300;
+  const auto g = generate_power_law_topology(cfg, rng);
+  for (EdgeIndex e = 0; e < g.edge_count(); ++e) {
+    EXPECT_GE(g.edge(e).delay_ms, cfg.min_delay_ms);
+    EXPECT_LE(g.edge(e).delay_ms, cfg.max_delay_ms);
+    EXPECT_GE(g.edge(e).capacity_kbps, cfg.min_capacity_kbps);
+    EXPECT_LE(g.edge(e).capacity_kbps, cfg.max_capacity_kbps);
+  }
+}
+
+TEST(Topology, DegreeDistributionIsHeavyTailed) {
+  util::Rng rng(13);
+  TopologyConfig cfg;
+  cfg.node_count = 2000;
+  const auto g = generate_power_law_topology(cfg, rng);
+  // Power law ⇒ clearly negative log-log slope of the degree histogram.
+  EXPECT_LT(estimate_power_law_slope(g), -1.0);
+  // And a hub much larger than the median degree.
+  std::size_t max_deg = 0;
+  for (NodeIndex i = 0; i < g.node_count(); ++i) max_deg = std::max(max_deg, g.degree(i));
+  EXPECT_GE(max_deg, 20u);
+}
+
+TEST(Topology, SampleDegreeRespectsTruncation) {
+  util::Rng rng(17);
+  TopologyConfig cfg;
+  cfg.min_degree = 2;
+  cfg.max_degree = 9;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = sample_power_law_degree(cfg, rng);
+    ASSERT_GE(d, 2u);
+    ASSERT_LE(d, 9u);
+  }
+}
+
+class TopologyExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TopologyExponentSweep, AlwaysConnectedAcrossExponents) {
+  TopologyConfig cfg;
+  cfg.node_count = 400;
+  cfg.power_law_exponent = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  const auto g = generate_power_law_topology(cfg, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.node_count(), 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, TopologyExponentSweep,
+                         ::testing::Values(1.8, 2.0, 2.2, 2.5, 3.0));
+
+// ---- Routing ------------------------------------------------------------------
+
+Graph diamond() {
+  // 0 -1ms- 1 -1ms- 3,  0 -5ms- 2 -1ms- 3: shortest 0→3 via 1 (2ms).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 100.0);
+  g.add_edge(1, 3, 1.0, 50.0);
+  g.add_edge(0, 2, 5.0, 200.0);
+  g.add_edge(2, 3, 1.0, 200.0);
+  return g;
+}
+
+TEST(Routing, DijkstraFindsShortestDelays) {
+  const auto g = diamond();
+  const auto t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.distance[3], 2.0);
+  EXPECT_DOUBLE_EQ(t.distance[2], 3.0);  // via 3, not the 5ms direct edge
+}
+
+TEST(Routing, PathExtraction) {
+  const auto g = diamond();
+  const auto t = dijkstra(g, 0);
+  EXPECT_EQ(extract_path(t, 3), (std::vector<NodeIndex>{0, 1, 3}));
+  const auto edges = extract_path_edges(t, 3);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], g.find_edge(0, 1));
+  EXPECT_EQ(edges[1], g.find_edge(1, 3));
+}
+
+TEST(Routing, UnreachableNodes) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  const auto t = dijkstra(g, 0);
+  EXPECT_EQ(t.distance[2], kUnreachable);
+  EXPECT_TRUE(extract_path(t, 2).empty());
+  EXPECT_TRUE(extract_path_edges(t, 2).empty());
+}
+
+TEST(Routing, TableSubsetOfSources) {
+  const auto g = diamond();
+  RoutingTable rt(g, {0, 3});
+  EXPECT_TRUE(rt.has_source(0));
+  EXPECT_TRUE(rt.has_source(3));
+  EXPECT_FALSE(rt.has_source(1));
+  EXPECT_DOUBLE_EQ(rt.distance(0, 3), 2.0);
+  EXPECT_THROW(rt.distance(1, 0), acp::PreconditionError);
+}
+
+TEST(Routing, BottleneckCapacity) {
+  const auto g = diamond();
+  RoutingTable rt(g, {0});
+  // Path 0→1→3 has capacities 100, 50 → bottleneck 50.
+  EXPECT_DOUBLE_EQ(rt.bottleneck_capacity(g, 0, 3), 50.0);
+  EXPECT_TRUE(std::isinf(rt.bottleneck_capacity(g, 0, 0)));
+}
+
+TEST(Routing, FullTableMatchesPairwiseDijkstra) {
+  util::Rng rng(23);
+  TopologyConfig cfg;
+  cfg.node_count = 60;
+  const auto g = generate_power_law_topology(cfg, rng);
+  RoutingTable rt(g);
+  for (NodeIndex s = 0; s < 10; ++s) {
+    const auto t = dijkstra(g, s);
+    for (NodeIndex d = 0; d < g.node_count(); ++d) {
+      EXPECT_DOUBLE_EQ(rt.distance(s, d), t.distance[d]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acp::net

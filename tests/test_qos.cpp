@@ -1,0 +1,79 @@
+#include "stream/qos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acp::stream {
+namespace {
+
+TEST(QoS, LossTransformRoundTrips) {
+  for (double p : {0.0, 0.01, 0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(additive_to_loss(loss_to_additive(p)), p, 1e-12);
+  }
+}
+
+TEST(QoS, LossTransformRejectsInvalid) {
+  EXPECT_THROW(loss_to_additive(-0.1), acp::PreconditionError);
+  EXPECT_THROW(loss_to_additive(1.0), acp::PreconditionError);
+  EXPECT_THROW(additive_to_loss(-1.0), acp::PreconditionError);
+}
+
+TEST(QoS, AdditiveLossComposesLikeIndependentLosses) {
+  // End-to-end loss of two stages with p1, p2: 1 - (1-p1)(1-p2).
+  const auto a = QoSVector::from_metrics(10.0, 0.02);
+  const auto b = QoSVector::from_metrics(5.0, 0.03);
+  const auto sum = a + b;
+  EXPECT_NEAR(sum.loss_probability(), 1.0 - 0.98 * 0.97, 1e-12);
+  EXPECT_DOUBLE_EQ(sum.delay_ms(), 15.0);
+}
+
+TEST(QoS, DefaultIsZero) {
+  QoSVector q;
+  EXPECT_DOUBLE_EQ(q.delay_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(q.loss_probability(), 0.0);
+}
+
+TEST(QoS, SatisfiesIsElementWise) {
+  const auto req = QoSVector::from_metrics(100.0, 0.05);
+  EXPECT_TRUE(QoSVector::from_metrics(100.0, 0.05).satisfies(req));  // equality ok
+  EXPECT_TRUE(QoSVector::from_metrics(50.0, 0.01).satisfies(req));
+  EXPECT_FALSE(QoSVector::from_metrics(101.0, 0.01).satisfies(req));
+  EXPECT_FALSE(QoSVector::from_metrics(50.0, 0.06).satisfies(req));
+}
+
+TEST(QoS, MaxRatioPicksWorstDimension) {
+  const auto req = QoSVector::from_additive(100.0, 1.0);
+  const auto v = QoSVector::from_additive(50.0, 0.9);
+  EXPECT_DOUBLE_EQ(v.max_ratio(req), 0.9);
+  const auto w = QoSVector::from_additive(80.0, 0.2);
+  EXPECT_DOUBLE_EQ(w.max_ratio(req), 0.8);
+}
+
+TEST(QoS, MaxRatioHandlesZeroRequirement) {
+  const auto req = QoSVector::from_additive(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(QoSVector::from_additive(50.0, 0.0).max_ratio(req), 0.5);
+  EXPECT_TRUE(std::isinf(QoSVector::from_additive(50.0, 0.1).max_ratio(req)));
+}
+
+TEST(QoS, PlusEqualsAccumulates) {
+  QoSVector q;
+  q += QoSVector::from_additive(1.0, 0.1);
+  q += QoSVector::from_additive(2.0, 0.2);
+  EXPECT_DOUBLE_EQ(q.delay_ms(), 3.0);
+  EXPECT_NEAR(q.additive_loss(), 0.3, 1e-12);
+}
+
+TEST(QoS, FromAdditiveRejectsNegative) {
+  EXPECT_THROW(QoSVector::from_additive(-1.0, 0.0), acp::PreconditionError);
+  EXPECT_THROW(QoSVector::from_additive(0.0, -1.0), acp::PreconditionError);
+}
+
+TEST(QoS, ToStringMentionsBothMetrics) {
+  const auto s = QoSVector::from_metrics(12.0, 0.05).to_string();
+  EXPECT_NE(s.find("delay"), std::string::npos);
+  EXPECT_NE(s.find("loss"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acp::stream

@@ -1,0 +1,75 @@
+// Tests for multi-seed experiment aggregation.
+#include <gtest/gtest.h>
+
+#include "exp/repeated.h"
+
+namespace acp::exp {
+namespace {
+
+SystemConfig tiny_system() {
+  SystemConfig cfg;
+  cfg.seed = 42;
+  cfg.topology.node_count = 500;
+  cfg.overlay.member_count = 60;
+  cfg.components_per_node = 2;
+  return cfg;
+}
+
+ExperimentConfig tiny_run() {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kAcp;
+  cfg.duration_minutes = 4.0;
+  cfg.schedule = {{0.0, 40.0}};
+  cfg.sample_period_minutes = 2.0;
+  return cfg;
+}
+
+TEST(Repeated, AggregatesAcrossSeeds) {
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  const auto agg = run_repeated(fabric, sys_cfg, tiny_run(), 4);
+  EXPECT_EQ(agg.runs, 4u);
+  ASSERT_EQ(agg.individual.size(), 4u);
+
+  // Mean lies within [min, max]; both come from real runs.
+  EXPECT_GE(agg.success_rate.mean, agg.success_rate.min);
+  EXPECT_LE(agg.success_rate.mean, agg.success_rate.max);
+  EXPECT_GE(agg.success_rate.min, 0.0);
+  EXPECT_LE(agg.success_rate.max, 1.0);
+  EXPECT_GE(agg.success_rate.stddev, 0.0);
+  EXPECT_GT(agg.overhead_per_minute.mean, 0.0);
+
+  // Distinct seeds actually produce distinct workloads.
+  bool any_diff = false;
+  for (std::size_t i = 1; i < agg.individual.size(); ++i) {
+    any_diff |= agg.individual[i].requests != agg.individual[0].requests;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Repeated, SingleRunHasZeroStddev) {
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  const auto agg = run_repeated(fabric, sys_cfg, tiny_run(), 1);
+  EXPECT_EQ(agg.runs, 1u);
+  EXPECT_DOUBLE_EQ(agg.success_rate.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(agg.success_rate.mean, agg.individual[0].success_rate);
+}
+
+TEST(Repeated, DeterministicAggregation) {
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  const auto a = run_repeated(fabric, sys_cfg, tiny_run(), 3);
+  const auto b = run_repeated(fabric, sys_cfg, tiny_run(), 3);
+  EXPECT_DOUBLE_EQ(a.success_rate.mean, b.success_rate.mean);
+  EXPECT_DOUBLE_EQ(a.overhead_per_minute.mean, b.overhead_per_minute.mean);
+}
+
+TEST(Repeated, RejectsZeroRuns) {
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  EXPECT_THROW(run_repeated(fabric, sys_cfg, tiny_run(), 0), acp::PreconditionError);
+}
+
+}  // namespace
+}  // namespace acp::exp

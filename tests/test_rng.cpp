@@ -1,0 +1,218 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace acp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  const auto first = a.next();
+  a.reseed(99);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(7);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next() == c2.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.5);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(11);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(17);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, PoissonMeanSmall) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(29);
+  for (int i = 0; i < 5000; ++i) ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ZipfFavorsSmallRanks) {
+  Rng rng(31);
+  std::size_t ones = 0, tens = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = rng.zipf(10, 1.0);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 10u);
+    if (k == 1) ++ones;
+    if (k == 10) ++tens;
+  }
+  EXPECT_GT(ones, tens * 5);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (auto s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng(43);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(43);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), PreconditionError);
+}
+
+// Property sweep: `below(n)` is unbiased enough that each value's frequency
+// is within 20% of uniform across a range of n.
+class RngBelowUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowUniformity, RoughlyUniform) {
+  const std::uint64_t n = GetParam();
+  Rng rng(1000 + n);
+  std::vector<std::size_t> counts(n, 0);
+  const std::size_t draws = 20000 * n;
+  for (std::size_t i = 0; i < draws; ++i) ++counts[rng.below(n)];
+  const double expected = static_cast<double>(draws) / static_cast<double>(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]), expected, expected * 0.2)
+        << "value " << v << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallRanges, RngBelowUniformity, ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace acp::util

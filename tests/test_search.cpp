@@ -1,0 +1,275 @@
+// Tests for the synchronous composition searches: exhaustive (with its
+// bound-based pruning cross-checked against a naive brute force), guided
+// beam search, random/static assignment, and path merging.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/search.h"
+#include "test_helpers.h"
+#include "net/topology.h"
+#include "workload/generator.h"
+
+namespace acp::core {
+namespace {
+
+using stream::ComponentGraph;
+using stream::ComponentId;
+using stream::FnNodeIndex;
+using stream::QoSVector;
+using stream::ResourceVector;
+
+struct SearchFixture : ::testing::Test {
+  void SetUp() override {
+    util::Rng rng(42);
+    net::TopologyConfig tc;
+    tc.node_count = 200;
+    ip = net::generate_power_law_topology(tc, rng);
+    net::OverlayConfig oc;
+    oc.member_count = 12;
+    util::Rng orng(43);
+    mesh = std::make_unique<net::OverlayMesh>(ip, oc, orng);
+    util::Rng crng(44);
+    sys = std::make_unique<stream::StreamSystem>(*mesh,
+                                                 stream::FunctionCatalog::generate(6, crng));
+    util::Rng drng(45);
+    for (stream::NodeId n = 0; n < sys->node_count(); ++n) {
+      sys->set_node_capacity(n, ResourceVector(100.0, 1000.0));
+    }
+    // A compatible function chain with 3 candidates per function.
+    chain = acp::testing::compatible_chain(sys->catalog(), 3);
+    for (stream::FunctionId f : chain) {
+      for (int i = 0; i < 3; ++i) {
+        sys->add_component(f, static_cast<stream::NodeId>(drng.below(sys->node_count())),
+                           QoSVector::from_metrics(drng.uniform(5.0, 20.0), 0.001));
+      }
+    }
+  }
+
+  std::vector<stream::FunctionId> chain;
+
+  workload::Request path_request() {
+    workload::Request req;
+    req.id = 1;
+    req.graph.add_node(chain[0], ResourceVector(10.0, 100.0));
+    req.graph.add_node(chain[1], ResourceVector(10.0, 100.0));
+    req.graph.add_node(chain[2], ResourceVector(10.0, 100.0));
+    req.graph.add_edge(0, 1, 100.0);
+    req.graph.add_edge(1, 2, 100.0);
+    req.qos_req = QoSVector::from_metrics(2000.0, 0.5);
+    return req;
+  }
+
+  workload::Request dag_request() {
+    workload::Request req;
+    req.id = 2;
+    // 0 → {1, 2} → 3: both branches use the chain's middle function.
+    req.graph.add_node(chain[0], ResourceVector(10.0, 100.0));
+    req.graph.add_node(chain[1], ResourceVector(10.0, 100.0));
+    req.graph.add_node(chain[1], ResourceVector(10.0, 100.0));
+    req.graph.add_node(chain[2], ResourceVector(10.0, 100.0));
+    req.graph.add_edge(0, 1, 100.0);
+    req.graph.add_edge(1, 3, 100.0);
+    req.graph.add_edge(0, 2, 100.0);
+    req.graph.add_edge(2, 3, 100.0);
+    req.qos_req = QoSVector::from_metrics(2000.0, 0.5);
+    return req;
+  }
+
+  /// Naive reference: enumerate the full candidate cross-product via
+  /// ComponentGraph::qualified / congestion_aggregation and return min-φ.
+  std::optional<double> brute_force_best_phi(const workload::Request& req) {
+    std::vector<const std::vector<ComponentId>*> cand_lists;
+    for (FnNodeIndex i = 0; i < req.graph.node_count(); ++i) {
+      cand_lists.push_back(&sys->components_providing(req.graph.node(i).function));
+      if (cand_lists.back()->empty()) return std::nullopt;
+    }
+    std::optional<double> best;
+    std::vector<std::size_t> idx(req.graph.node_count(), 0);
+    for (;;) {
+      ComponentGraph g(req.graph);
+      for (FnNodeIndex i = 0; i < req.graph.node_count(); ++i) {
+        g.assign(i, (*cand_lists[i])[idx[i]]);
+      }
+      if (g.qualified(*sys, sys->true_state(), req.qos_req, 0.0)) {
+        const double phi = g.congestion_aggregation(*sys, sys->true_state(), 0.0);
+        if (!best || phi < *best) best = phi;
+      }
+      // Odometer increment.
+      std::size_t d = 0;
+      while (d < idx.size() && ++idx[d] == cand_lists[d]->size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == idx.size()) break;
+    }
+    return best;
+  }
+
+  net::Graph ip;
+  std::unique_ptr<net::OverlayMesh> mesh;
+  std::unique_ptr<stream::StreamSystem> sys;
+};
+
+TEST_F(SearchFixture, ExhaustiveMatchesBruteForceOnPath) {
+  const auto req = path_request();
+  const auto expected = brute_force_best_phi(req);
+  SearchStats stats;
+  const auto found = exhaustive_best(*sys, req, sys->true_state(), 0.0, &stats);
+  ASSERT_EQ(found.has_value(), expected.has_value());
+  if (found) {
+    EXPECT_NEAR(found->congestion_aggregation(*sys, sys->true_state(), 0.0), *expected, 1e-9);
+    EXPECT_TRUE(found->qualified(*sys, sys->true_state(), req.qos_req, 0.0));
+  }
+}
+
+TEST_F(SearchFixture, ExhaustiveMatchesBruteForceOnDag) {
+  const auto req = dag_request();
+  const auto expected = brute_force_best_phi(req);
+  const auto found = exhaustive_best(*sys, req, sys->true_state(), 0.0);
+  ASSERT_EQ(found.has_value(), expected.has_value());
+  if (found) {
+    EXPECT_NEAR(found->congestion_aggregation(*sys, sys->true_state(), 0.0), *expected, 1e-9);
+  }
+}
+
+TEST_F(SearchFixture, ExhaustiveMatchesBruteForceUnderLoad) {
+  // Load a few nodes so feasibility/pruning paths are exercised.
+  util::Rng rng(9);
+  for (int i = 0; i < 6; ++i) {
+    sys->commit_node_direct(100 + i, static_cast<stream::NodeId>(rng.below(sys->node_count())),
+                            ResourceVector(70.0, 700.0), 0.0);
+  }
+  for (const auto& req : {path_request(), dag_request()}) {
+    const auto expected = brute_force_best_phi(req);
+    const auto found = exhaustive_best(*sys, req, sys->true_state(), 0.0);
+    ASSERT_EQ(found.has_value(), expected.has_value());
+    if (found) {
+      EXPECT_NEAR(found->congestion_aggregation(*sys, sys->true_state(), 0.0), *expected, 1e-9);
+    }
+  }
+}
+
+TEST_F(SearchFixture, ExhaustiveRespectsQoSBound) {
+  auto req = path_request();
+  req.qos_req = QoSVector::from_metrics(0.001, 0.000001);  // impossible
+  EXPECT_FALSE(exhaustive_best(*sys, req, sys->true_state(), 0.0).has_value());
+}
+
+TEST_F(SearchFixture, GuidedNeverBeatsExhaustive) {
+  const auto req = path_request();
+  const auto best = exhaustive_best(*sys, req, sys->true_state(), 0.0);
+  ASSERT_TRUE(best.has_value());
+  const double best_phi = best->congestion_aggregation(*sys, sys->true_state(), 0.0);
+  for (double alpha : {0.1, 0.3, 0.7, 1.0}) {
+    const auto g =
+        guided_search(*sys, req, alpha, sys->true_state(), sys->true_state(), 0.0);
+    if (g) {
+      const double phi = g->congestion_aggregation(*sys, sys->true_state(), 0.0);
+      EXPECT_GE(phi, best_phi - 1e-9) << "alpha=" << alpha;
+      EXPECT_TRUE(g->qualified(*sys, sys->true_state(), req.qos_req, 0.0));
+    }
+  }
+}
+
+TEST_F(SearchFixture, GuidedAtFullAlphaMatchesExhaustiveOnPath) {
+  const auto req = path_request();
+  const auto best = exhaustive_best(*sys, req, sys->true_state(), 0.0);
+  const auto g = guided_search(*sys, req, 1.0, sys->true_state(), sys->true_state(), 0.0,
+                               0.05, nullptr, /*beam_cap=*/100000);
+  ASSERT_TRUE(best.has_value());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_NEAR(g->congestion_aggregation(*sys, sys->true_state(), 0.0),
+              best->congestion_aggregation(*sys, sys->true_state(), 0.0), 1e-9);
+}
+
+TEST_F(SearchFixture, RandomAssignmentCoversAllNodesOrFails) {
+  util::Rng rng(3);
+  const auto req = path_request();
+  const auto g = random_assignment(*sys, req, rng);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(g->fully_assigned());
+  EXPECT_TRUE(g->functions_match(*sys));
+}
+
+TEST_F(SearchFixture, RandomAssignmentFailsOnMissingFunction) {
+  util::Rng rng(3);
+  // Pick a function with no deployed providers.
+  stream::FunctionId vacant = stream::kNoFunction;
+  for (stream::FunctionId f = 0; f < sys->catalog().size(); ++f) {
+    if (sys->components_providing(f).empty()) {
+      vacant = f;
+      break;
+    }
+  }
+  ASSERT_NE(vacant, stream::kNoFunction);
+  workload::Request req;
+  req.graph.add_node(vacant, ResourceVector(1.0, 1.0));
+  EXPECT_FALSE(random_assignment(*sys, req, rng).has_value());
+}
+
+TEST_F(SearchFixture, StaticAssignmentIsDeterministic) {
+  const auto req = path_request();
+  const auto a = static_assignment(*sys, req);
+  const auto b = static_assignment(*sys, req);
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(*a == *b);
+  // Lowest-id candidate per function.
+  for (FnNodeIndex i = 0; i < req.graph.node_count(); ++i) {
+    const auto& cands = sys->components_providing(req.graph.node(i).function);
+    EXPECT_EQ(a->component_at(i), *std::min_element(cands.begin(), cands.end()));
+  }
+}
+
+TEST_F(SearchFixture, ExhaustiveProbeCountFormula) {
+  const auto req = path_request();  // 3 fns with 3 candidates each
+  // 3 + 9 + 27 = 39.
+  EXPECT_EQ(exhaustive_probe_count(*sys, req), 39u);
+  const auto dag = dag_request();  // two paths of 3 fns, 3 cands each
+  EXPECT_EQ(exhaustive_probe_count(*sys, dag), 78u);
+}
+
+TEST_F(SearchFixture, MergeRequiresAgreementOnSharedNodes) {
+  const auto req = dag_request();
+  const auto paths = req.graph.enumerate_paths();
+  ASSERT_EQ(paths.size(), 2u);
+
+  const auto f0 = sys->components_providing(chain[0]);
+  const auto f1 = sys->components_providing(chain[1]);
+  const auto f2 = sys->components_providing(chain[2]);
+
+  PathAssignment p1{{f0[0], f1[0], f2[0]}, {}};
+  PathAssignment p2_agree{{f0[0], f1[1], f2[0]}, {}};
+  PathAssignment p2_conflict{{f0[1], f1[1], f2[0]}, {}};  // different split comp
+
+  bool cap_hit = false;
+  const auto merged = merge_path_assignments(req.graph, paths, {{p1}, {p2_agree, p2_conflict}},
+                                             100, &cap_hit);
+  ASSERT_EQ(merged.size(), 1u);  // only the agreeing pair merges
+  EXPECT_FALSE(cap_hit);
+  EXPECT_EQ(merged[0].component_at(0), f0[0]);
+  EXPECT_EQ(merged[0].component_at(1), f1[0]);
+  EXPECT_EQ(merged[0].component_at(2), f1[1]);
+  EXPECT_EQ(merged[0].component_at(3), f2[0]);
+}
+
+TEST_F(SearchFixture, MergeCapReported) {
+  const auto req = path_request();
+  const auto paths = req.graph.enumerate_paths();
+  std::vector<PathAssignment> many;
+  const auto f0 = sys->components_providing(chain[0]);
+  const auto f1 = sys->components_providing(chain[1]);
+  const auto f2 = sys->components_providing(chain[2]);
+  for (auto a : f0) {
+    for (auto b : f1) {
+      for (auto c : f2) many.push_back(PathAssignment{{a, b, c}, {}});
+    }
+  }
+  bool cap_hit = false;
+  const auto merged = merge_path_assignments(req.graph, paths, {many}, 5, &cap_hit);
+  EXPECT_EQ(merged.size(), 5u);
+  EXPECT_TRUE(cap_hit);
+}
+
+}  // namespace
+}  // namespace acp::core

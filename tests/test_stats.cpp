@@ -1,0 +1,153 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace acp::util {
+namespace {
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3;
+    a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const double x = i * -1.3 + 10;
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentiles, MedianAndExtremes) {
+  Percentiles p;
+  for (int i = 1; i <= 101; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.median(), 51.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 101.0);
+}
+
+TEST(Percentiles, Interpolates) {
+  Percentiles p;
+  p.add(10.0);
+  p.add(20.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 15.0);
+}
+
+TEST(Percentiles, RequiresData) {
+  Percentiles p;
+  EXPECT_THROW(p.percentile(50), PreconditionError);
+}
+
+TEST(Percentiles, SingleValue) {
+  Percentiles p;
+  p.add(42.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(p.percentile(99), 42.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_in(0), 2u);
+  EXPECT_EQ(h.count_in(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(TimeSeries, WindowMean) {
+  TimeSeries ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 3.0);
+  ts.add(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.window_mean(0.0, 2.0), 2.0);  // [0, 2) → 1, 3
+  EXPECT_DOUBLE_EQ(ts.window_mean(5.0, 9.0), 0.0);  // empty window
+}
+
+TEST(TimeSeries, ValueAtTime) {
+  TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(3.0, 30.0);
+  EXPECT_DOUBLE_EQ(ts.value_at_time(0.5, -1.0), -1.0);  // before first
+  EXPECT_DOUBLE_EQ(ts.value_at_time(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at_time(2.9), 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at_time(99.0), 30.0);
+}
+
+TEST(TimeSeries, RejectsOutOfOrder) {
+  TimeSeries ts;
+  ts.add(2.0, 1.0);
+  EXPECT_THROW(ts.add(1.0, 1.0), PreconditionError);
+}
+
+TEST(SuccessRateTracker, OverallRate) {
+  SuccessRateTracker t;
+  EXPECT_DOUBLE_EQ(t.rate(), 1.0);  // vacuous success
+  t.record(true);
+  t.record(true);
+  t.record(false);
+  t.record(true);
+  EXPECT_DOUBLE_EQ(t.rate(), 0.75);
+  EXPECT_EQ(t.requests(), 4u);
+  EXPECT_EQ(t.successes(), 3u);
+}
+
+TEST(SuccessRateTracker, WindowedSampling) {
+  SuccessRateTracker t;
+  t.record(true);
+  t.record(false);
+  EXPECT_DOUBLE_EQ(t.sample_and_reset(), 0.5);
+  t.record(true);
+  t.record(true);
+  t.record(true);
+  t.record(false);
+  EXPECT_DOUBLE_EQ(t.sample_and_reset(), 0.75);
+  // Empty window reads as 100% (paper plots start at 100).
+  EXPECT_DOUBLE_EQ(t.sample_and_reset(), 1.0);
+  // Overall rate still covers everything.
+  EXPECT_DOUBLE_EQ(t.rate(), 4.0 / 6.0);
+}
+
+}  // namespace
+}  // namespace acp::util

@@ -1,0 +1,118 @@
+// Tests for request-trace serialization round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.h"
+#include "workload/trace_io.h"
+
+namespace acp::workload {
+namespace {
+
+std::vector<Request> sample_trace(double strict_policy_fraction = 0.0) {
+  util::Rng crng(42);
+  const auto catalog = stream::FunctionCatalog::generate(80, crng);
+  util::Rng trng(43);
+  const auto templates = TemplateLibrary::generate(catalog, {}, trng);
+  WorkloadConfig cfg;
+  cfg.strict_policy_fraction = strict_policy_fraction;
+  util::Rng rng(7);
+  RequestGenerator gen(catalog, templates, cfg, {{0.0, 60.0}}, 500, rng);
+  return gen.generate_trace(300.0);
+}
+
+void expect_equal(const Request& a, const Request& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_DOUBLE_EQ(a.arrival_time, b.arrival_time);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.client_ip, b.client_ip);
+  EXPECT_EQ(a.template_index, b.template_index);
+  EXPECT_NEAR(a.qos_req.delay_ms(), b.qos_req.delay_ms(), 1e-9);
+  EXPECT_NEAR(a.qos_req.loss_probability(), b.qos_req.loss_probability(), 1e-12);
+  EXPECT_EQ(a.policy.min_security(), b.policy.min_security());
+  for (std::size_t i = 0; i < stream::kLicenseClassCount; ++i) {
+    const auto c = static_cast<stream::LicenseClass>(i);
+    EXPECT_EQ(a.policy.license_allowed(c), b.policy.license_allowed(c));
+  }
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  for (stream::FnNodeIndex n = 0; n < a.graph.node_count(); ++n) {
+    EXPECT_EQ(a.graph.node(n).function, b.graph.node(n).function);
+    EXPECT_DOUBLE_EQ(a.graph.node(n).required.cpu(), b.graph.node(n).required.cpu());
+    EXPECT_DOUBLE_EQ(a.graph.node(n).required.memory_mb(), b.graph.node(n).required.memory_mb());
+  }
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (stream::FnEdgeIndex e = 0; e < a.graph.edge_count(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).from, b.graph.edge(e).from);
+    EXPECT_EQ(a.graph.edge(e).to, b.graph.edge(e).to);
+    EXPECT_DOUBLE_EQ(a.graph.edge(e).required_bandwidth_kbps,
+                     b.graph.edge(e).required_bandwidth_kbps);
+  }
+}
+
+TEST(TraceIo, RoundTripsGeneratedWorkload) {
+  const auto trace = sample_trace();
+  ASSERT_FALSE(trace.empty());
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const auto loaded = read_trace(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) expect_equal(trace[i], loaded[i]);
+}
+
+TEST(TraceIo, RoundTripsPolicies) {
+  const auto trace = sample_trace(/*strict_policy_fraction=*/0.5);
+  bool saw_strict = false;
+  for (const auto& r : trace) saw_strict |= !r.policy.is_permissive();
+  ASSERT_TRUE(saw_strict) << "fixture must exercise non-trivial policies";
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const auto loaded = read_trace(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) expect_equal(trace[i], loaded[i]);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# hello\n\nR 1 0.5 60 3 2 500 0.05 0 15\nN 7 2 20\n");
+  const auto trace = read_trace(ss);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].graph.node_count(), 1u);
+  EXPECT_EQ(trace[0].graph.node(0).function, 7u);
+  EXPECT_TRUE(trace[0].policy.is_permissive());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("N 1 2 3\n");  // node before header
+    EXPECT_THROW(read_trace(ss), acp::PreconditionError);
+  }
+  {
+    std::stringstream ss("R 1 0.5\n");  // truncated header
+    EXPECT_THROW(read_trace(ss), acp::PreconditionError);
+  }
+  {
+    std::stringstream ss("X what\n");  // unknown tag
+    EXPECT_THROW(read_trace(ss), acp::PreconditionError);
+  }
+  {
+    std::stringstream ss("R 1 0.5 60 3 2 500 0.05 9 15\n");  // bad security
+    EXPECT_THROW(read_trace(ss), acp::PreconditionError);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto trace = sample_trace();
+  const std::string path = ::testing::TempDir() + "/acpstream_trace_test.txt";
+  save_trace(path, trace);
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  EXPECT_THROW(load_trace("/nonexistent/dir/trace.txt"), acp::PreconditionError);
+}
+
+}  // namespace
+}  // namespace acp::workload

@@ -1,0 +1,240 @@
+// Tests for the probing-ratio tuner: profiling by trace replay, prediction,
+// α selection with margin, re-profiling triggers, staircase dynamics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/tuner.h"
+#include "test_helpers.h"
+#include "net/topology.h"
+#include "workload/generator.h"
+
+namespace acp::core {
+namespace {
+
+using stream::QoSVector;
+using stream::ResourceVector;
+
+struct TunerFixture : ::testing::Test {
+  void SetUp() override {
+    util::Rng rng(42);
+    net::TopologyConfig tc;
+    tc.node_count = 400;
+    ip = net::generate_power_law_topology(tc, rng);
+    net::OverlayConfig oc;
+    oc.member_count = 40;
+    util::Rng orng(43);
+    mesh = std::make_unique<net::OverlayMesh>(ip, oc, orng);
+    util::Rng crng(44);
+    catalog_rng = crng;
+    sys = std::make_unique<stream::StreamSystem>(*mesh,
+                                                 stream::FunctionCatalog::generate(8, crng));
+    util::Rng drng(45);
+    for (stream::NodeId n = 0; n < sys->node_count(); ++n) {
+      sys->set_node_capacity(n, ResourceVector(100.0, 1000.0));
+    }
+    chain = acp::testing::compatible_chain(sys->catalog(), 3);
+    for (stream::FunctionId f : chain) {
+      for (int i = 0; i < 5; ++i) {
+        sys->add_component(f, static_cast<stream::NodeId>(drng.below(sys->node_count())),
+                           QoSVector::from_metrics(drng.uniform(5.0, 15.0), 0.001));
+      }
+    }
+  }
+
+  workload::Request make_request(double delay_req = 1500.0) {
+    workload::Request req;
+    req.id = next_id++;
+    req.graph.add_node(chain[0], ResourceVector(8.0, 80.0));
+    req.graph.add_node(chain[1], ResourceVector(8.0, 80.0));
+    req.graph.add_node(chain[2], ResourceVector(8.0, 80.0));
+    req.graph.add_edge(0, 1, 100.0);
+    req.graph.add_edge(1, 2, 100.0);
+    req.qos_req = QoSVector::from_metrics(delay_req, 0.5);
+    return req;
+  }
+
+  net::Graph ip;
+  std::unique_ptr<net::OverlayMesh> mesh;
+  std::unique_ptr<stream::StreamSystem> sys;
+  util::Rng catalog_rng{0};
+  sim::Engine engine;
+  stream::RequestId next_id = 1;
+  std::vector<stream::FunctionId> chain;
+};
+
+TEST_F(TunerFixture, StartsAtBaseAlpha) {
+  TunerConfig cfg;
+  cfg.base_alpha = 0.1;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  EXPECT_DOUBLE_EQ(tuner.alpha(), 0.1);
+  EXPECT_TRUE(tuner.profile().empty());
+}
+
+TEST_F(TunerFixture, ProfilingBuildsMonotonicallyReasonableMapping) {
+  ProbingRatioTuner tuner(*sys, engine);
+  for (int i = 0; i < 40; ++i) tuner.record_request(make_request());
+  tuner.run_profiling();
+  ASSERT_FALSE(tuner.profile().empty());
+  EXPECT_EQ(tuner.profiling_runs(), 1u);
+  // Success rates are rates.
+  for (const auto& [a, r] : tuner.profile()) {
+    EXPECT_GE(a, 0.1);
+    EXPECT_LE(a, 1.0);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  // The largest profiled alpha is at least as good as the smallest minus
+  // noise (replay has no randomness, so this is deterministic).
+  const double first = tuner.profile().begin()->second;
+  const double last = tuner.profile().rbegin()->second;
+  EXPECT_GE(last, first - 1e-9);
+}
+
+TEST_F(TunerFixture, ProfilingRequiresTrace) {
+  ProbingRatioTuner tuner(*sys, engine);
+  EXPECT_THROW(tuner.run_profiling(), acp::PreconditionError);
+}
+
+TEST_F(TunerFixture, PredictInterpolates) {
+  ProbingRatioTuner tuner(*sys, engine);
+  EXPECT_DOUBLE_EQ(tuner.predict(0.5), -1.0);  // no profile yet
+  for (int i = 0; i < 30; ++i) tuner.record_request(make_request());
+  tuner.run_profiling();
+  const auto& prof = tuner.profile();
+  ASSERT_GE(prof.size(), 2u);
+  const auto it0 = prof.begin();
+  const auto it1 = std::next(it0);
+  const double mid_alpha = (it0->first + it1->first) / 2.0;
+  const double expected = (it0->second + it1->second) / 2.0;
+  EXPECT_NEAR(tuner.predict(mid_alpha), expected, 1e-9);
+  // Clamped at the ends.
+  EXPECT_DOUBLE_EQ(tuner.predict(0.0), it0->second);
+  EXPECT_DOUBLE_EQ(tuner.predict(1.0), prof.rbegin()->second);
+}
+
+TEST_F(TunerFixture, SamplingTickProfilesOnFirstWindow) {
+  TunerConfig cfg;
+  cfg.target_success_rate = 0.5;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 30; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(true);
+  }
+  tuner.run_sampling_tick();
+  EXPECT_EQ(tuner.profiling_runs(), 1u);
+  EXPECT_GT(tuner.alpha(), 0.0);
+}
+
+TEST_F(TunerFixture, NoReprofileWhenPredictionAccurate) {
+  TunerConfig cfg;
+  cfg.target_success_rate = 0.5;
+  cfg.prediction_error_threshold = 0.05;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 30; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(true);
+  }
+  tuner.run_sampling_tick();
+  const auto runs = tuner.profiling_runs();
+  const double predicted = tuner.predict(tuner.alpha());
+
+  // Second window: report outcomes matching the prediction closely.
+  for (int i = 0; i < 100; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(i < static_cast<int>(predicted * 100.0));
+  }
+  tuner.run_sampling_tick();
+  EXPECT_EQ(tuner.profiling_runs(), runs);  // no re-profile
+}
+
+TEST_F(TunerFixture, ReprofilesOnLargePredictionError) {
+  TunerConfig cfg;
+  cfg.target_success_rate = 0.5;
+  cfg.prediction_error_threshold = 0.02;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 30; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(true);
+  }
+  tuner.run_sampling_tick();
+  const auto runs = tuner.profiling_runs();
+
+  // Second window: measured success far below any sensible prediction.
+  for (int i = 0; i < 60; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(false);
+  }
+  tuner.run_sampling_tick();
+  EXPECT_EQ(tuner.profiling_runs(), runs + 1);
+}
+
+TEST_F(TunerFixture, AlphaRisesWhenSystemLoadedAndTargetHigh) {
+  // Load the system so low alpha cannot meet a high target.
+  util::Rng rng(5);
+  for (stream::NodeId n = 0; n < sys->node_count(); ++n) {
+    if (n % 2 == 0) {
+      sys->commit_node_direct(500 + n, n, ResourceVector(85.0, 850.0), 0.0);
+    }
+  }
+  TunerConfig cfg;
+  cfg.target_success_rate = 0.95;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 60; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(false);
+  }
+  tuner.run_sampling_tick();
+  EXPECT_GT(tuner.alpha(), cfg.base_alpha);
+}
+
+TEST_F(TunerFixture, AlphaRelaxesGraduallyNotAbruptly) {
+  TunerConfig cfg;
+  cfg.target_success_rate = 0.3;  // easily met
+  cfg.base_alpha = 0.8;           // start high
+  cfg.alpha_step = 0.1;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 40; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(false);  // force profiling
+  }
+  tuner.run_sampling_tick();
+  // Even if the profile says alpha=0.1 suffices, one tick only steps down
+  // by alpha_step.
+  EXPECT_GE(tuner.alpha(), 0.8 - cfg.alpha_step - 1e-9);
+}
+
+TEST_F(TunerFixture, PeriodicTickRunsThroughEngine) {
+  TunerConfig cfg;
+  cfg.sampling_period_s = 10.0;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  tuner.start();
+  for (int i = 0; i < 20; ++i) {
+    tuner.record_request(make_request());
+    tuner.record_outcome(false);
+  }
+  engine.run_until(10.5);
+  EXPECT_EQ(tuner.profiling_runs(), 1u);
+  EXPECT_THROW(tuner.start(), acp::PreconditionError);
+}
+
+TEST_F(TunerFixture, TraceIsBounded) {
+  TunerConfig cfg;
+  cfg.max_trace = 10;
+  ProbingRatioTuner tuner(*sys, engine, cfg);
+  for (int i = 0; i < 100; ++i) tuner.record_request(make_request());
+  tuner.run_profiling();  // must replay at most 10 — just checking no blowup
+  EXPECT_FALSE(tuner.profile().empty());
+}
+
+TEST_F(TunerFixture, RejectsBadConfig) {
+  TunerConfig bad;
+  bad.target_success_rate = 0.0;
+  EXPECT_THROW(ProbingRatioTuner(*sys, engine, bad), acp::PreconditionError);
+  bad = TunerConfig{};
+  bad.base_alpha = 0.0;
+  EXPECT_THROW(ProbingRatioTuner(*sys, engine, bad), acp::PreconditionError);
+}
+
+}  // namespace
+}  // namespace acp::core

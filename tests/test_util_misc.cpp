@@ -1,0 +1,117 @@
+// Tests for logging, tables, and flag parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace acp::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::set_level(LogLevel::kInfo);
+    Logger::capture_to_buffer(true);
+  }
+  void TearDown() override {
+    Logger::capture_to_buffer(false);
+    Logger::set_level(LogLevel::kWarn);
+  }
+};
+
+TEST_F(LoggingTest, FiltersBelowLevel) {
+  ACP_LOG_DEBUG << "hidden";
+  ACP_LOG_INFO << "visible";
+  const auto out = Logger::take_buffer();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, IncludesFileAndLine) {
+  ACP_LOG_ERROR << "boom";
+  const auto out = Logger::take_buffer();
+  EXPECT_NE(out.find("test_util_misc.cpp"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(Logger::level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Table, PrintAligns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("x"), 1.5});
+  t.add_row({std::string("longer"), std::int64_t{42}});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, PrecisionControl) {
+  Table t({"v"});
+  t.set_precision(4);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("3.1416"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a,b", "c"});
+  t.add_row({std::string("hello, world"), std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), PreconditionError);
+}
+
+TEST(Table, AtAccessor) {
+  Table t({"a"});
+  t.add_row({std::int64_t{7}});
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 0)), 7);
+  EXPECT_THROW(t.at(1, 0), PreconditionError);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",     "--alpha=0.5", "--nodes", "400", "--verbose",
+                        "--no-csv", "positional"};
+  Flags f(7, argv);
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(f.get_int("nodes", 0), 400);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("csv", true));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "positional");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("missing", 3), 3);
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, UnknownFlagsReported) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  Flags f(3, argv);
+  (void)f.get_int("known", 0);
+  const auto unknown = f.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace acp::util

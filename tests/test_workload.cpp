@@ -1,0 +1,158 @@
+// Tests for application templates and the request generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/generator.h"
+#include "workload/templates.h"
+
+namespace acp::workload {
+namespace {
+
+using stream::FunctionCatalog;
+
+struct WorkloadFixture : ::testing::Test {
+  void SetUp() override {
+    util::Rng crng(42);
+    catalog = FunctionCatalog::generate(80, crng);
+    util::Rng trng(43);
+    templates = TemplateLibrary::generate(catalog, {}, trng);
+  }
+
+  FunctionCatalog catalog;
+  TemplateLibrary templates;
+};
+
+TEST_F(WorkloadFixture, GeneratesTwentyWellFormedTemplates) {
+  EXPECT_EQ(templates.size(), 20u);
+  for (std::size_t t = 0; t < templates.size(); ++t) {
+    EXPECT_TRUE(TemplateLibrary::well_formed(templates.shape(t), catalog)) << "template " << t;
+  }
+}
+
+TEST_F(WorkloadFixture, TemplateShapesMatchPaperSpec) {
+  bool saw_path = false, saw_dag = false;
+  for (std::size_t t = 0; t < templates.size(); ++t) {
+    const auto& shape = templates.shape(t);
+    saw_path |= !shape.is_dag;
+    saw_dag |= shape.is_dag;
+    EXPECT_GE(shape.functions.size(), 2u);
+    // DAG shapes: split + two interiors + merge, branch paths of <= 5.
+    EXPECT_LE(shape.functions.size(), shape.is_dag ? 8u : 5u);
+  }
+  EXPECT_TRUE(saw_path);
+  EXPECT_TRUE(saw_dag);
+}
+
+// Property sweep: template generation is well-formed for many seeds.
+class TemplateSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TemplateSeedSweep, AlwaysWellFormed) {
+  util::Rng crng(GetParam());
+  const auto catalog = FunctionCatalog::generate(80, crng);
+  util::Rng trng(GetParam() + 1);
+  const auto lib = TemplateLibrary::generate(catalog, {}, trng);
+  for (std::size_t t = 0; t < lib.size(); ++t) {
+    ASSERT_TRUE(TemplateLibrary::well_formed(lib.shape(t), catalog))
+        << "seed " << GetParam() << " template " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemplateSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST_F(WorkloadFixture, RequestsInstantiateTemplatesWithDemands) {
+  WorkloadConfig cfg;
+  util::Rng rng(7);
+  RequestGenerator gen(catalog, templates, cfg, {{0.0, 60.0}}, 1000, rng);
+  for (int i = 0; i < 50; ++i) {
+    const auto req = gen.make_request(static_cast<double>(i));
+    EXPECT_GT(req.id, 0u);
+    EXPECT_LT(req.template_index, templates.size());
+    EXPECT_LT(req.client_ip, 1000u);
+    EXPECT_GE(req.duration_s, cfg.min_duration_s);
+    EXPECT_LE(req.duration_s, cfg.max_duration_s);
+    EXPECT_TRUE(req.graph.is_dag());
+    for (stream::FnNodeIndex n = 0; n < req.graph.node_count(); ++n) {
+      EXPECT_GE(req.graph.node(n).required.cpu(), cfg.min_cpu);
+      EXPECT_LE(req.graph.node(n).required.cpu(), cfg.max_cpu);
+      EXPECT_GE(req.graph.node(n).required.memory_mb(), cfg.min_memory_mb);
+      EXPECT_LE(req.graph.node(n).required.memory_mb(), cfg.max_memory_mb);
+    }
+    for (stream::FnEdgeIndex e = 0; e < req.graph.edge_count(); ++e) {
+      EXPECT_GE(req.graph.edge(e).required_bandwidth_kbps, cfg.min_bandwidth_kbps);
+      EXPECT_LE(req.graph.edge(e).required_bandwidth_kbps, cfg.max_bandwidth_kbps);
+    }
+    EXPECT_GE(req.qos_req.delay_ms(), cfg.min_delay_req_ms);
+    EXPECT_LE(req.qos_req.delay_ms(), cfg.max_delay_req_ms);
+  }
+}
+
+TEST_F(WorkloadFixture, QosScaleTightensRequirements) {
+  WorkloadConfig tight;
+  tight.qos_scale = 0.5;
+  util::Rng r1(7), r2(7);
+  RequestGenerator loose_gen(catalog, templates, {}, {{0.0, 60.0}}, 1000, r1);
+  RequestGenerator tight_gen(catalog, templates, tight, {{0.0, 60.0}}, 1000, r2);
+  const auto a = loose_gen.make_request(0.0);
+  const auto b = tight_gen.make_request(0.0);
+  EXPECT_NEAR(b.qos_req.delay_ms(), a.qos_req.delay_ms() * 0.5, 1e-9);
+}
+
+TEST_F(WorkloadFixture, RateScheduleSteps) {
+  util::Rng rng(7);
+  RequestGenerator gen(catalog, templates, {}, {{0.0, 40.0}, {50.0, 80.0}, {100.0, 60.0}}, 100,
+                       rng);
+  EXPECT_DOUBLE_EQ(gen.rate_at(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(gen.rate_at(49.9 * 60.0), 40.0);
+  EXPECT_DOUBLE_EQ(gen.rate_at(50.0 * 60.0), 80.0);
+  EXPECT_DOUBLE_EQ(gen.rate_at(120.0 * 60.0), 60.0);
+}
+
+TEST_F(WorkloadFixture, PoissonArrivalCountMatchesRate) {
+  util::Rng rng(11);
+  RequestGenerator gen(catalog, templates, {}, {{0.0, 60.0}}, 100, rng);
+  const auto trace = gen.generate_trace(60.0 * 60.0);  // 1 hour at 60/min
+  // Poisson with mean 3600 → std ~60; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 3600.0, 300.0);
+  // Arrival times strictly increasing and in range.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].arrival_time, trace[i - 1].arrival_time);
+    EXPECT_LT(trace[i].arrival_time, 3600.0);
+  }
+}
+
+TEST_F(WorkloadFixture, ZeroRateJumpsToNextStep) {
+  util::Rng rng(13);
+  RequestGenerator gen(catalog, templates, {}, {{0.0, 0.0}, {10.0, 60.0}}, 100, rng);
+  const double gap = gen.next_interarrival(0.0);
+  EXPECT_DOUBLE_EQ(gap, 10.0 * 60.0);  // jump to the first active step
+}
+
+TEST_F(WorkloadFixture, ZeroForeverMeansNoArrivals) {
+  util::Rng rng(13);
+  RequestGenerator gen(catalog, templates, {}, {{0.0, 0.0}}, 100, rng);
+  EXPECT_TRUE(std::isinf(gen.next_interarrival(0.0)));
+  EXPECT_TRUE(gen.generate_trace(600.0).empty());
+}
+
+TEST_F(WorkloadFixture, RequestIdsAreSequentialAndUnique) {
+  util::Rng rng(17);
+  RequestGenerator gen(catalog, templates, {}, {{0.0, 60.0}}, 100, rng);
+  const auto a = gen.make_request(0.0);
+  const auto b = gen.make_request(1.0);
+  EXPECT_EQ(b.id, a.id + 1);
+  EXPECT_EQ(gen.generated_count(), 2u);
+}
+
+TEST_F(WorkloadFixture, GeneratorValidatesConfig) {
+  util::Rng rng(19);
+  EXPECT_THROW(RequestGenerator(catalog, templates, {}, {}, 100, rng), acp::PreconditionError);
+  WorkloadConfig bad;
+  bad.qos_scale = 0.0;
+  EXPECT_THROW(RequestGenerator(catalog, templates, bad, {{0.0, 1.0}}, 100, rng),
+               acp::PreconditionError);
+}
+
+}  // namespace
+}  // namespace acp::workload
