@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_adaptability.dir/fig8_adaptability.cpp.o"
+  "CMakeFiles/fig8_adaptability.dir/fig8_adaptability.cpp.o.d"
+  "fig8_adaptability"
+  "fig8_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acpsim_cli.dir/acpsim_cli.cpp.o"
+  "CMakeFiles/acpsim_cli.dir/acpsim_cli.cpp.o.d"
+  "acpsim_cli"
+  "acpsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trade_surveillance.dir/trade_surveillance.cpp.o"
+  "CMakeFiles/trade_surveillance.dir/trade_surveillance.cpp.o.d"
+  "trade_surveillance"
+  "trade_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trade_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_composers.cpp" "src/core/CMakeFiles/acp_core.dir/baseline_composers.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/baseline_composers.cpp.o.d"
+  "/root/repo/src/core/candidate_selection.cpp" "src/core/CMakeFiles/acp_core.dir/candidate_selection.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/candidate_selection.cpp.o.d"
+  "/root/repo/src/core/controllers.cpp" "src/core/CMakeFiles/acp_core.dir/controllers.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/controllers.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/acp_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/probing.cpp" "src/core/CMakeFiles/acp_core.dir/probing.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/probing.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/acp_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/acp_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/core/CMakeFiles/acp_core.dir/whatif.cpp.o" "gcc" "src/core/CMakeFiles/acp_core.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/acp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/acp_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/acp_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/acp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_core.dir/baseline_composers.cpp.o"
+  "CMakeFiles/acp_core.dir/baseline_composers.cpp.o.d"
+  "CMakeFiles/acp_core.dir/candidate_selection.cpp.o"
+  "CMakeFiles/acp_core.dir/candidate_selection.cpp.o.d"
+  "CMakeFiles/acp_core.dir/controllers.cpp.o"
+  "CMakeFiles/acp_core.dir/controllers.cpp.o.d"
+  "CMakeFiles/acp_core.dir/migration.cpp.o"
+  "CMakeFiles/acp_core.dir/migration.cpp.o.d"
+  "CMakeFiles/acp_core.dir/probing.cpp.o"
+  "CMakeFiles/acp_core.dir/probing.cpp.o.d"
+  "CMakeFiles/acp_core.dir/search.cpp.o"
+  "CMakeFiles/acp_core.dir/search.cpp.o.d"
+  "CMakeFiles/acp_core.dir/tuner.cpp.o"
+  "CMakeFiles/acp_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/acp_core.dir/whatif.cpp.o"
+  "CMakeFiles/acp_core.dir/whatif.cpp.o.d"
+  "libacp_core.a"
+  "libacp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

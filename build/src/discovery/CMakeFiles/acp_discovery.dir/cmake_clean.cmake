@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_discovery.dir/registry.cpp.o"
+  "CMakeFiles/acp_discovery.dir/registry.cpp.o.d"
+  "libacp_discovery.a"
+  "libacp_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_exp.dir/experiment.cpp.o"
+  "CMakeFiles/acp_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/acp_exp.dir/repeated.cpp.o"
+  "CMakeFiles/acp_exp.dir/repeated.cpp.o.d"
+  "CMakeFiles/acp_exp.dir/system_builder.cpp.o"
+  "CMakeFiles/acp_exp.dir/system_builder.cpp.o.d"
+  "libacp_exp.a"
+  "libacp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_net.dir/graph.cpp.o"
+  "CMakeFiles/acp_net.dir/graph.cpp.o.d"
+  "CMakeFiles/acp_net.dir/overlay.cpp.o"
+  "CMakeFiles/acp_net.dir/overlay.cpp.o.d"
+  "CMakeFiles/acp_net.dir/routing.cpp.o"
+  "CMakeFiles/acp_net.dir/routing.cpp.o.d"
+  "CMakeFiles/acp_net.dir/topology.cpp.o"
+  "CMakeFiles/acp_net.dir/topology.cpp.o.d"
+  "libacp_net.a"
+  "libacp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

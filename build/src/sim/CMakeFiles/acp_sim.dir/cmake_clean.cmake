@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_sim.dir/counters.cpp.o"
+  "CMakeFiles/acp_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/acp_sim.dir/engine.cpp.o"
+  "CMakeFiles/acp_sim.dir/engine.cpp.o.d"
+  "libacp_sim.a"
+  "libacp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

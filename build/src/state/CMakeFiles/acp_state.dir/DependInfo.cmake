@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/state/global_state.cpp" "src/state/CMakeFiles/acp_state.dir/global_state.cpp.o" "gcc" "src/state/CMakeFiles/acp_state.dir/global_state.cpp.o.d"
+  "/root/repo/src/state/local_state.cpp" "src/state/CMakeFiles/acp_state.dir/local_state.cpp.o" "gcc" "src/state/CMakeFiles/acp_state.dir/local_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/acp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

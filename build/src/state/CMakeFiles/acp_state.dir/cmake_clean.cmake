@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_state.dir/global_state.cpp.o"
+  "CMakeFiles/acp_state.dir/global_state.cpp.o.d"
+  "CMakeFiles/acp_state.dir/local_state.cpp.o"
+  "CMakeFiles/acp_state.dir/local_state.cpp.o.d"
+  "libacp_state.a"
+  "libacp_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/component_graph.cpp" "src/stream/CMakeFiles/acp_stream.dir/component_graph.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/component_graph.cpp.o.d"
+  "/root/repo/src/stream/constraints.cpp" "src/stream/CMakeFiles/acp_stream.dir/constraints.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/constraints.cpp.o.d"
+  "/root/repo/src/stream/function.cpp" "src/stream/CMakeFiles/acp_stream.dir/function.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/function.cpp.o.d"
+  "/root/repo/src/stream/function_graph.cpp" "src/stream/CMakeFiles/acp_stream.dir/function_graph.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/function_graph.cpp.o.d"
+  "/root/repo/src/stream/qos.cpp" "src/stream/CMakeFiles/acp_stream.dir/qos.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/qos.cpp.o.d"
+  "/root/repo/src/stream/resources.cpp" "src/stream/CMakeFiles/acp_stream.dir/resources.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/resources.cpp.o.d"
+  "/root/repo/src/stream/session.cpp" "src/stream/CMakeFiles/acp_stream.dir/session.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/session.cpp.o.d"
+  "/root/repo/src/stream/system.cpp" "src/stream/CMakeFiles/acp_stream.dir/system.cpp.o" "gcc" "src/stream/CMakeFiles/acp_stream.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/acp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_stream.dir/component_graph.cpp.o"
+  "CMakeFiles/acp_stream.dir/component_graph.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/constraints.cpp.o"
+  "CMakeFiles/acp_stream.dir/constraints.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/function.cpp.o"
+  "CMakeFiles/acp_stream.dir/function.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/function_graph.cpp.o"
+  "CMakeFiles/acp_stream.dir/function_graph.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/qos.cpp.o"
+  "CMakeFiles/acp_stream.dir/qos.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/resources.cpp.o"
+  "CMakeFiles/acp_stream.dir/resources.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/session.cpp.o"
+  "CMakeFiles/acp_stream.dir/session.cpp.o.d"
+  "CMakeFiles/acp_stream.dir/system.cpp.o"
+  "CMakeFiles/acp_stream.dir/system.cpp.o.d"
+  "libacp_stream.a"
+  "libacp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

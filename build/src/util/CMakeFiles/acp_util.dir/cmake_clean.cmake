@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_util.dir/flags.cpp.o"
+  "CMakeFiles/acp_util.dir/flags.cpp.o.d"
+  "CMakeFiles/acp_util.dir/logging.cpp.o"
+  "CMakeFiles/acp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/acp_util.dir/rng.cpp.o"
+  "CMakeFiles/acp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/acp_util.dir/stats.cpp.o"
+  "CMakeFiles/acp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/acp_util.dir/table.cpp.o"
+  "CMakeFiles/acp_util.dir/table.cpp.o.d"
+  "libacp_util.a"
+  "libacp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

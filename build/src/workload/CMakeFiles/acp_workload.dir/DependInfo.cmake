@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/acp_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/acp_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/templates.cpp" "src/workload/CMakeFiles/acp_workload.dir/templates.cpp.o" "gcc" "src/workload/CMakeFiles/acp_workload.dir/templates.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/acp_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/acp_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/acp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

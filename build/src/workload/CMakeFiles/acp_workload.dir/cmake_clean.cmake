@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_workload.dir/generator.cpp.o"
+  "CMakeFiles/acp_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/acp_workload.dir/templates.cpp.o"
+  "CMakeFiles/acp_workload.dir/templates.cpp.o.d"
+  "CMakeFiles/acp_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/acp_workload.dir/trace_io.cpp.o.d"
+  "libacp_workload.a"
+  "libacp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate_selection.dir/test_candidate_selection.cpp.o"
+  "CMakeFiles/test_candidate_selection.dir/test_candidate_selection.cpp.o.d"
+  "test_candidate_selection"
+  "test_candidate_selection.pdb"
+  "test_candidate_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_component_graph.dir/test_component_graph.cpp.o"
+  "CMakeFiles/test_component_graph.dir/test_component_graph.cpp.o.d"
+  "test_component_graph"
+  "test_component_graph.pdb"
+  "test_component_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_component_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

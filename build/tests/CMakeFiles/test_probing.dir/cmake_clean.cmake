@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probing.dir/test_probing.cpp.o"
+  "CMakeFiles/test_probing.dir/test_probing.cpp.o.d"
+  "test_probing"
+  "test_probing.pdb"
+  "test_probing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

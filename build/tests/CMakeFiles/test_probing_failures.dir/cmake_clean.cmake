@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probing_failures.dir/test_probing_failures.cpp.o"
+  "CMakeFiles/test_probing_failures.dir/test_probing_failures.cpp.o.d"
+  "test_probing_failures"
+  "test_probing_failures.pdb"
+  "test_probing_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probing_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

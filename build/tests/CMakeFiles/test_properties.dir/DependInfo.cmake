@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/acp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/acp_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/acp_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/acp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/acp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/acp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_candidate_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_component_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_constraints[1]_include.cmake")
+include("/root/repo/build/tests/test_controllers[1]_include.cmake")
+include("/root/repo/build/tests/test_discovery[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_function_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_migration[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_probing[1]_include.cmake")
+include("/root/repo/build/tests/test_probing_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_qos[1]_include.cmake")
+include("/root/repo/build/tests/test_repeated[1]_include.cmake")
+include("/root/repo/build/tests/test_resources[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_state[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
