@@ -12,6 +12,8 @@
 #include <string>
 
 #include "exp/experiment.h"
+#include "obs/observability.h"
+#include "obs/report.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -37,6 +39,11 @@ struct BenchOptions {
   bool quick = false;        ///< shrink durations/system for a fast pass
   std::uint64_t seed = 42;
   std::string csv_prefix;    ///< when set, save each table as <prefix><name>.csv
+  std::string trace_out;     ///< --trace-out: probe-lifecycle JSONL stream
+  std::string metrics_out;   ///< --metrics-out: end-of-run metrics snapshot (JSON)
+  bool report = false;       ///< --report: print a human-readable metrics report
+
+  bool observing() const { return !trace_out.empty() || !metrics_out.empty() || report; }
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -45,11 +52,50 @@ inline BenchOptions parse_options(int argc, char** argv) {
   opt.quick = flags.get_bool("quick", false);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   opt.csv_prefix = flags.get_string("csv", "");
+  opt.trace_out = flags.get_string("trace-out", "");
+  opt.metrics_out = flags.get_string("metrics-out", "");
+  opt.report = flags.get_bool("report", false);
+  util::Flags::require_writable_path("trace-out", opt.trace_out);
+  util::Flags::require_writable_path("metrics-out", opt.metrics_out);
   for (const auto& f : flags.unknown_flags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", f.c_str());
   }
   return opt;
 }
+
+/// Owns the bench's Observability instance for the duration of a binary.
+/// Pass get() into every ExperimentConfig (nullptr when no observability
+/// flag was given — the instrumented code paths then cost one branch), and
+/// call finish() once after the last experiment to flush the sinks.
+class BenchObservability {
+ public:
+  explicit BenchObservability(const BenchOptions& opt) : opt_(opt) {
+    if (!opt_.trace_out.empty()) obs_.tracer.open(opt_.trace_out);
+  }
+
+  obs::Observability* get() { return opt_.observing() ? &obs_ : nullptr; }
+
+  /// Flushes every sink: metrics JSON snapshot, human-readable report,
+  /// trace stream. Idempotent enough for end-of-main use.
+  void finish() {
+    if (!opt_.observing()) return;
+    if (!opt_.metrics_out.empty()) {
+      obs_.metrics.save_json(opt_.metrics_out);
+      std::printf("(saved metrics to %s)\n", opt_.metrics_out.c_str());
+    }
+    if (opt_.report) obs::write_report(std::cout, obs_.metrics);
+    if (!opt_.trace_out.empty()) {
+      const std::uint64_t n = obs_.tracer.events_emitted();
+      obs_.tracer.close();
+      std::printf("(saved %llu trace events to %s)\n", static_cast<unsigned long long>(n),
+                  opt_.trace_out.c_str());
+    }
+  }
+
+ private:
+  BenchOptions opt_;
+  obs::Observability obs_;
+};
 
 inline void emit(const util::Table& table, const std::string& title, const BenchOptions& opt,
                  const std::string& csv_name) {

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::printf("Fig 5: %zu-node system, ACP, %.0f-minute simulations\n", overlay_nodes,
               duration_min);
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  benchx::BenchObservability bobs(opt);
 
   auto run_point = [&](double alpha, double rate, double qos_scale) {
     exp::ExperimentConfig cfg;
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
     cfg.schedule = {{0.0, rate}};
     cfg.workload.qos_scale = qos_scale;
     cfg.run_seed = opt.seed + 500;
+    cfg.obs = bobs.get();
     return exp::run_experiment(fabric, sys_cfg, cfg).success_rate * 100.0;
   };
 
@@ -68,5 +70,6 @@ int main(int argc, char** argv) {
   }
   benchx::emit(b_table, "Fig 5(b): success rate (%) vs probing ratio, by QoS strictness", opt,
                "fig5b");
+  bobs.finish();
   return 0;
 }

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::printf("Fig 6: %zu-node system, alpha=0.3, %.0f-minute simulations\n", overlay_nodes,
               duration_min);
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  benchx::BenchObservability bobs(opt);
 
   util::Table success({"request_rate", "Optimal", "ACP", "SP", "RP", "Random", "Static"});
   util::Table overhead({"request_rate", "Optimal", "ACP", "RP", "Centralized(N^2)"});
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
       cfg.duration_minutes = duration_min;
       cfg.schedule = {{0.0, rate}};
       cfg.run_seed = opt.seed + 100;
+      cfg.obs = bobs.get();
       const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
       srow.push_back(res.success_rate * 100.0);
       if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
@@ -65,5 +67,6 @@ int main(int argc, char** argv) {
 
   benchx::emit(success, "Fig 6(a): success rate (%) vs request rate", opt, "fig6a");
   benchx::emit(overhead, "Fig 6(b): overhead (messages/min) vs request rate", opt, "fig6b");
+  bobs.finish();
   return 0;
 }

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   util::Table success({"node_count", "Optimal", "ACP", "SP", "RP", "Random", "Static"});
   util::Table overhead({"node_count", "Optimal", "ACP", "RP", "Centralized(N^2)"});
   overhead.set_precision(0);
+  benchx::BenchObservability bobs(opt);
 
   for (std::size_t n : node_counts) {
     const exp::SystemConfig sys_cfg =
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
       cfg.duration_minutes = duration_min;
       cfg.schedule = {{0.0, rate}};
       cfg.run_seed = opt.seed + 700;
+      cfg.obs = bobs.get();
       const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
       srow.push_back(res.success_rate * 100.0);
       if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
@@ -61,5 +63,6 @@ int main(int argc, char** argv) {
 
   benchx::emit(success, "Fig 7(a): success rate (%) vs node count", opt, "fig7a");
   benchx::emit(overhead, "Fig 7(b): overhead (messages/min) vs node count", opt, "fig7b");
+  bobs.finish();
   return 0;
 }

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   std::printf("Fig 8: %zu-node system, dynamic workload 40→80→60 req/min, %.0f minutes\n",
               overlay_nodes, duration_min);
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  benchx::BenchObservability bobs(opt);
 
   auto run_case = [&](bool adaptive) {
     exp::ExperimentConfig cfg;
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
     cfg.schedule = schedule;
     cfg.sample_period_minutes = 5.0 * scale;
     cfg.run_seed = opt.seed + 900;
+    cfg.obs = bobs.get();
     return exp::run_experiment(fabric, sys_cfg, cfg);
   };
 
@@ -71,5 +73,6 @@ int main(int argc, char** argv) {
               fixed.success_rate * 100.0, adaptive.success_rate * 100.0);
   benchx::emit(table, "Fig 8: success rate over time, fixed vs adaptive probing ratio", opt,
                "fig8");
+  bobs.finish();
   return 0;
 }

@@ -29,12 +29,17 @@
 //   --skew Z           placement skew (Zipf exponent)               [0]
 //   --repeat N         run N workload seeds, report mean±stddev     [1]
 //   --csv PATH         also save the u(t) series as CSV
+//   --trace-out PATH   stream probe-lifecycle trace spans as JSONL
+//   --metrics-out PATH save end-of-run metrics snapshot as JSON
+//   --report           print a human-readable metrics report
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "exp/experiment.h"
 #include "exp/repeated.h"
+#include "obs/observability.h"
+#include "obs/report.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -88,6 +93,28 @@ int main(int argc, char** argv) {
   cfg.run_seed = static_cast<std::uint64_t>(flags.get_int("run-seed", 7));
   const std::string csv = flags.get_string("csv", "");
   const auto repeat = static_cast<std::size_t>(flags.get_int("repeat", 1));
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const bool report = flags.get_bool("report", false);
+  util::Flags::require_writable_path("trace-out", trace_out);
+  util::Flags::require_writable_path("metrics-out", metrics_out);
+
+  obs::Observability obs;
+  const bool observing = !trace_out.empty() || !metrics_out.empty() || report;
+  if (!trace_out.empty()) obs.tracer.open(trace_out);
+  if (observing) cfg.obs = &obs;
+  const auto flush_obs = [&] {
+    if (!metrics_out.empty()) {
+      obs.metrics.save_json(metrics_out);
+      std::printf("(saved metrics to %s)\n", metrics_out.c_str());
+    }
+    if (report) obs::write_report(std::cout, obs.metrics);
+    if (!trace_out.empty()) {
+      const auto n = static_cast<unsigned long long>(obs.tracer.events_emitted());
+      obs.tracer.close();
+      std::printf("(saved %llu trace events to %s)\n", n, trace_out.c_str());
+    }
+  };
 
   for (const auto& unknown : flags.unknown_flags()) {
     std::fprintf(stderr, "warning: unknown flag --%s (see header comment for usage)\n",
@@ -115,6 +142,7 @@ int main(int argc, char** argv) {
     std::printf("  overhead/min: %.1f ± %.1f\n", agg.overhead_per_minute.mean,
                 agg.overhead_per_minute.stddev);
     std::printf("  mean phi:     %.3f ± %.3f\n", agg.mean_phi.mean, agg.mean_phi.stddev);
+    flush_obs();
     return 0;
   }
   const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
@@ -144,5 +172,6 @@ int main(int argc, char** argv) {
     std::printf("Component migrations: %llu\n",
                 static_cast<unsigned long long>(res.component_migrations));
   }
+  flush_obs();
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "core/composer.h"
 #include "core/search.h"
+#include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "stream/session.h"
@@ -28,6 +29,9 @@ struct BaselineContext {
   stream::SessionTable* sessions = nullptr;
   sim::Engine* engine = nullptr;
   sim::CounterSet* counters = nullptr;
+  /// Optional observability sink (request-level spans/metrics only — the
+  /// baselines have no probe lifecycle).
+  obs::Observability* obs = nullptr;
 };
 
 class OptimalComposer final : public Composer {

@@ -42,19 +42,24 @@ double congestion_function(const HopContext& ctx, const stream::StateView& view,
 
 std::vector<stream::ComponentId> filter_qualified(
     const HopContext& ctx, const stream::StateView& view,
-    const std::vector<stream::ComponentId>& candidates) {
+    const std::vector<stream::ComponentId>& candidates, HopFilterStats* stats) {
   std::vector<stream::ComponentId> out;
   out.reserve(candidates.size());
+  HopFilterStats local;
   const stream::ResourceVector& required = ctx.req->graph.node(ctx.next_fn).required;
   for (stream::ComponentId c : candidates) {
     const stream::Component& cand = ctx.sys->component(c);
 
     // Security/license policy (extension: paper Sec. 6 constraints).
-    if (!ctx.req->policy.admits(ctx.sys->component_attributes(c))) continue;
+    if (!ctx.req->policy.admits(ctx.sys->component_attributes(c))) {
+      ++local.policy;
+      continue;
+    }
 
     // Input/output stream-rate compatibility with the upstream component.
     if (ctx.has_upstream &&
         !ctx.sys->catalog().compatible(ctx.current_function, cand.function)) {
+      ++local.rate_incompatible;
       continue;
     }
 
@@ -62,21 +67,31 @@ std::vector<stream::ComponentId> filter_qualified(
     stream::QoSVector total = ctx.accumulated;
     total += view.component_qos(c, ctx.now);
     total += upstream_link_qos(ctx, view, cand);
-    if (!total.satisfies(ctx.req->qos_req)) continue;
+    if (!total.satisfies(ctx.req->qos_req)) {
+      ++local.qos_bound;
+      continue;
+    }
 
     // Eq. 7: candidate node must have the end-system resources.
-    if (!required.fits_within(view.node_available(cand.node, ctx.now))) continue;
+    if (!required.fits_within(view.node_available(cand.node, ctx.now))) {
+      ++local.node_resources;
+      continue;
+    }
 
     // Eq. 8: the virtual link to the candidate must carry the edge's
     // bandwidth (co-location trivially passes).
     if (ctx.has_upstream && ctx.current_node != cand.node && ctx.edge_bw_kbps > 0.0) {
       const double ba =
           view.virtual_link_available_kbps(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
-      if (ctx.edge_bw_kbps > ba) continue;
+      if (ctx.edge_bw_kbps > ba) {
+        ++local.link_bandwidth;
+        continue;
+      }
     }
 
     out.push_back(c);
   }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

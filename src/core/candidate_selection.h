@@ -56,11 +56,28 @@ double risk_function(const HopContext& ctx, const stream::StateView& view,
 double congestion_function(const HopContext& ctx, const stream::StateView& view,
                            stream::ComponentId candidate);
 
+/// Per-reason tally of candidates dropped by filter_qualified — feeds the
+/// acp.probe.candidates_rejected{reason=...} metrics (obs subsystem).
+struct HopFilterStats {
+  std::size_t policy = 0;             ///< security/license constraint
+  std::size_t rate_incompatible = 0;  ///< stream-rate mismatch with upstream
+  std::size_t qos_bound = 0;          ///< Eq. 6 violated on the view
+  std::size_t node_resources = 0;     ///< Eq. 7 violated
+  std::size_t link_bandwidth = 0;     ///< Eq. 8 violated
+
+  std::size_t total() const {
+    return policy + rate_incompatible + qos_bound + node_resources + link_bandwidth;
+  }
+};
+
 /// Filters `candidates` by the paper's per-hop qualification (rate
-/// compatibility + Eqs. 6–8) against `view`.
+/// compatibility + Eqs. 6–8) against `view`. When `stats` is non-null,
+/// every dropped candidate is attributed to the first check it failed
+/// (checks run in the order listed in HopFilterStats).
 std::vector<stream::ComponentId> filter_qualified(const HopContext& ctx,
                                                   const stream::StateView& view,
-                                                  const std::vector<stream::ComponentId>& candidates);
+                                                  const std::vector<stream::ComponentId>& candidates,
+                                                  HopFilterStats* stats = nullptr);
 
 /// Ranking rule for guided per-hop selection. The paper uses
 /// kRiskThenCongestion; the others exist for the ranking ablation

@@ -5,8 +5,9 @@
 namespace acp::core {
 
 MigrationManager::MigrationManager(stream::StreamSystem& sys, sim::Engine& engine,
-                                   sim::CounterSet& counters, MigrationConfig config)
-    : sys_(&sys), engine_(&engine), counters_(&counters), config_(config) {
+                                   sim::CounterSet& counters, MigrationConfig config,
+                                   obs::Observability* obs)
+    : sys_(&sys), engine_(&engine), counters_(&counters), config_(config), obs_(obs) {
   ACP_REQUIRE(config_.interval_s > 0.0);
   ACP_REQUIRE(config_.utilization_threshold > 0.0 && config_.utilization_threshold <= 1.0);
   ACP_REQUIRE(config_.target_headroom >= 0.0 &&
@@ -86,6 +87,13 @@ std::size_t MigrationManager::run_round() {
 
     sys_->move_component(pick, target);
     counters_->add(counter::kMigration);
+    if (obs_ != nullptr) {
+      obs_->tracer.event("component_migrated")
+          .field("component", static_cast<std::uint64_t>(pick))
+          .field("from", static_cast<std::uint64_t>(hot.node))
+          .field("to", static_cast<std::uint64_t>(target))
+          .field("utilization", hot.utilization);
+    }
     ++total_moves_;
     ++moves;
   }

@@ -11,6 +11,7 @@
 // measures the success-rate gain under skewed load.
 #pragma once
 
+#include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "stream/system.h"
@@ -33,8 +34,12 @@ inline constexpr const char* kMigration = "component_migrations";
 
 class MigrationManager {
  public:
+  /// `obs`, when non-null, receives a `component_migrated` trace span per
+  /// move. The move *count* reaches the registry through the CounterSet
+  /// shim (component_migrations → acp.migration.moves), so the manager
+  /// never increments the metric directly.
   MigrationManager(stream::StreamSystem& sys, sim::Engine& engine, sim::CounterSet& counters,
-                   MigrationConfig config = {});
+                   MigrationConfig config = {}, obs::Observability* obs = nullptr);
 
   MigrationManager(const MigrationManager&) = delete;
   MigrationManager& operator=(const MigrationManager&) = delete;
@@ -61,6 +66,7 @@ class MigrationManager {
   sim::Engine* engine_;
   sim::CounterSet* counters_;
   MigrationConfig config_;
+  obs::Observability* obs_;
   std::uint64_t total_moves_ = 0;
   bool started_ = false;
 };

@@ -17,6 +17,9 @@ struct ProbingProtocol::Probe {
   stream::QoSVector accumulated;
   /// Node the probe currently sits on (deputy before the first hop).
   NodeId at = 0;
+  /// Trace identity: unique per probe; parent 0 for a path's root probe.
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
 };
 
 /// Per-request probing state, shared by all of the request's probe events.
@@ -28,6 +31,7 @@ struct ProbingProtocol::Coordinator {
   std::function<void(const CompositionOutcome&)> done;
 
   NodeId deputy = 0;
+  double start_time = 0.0;  ///< when the deputy accepted the request
   std::vector<std::vector<FnNodeIndex>> paths;
   /// Completed per-path assignments returned by probes.
   std::vector<std::vector<PathAssignment>> collected;
@@ -42,7 +46,7 @@ ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable
                                  sim::Engine& engine, sim::CounterSet& counters,
                                  discovery::Registry& registry,
                                  const stream::StateView& global_view, util::Rng rng,
-                                 ProbingConfig config)
+                                 ProbingConfig config, obs::Observability* obs)
     : sys_(&sys),
       sessions_(&sessions),
       engine_(&engine),
@@ -50,7 +54,8 @@ ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable
       registry_(&registry),
       global_view_(&global_view),
       rng_(rng),
-      config_(config) {
+      config_(config),
+      obs_(obs) {
   ACP_REQUIRE(config_.probe_timeout_s > 0.0);
   ACP_REQUIRE(config_.transient_ttl_s > 0.0);
   ACP_REQUIRE(config_.max_probes_per_request >= 1);
@@ -71,12 +76,22 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
   coord->selection_policy = selection_policy;
   coord->done = std::move(done);
   coord->deputy = deputy_for(req.client_ip);
+  coord->start_time = engine_->now();
   coord->paths = req.graph.enumerate_paths();
   coord->collected.resize(coord->paths.size());
   coord->spawned_per_path.assign(coord->paths.size(), 0);
   // Budget is split across source→sink paths so one branch's probe tree
   // cannot starve the other branch of a DAG.
   coord->path_budget = std::max<std::size_t>(1, config_.max_probes_per_request / coord->paths.size());
+
+  if (obs_ != nullptr) {
+    obs_->metrics.counter(obs::metric::kRequestAccepted).add();
+    obs_->tracer.event("request_accepted")
+        .field("req", req.id)
+        .field("deputy", static_cast<std::uint64_t>(coord->deputy))
+        .field("paths", coord->paths.size())
+        .field("alpha", alpha);
+  }
 
   // Deadline: finalize with whatever has returned.
   coord->timeout_event = engine_->schedule_after(config_.probe_timeout_s, [this, coord] {
@@ -90,8 +105,19 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
     Probe probe;
     probe.path_index = p;
     probe.at = coord->deputy;
+    probe.id = ++next_probe_id_;
     ++coord->outstanding;
     ++coord->spawned_per_path[p];
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(obs::metric::kProbeSpawned).add();
+      obs_->tracer.event("probe_spawned")
+          .field("req", req.id)
+          .field("probe", probe.id)
+          .field("parent", probe.parent)
+          .field("path", p)
+          .field("hop", std::uint64_t{0})
+          .field("node", static_cast<std::uint64_t>(coord->deputy));
+    }
     engine_->schedule_after(config_.hop_processing_s,
                             [this, coord, probe] { process_probe(coord, probe); });
   }
@@ -114,6 +140,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
     // was in flight (dynamic placement extension); the probe finds it gone
     // and dies — the deputy simply sees one fewer candidate.
     if (sys_->component(chosen).node != probe.at) {
+      probe_died(probe, req.id, obs::reason::kComponentMoved);
       probe_ended(coord);
       return;
     }
@@ -121,6 +148,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
 
     // QoS conformance (accumulated includes this component already).
     if (!probe.accumulated.satisfies(req.qos_req)) {
+      probe_died(probe, req.id, obs::reason::kQoSViolation);
       probe_ended(coord);
       return;
     }
@@ -128,6 +156,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
     const double expires = now + config_.transient_ttl_s;
     if (!sys_->reserve_node_transient(req.id, stream::node_tag(fn), probe.at,
                                       req.graph.node(fn).required, now, expires)) {
+      probe_died(probe, req.id, obs::reason::kNodeReservation);
       probe_ended(coord);
       return;
     }
@@ -140,6 +169,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
       if (!sys_->reserve_virtual_link_transient(req.id, stream::link_tag(req.graph, e),
                                                 sys_->component(prev).node, probe.at, bw, now,
                                                 expires)) {
+        probe_died(probe, req.id, obs::reason::kLinkReservation);
         probe_ended(coord);
         return;
       }
@@ -177,12 +207,16 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
 
   const std::size_t m = probe_count(candidates.size(), coord->alpha);
   std::vector<ComponentId> selected;
+  HopFilterStats filter_stats;
+  std::size_t rank_cutoff = 0;
   if (coord->hop_policy == PerHopPolicy::kGuided) {
     // Filter + rank on the coarse global state (possibly stale — that is
     // the point: precise state comes from the probes themselves).
-    auto qualified = filter_qualified(ctx, *global_view_, candidates);
+    auto qualified = filter_qualified(ctx, *global_view_, candidates, &filter_stats);
+    const std::size_t n_qualified = qualified.size();
     selected = select_best(ctx, *global_view_, std::move(qualified), m, config_.risk_eps,
                            config_.ranking);
+    rank_cutoff = n_qualified - selected.size();
   } else {
     // RP: random selection among discovered, rate-compatible candidates.
     std::vector<ComponentId> compatible;
@@ -192,11 +226,15 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
         compatible.push_back(c);
       }
     }
+    filter_stats.rate_incompatible = candidates.size() - compatible.size();
+    const std::size_t n_compatible = compatible.size();
     selected = select_random(std::move(compatible), m, rng_);
+    rank_cutoff = n_compatible - selected.size();
   }
 
   // Spawn suppression beyond the per-request budget keeps the best-ranked
   // prefix (`selected` is already ranked for kGuided).
+  std::size_t spawned = 0;
   for (ComponentId c : selected) {
     if (coord->spawned_per_path[probe.path_index] >= coord->path_budget) break;
     const stream::Component& cand = sys_->component(c);
@@ -208,22 +246,90 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
           sys_->true_state().virtual_link_qos(sys_->mesh(), probe.at, cand.node, now);
     }
     child.at = cand.node;
+    child.id = ++next_probe_id_;
+    child.parent = probe.id;
 
     ++coord->outstanding;
     ++coord->spawned_per_path[probe.path_index];
+    ++spawned;
     counters_->add(sim::counter::kProbe);  // probe transmission
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(obs::metric::kProbeSpawned).add();
+      obs_->tracer.event("probe_spawned")
+          .field("req", req.id)
+          .field("probe", child.id)
+          .field("parent", probe.id)
+          .field("path", probe.path_index)
+          .field("hop", child.components.size())
+          .field("node", static_cast<std::uint64_t>(cand.node))
+          .field("component", static_cast<std::uint64_t>(c));
+    }
     const double delay_s = sys_->mesh().virtual_link_delay(probe.at, cand.node) / 1000.0;
     engine_->schedule_after(config_.hop_processing_s + delay_s,
                             [this, coord, child] { process_probe(coord, child); });
+  }
+
+  if (obs_ != nullptr) {
+    // Per-hop candidate accounting. Invariant (asserted by tests):
+    // evaluated == spawned + Σ reject reasons.
+    const std::size_t budget_cut = selected.size() - spawned;
+    auto& metrics = obs_->metrics;
+    metrics.counter(obs::metric::kCandidatesEvaluated).add(candidates.size());
+    const auto reject = [&metrics](const char* why, std::size_t n) {
+      if (n > 0) metrics.counter(obs::metric::kCandidatesRejected, {{"reason", why}}).add(n);
+    };
+    reject(obs::candidate_reason::kPolicy, filter_stats.policy);
+    reject(obs::candidate_reason::kRateIncompatible, filter_stats.rate_incompatible);
+    reject(obs::candidate_reason::kQoSBound, filter_stats.qos_bound);
+    reject(obs::candidate_reason::kNodeResources, filter_stats.node_resources);
+    reject(obs::candidate_reason::kLinkBandwidth, filter_stats.link_bandwidth);
+    reject(obs::candidate_reason::kRankCutoff, rank_cutoff);
+    reject(obs::candidate_reason::kBudget, budget_cut);
+    obs_->tracer.event("probe_hop")
+        .field("req", req.id)
+        .field("probe", probe.id)
+        .field("path", probe.path_index)
+        .field("hop", level)
+        .field("node", static_cast<std::uint64_t>(probe.at))
+        .field("candidates", candidates.size())
+        .field("selected", selected.size())
+        .field("spawned", spawned)
+        .field("rejected_filter", filter_stats.total())
+        .field("rejected_rank", rank_cutoff)
+        .field("rejected_budget", budget_cut);
+    if (spawned == 0) probe_died(probe, req.id, obs::reason::kNoChildren);
   }
 
   // The parent probe forked (or died childless).
   probe_ended(coord);
 }
 
+void ProbingProtocol::probe_died(const Probe& probe, stream::RequestId req, const char* reason) {
+  if (obs_ == nullptr) return;
+  obs_->metrics.counter(obs::metric::kProbeDeaths, {{"reason", reason}}).add();
+  obs_->tracer.event("probe_rejected")
+      .field("req", req)
+      .field("probe", probe.id)
+      .field("path", probe.path_index)
+      .field("hop", probe.components.size())
+      .field("node", static_cast<std::uint64_t>(probe.at))
+      .field("reason", reason);
+}
+
 void ProbingProtocol::probe_returned(const std::shared_ptr<Coordinator>& coord,
                                      const Probe& probe) {
   if (coord->finalized) return;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter(obs::metric::kProbeReturned).add();
+    obs_->metrics
+        .histogram(obs::metric::kProbeHopDepth, {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0})
+        .observe(static_cast<double>(probe.components.size()));
+    obs_->tracer.event("probe_returned")
+        .field("req", coord->req->id)
+        .field("probe", probe.id)
+        .field("path", probe.path_index)
+        .field("hops", probe.components.size());
+  }
   PathAssignment pa;
   pa.components = probe.components;
   pa.accumulated = probe.accumulated;
@@ -244,6 +350,18 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
 
   const workload::Request& req = *coord->req;
   const double now = engine_->now();
+
+  // Reached via the deadline with probes still in flight: each outstanding
+  // probe is accounted a timeout death (late arrivals are ignored above).
+  if (obs_ != nullptr && coord->outstanding > 0) {
+    obs_->metrics.counter(obs::metric::kProbeDeaths, {{"reason", obs::reason::kTimeout}})
+        .add(coord->outstanding);
+    obs_->tracer.event("probe_timeout")
+        .field("req", req.id)
+        .field("outstanding", coord->outstanding)
+        .field("deadline_s", config_.probe_timeout_s);
+  }
+
   CompositionOutcome out;
 
   // Merge per-path assignments into complete component graphs (DAG case:
@@ -289,6 +407,39 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
     counters_->add(sim::counter::kConfirmation, req.graph.node_count());
   } else {
     sys_->cancel_request(req.id);
+  }
+
+  if (obs_ != nullptr) {
+    const double setup_s = now - coord->start_time;
+    const char* outcome = out.success() ? "confirmed" : "failed";
+    obs_->metrics
+        .counter(out.success() ? obs::metric::kRequestConfirmed : obs::metric::kRequestFailed)
+        .add();
+    obs_->metrics
+        .histogram(obs::metric::kRequestSetupTime, obs::duration_bounds_s(),
+                   {{"outcome", outcome}})
+        .observe(setup_s);
+    if (out.success()) {
+      obs_->tracer.event("composition_confirmed")
+          .field("req", req.id)
+          .field("session", out.session)
+          .field("phi", out.phi)
+          .field("merged", out.candidates_examined)
+          .field("qualified", out.candidates_qualified)
+          .field("cap_hit", cap_hit)
+          .field("setup_s", setup_s);
+      // Losing candidates' transient reservations were dropped by the
+      // commit; the winner's were confirmed into the session.
+      obs_->tracer.event("transients_cancelled").field("req", req.id).field("scope", "losers");
+    } else {
+      obs_->tracer.event("composition_failed")
+          .field("req", req.id)
+          .field("merged", out.candidates_examined)
+          .field("qualified", out.candidates_qualified)
+          .field("found_qualified", out.found_qualified)
+          .field("setup_s", setup_s);
+      obs_->tracer.event("transients_cancelled").field("req", req.id).field("scope", "all");
+    }
   }
 
   coord->done(out);

@@ -30,6 +30,7 @@
 #include "core/composer.h"
 #include "core/search.h"
 #include "discovery/registry.h"
+#include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "stream/session.h"
@@ -72,10 +73,12 @@ class ProbingProtocol {
  public:
   /// `global_view` is the coarse state consulted by kGuided selection; RP
   /// (kRandom) never reads it and may pass the same pointer. All references
-  /// must outlive the protocol.
+  /// must outlive the protocol. `obs`, when non-null, receives probe
+  /// lifecycle trace spans and acp.request.* / acp.probe.* metrics.
   ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable& sessions, sim::Engine& engine,
                   sim::CounterSet& counters, discovery::Registry& registry,
-                  const stream::StateView& global_view, util::Rng rng, ProbingConfig config = {});
+                  const stream::StateView& global_view, util::Rng rng, ProbingConfig config = {},
+                  obs::Observability* obs = nullptr);
 
   /// Runs the full protocol for `req` with probing ratio `alpha`. `done`
   /// fires exactly once when the deputy finalizes (success or failure).
@@ -98,6 +101,9 @@ class ProbingProtocol {
   void probe_ended(const std::shared_ptr<Coordinator>& coord);
   void finalize(const std::shared_ptr<Coordinator>& coord);
 
+  /// Records one probe death: acp.probe.deaths{reason} + probe_rejected span.
+  void probe_died(const Probe& probe, stream::RequestId req, const char* reason);
+
   stream::StreamSystem* sys_;
   stream::SessionTable* sessions_;
   sim::Engine* engine_;
@@ -106,6 +112,8 @@ class ProbingProtocol {
   const stream::StateView* global_view_;
   util::Rng rng_;
   ProbingConfig config_;
+  obs::Observability* obs_;
+  std::uint64_t next_probe_id_ = 0;
 };
 
 }  // namespace acp::core

@@ -6,6 +6,7 @@
 #include "core/probing_composers.h"
 #include "discovery/registry.h"
 #include "stream/session.h"
+#include "util/logging.h"
 
 namespace acp::exp {
 
@@ -40,6 +41,18 @@ bool is_probing(Algorithm a) {
 /// Does the algorithm maintain (and pay for) the coarse global state?
 bool uses_global_state(Algorithm a) { return a == Algorithm::kAcp || a == Algorithm::kSp; }
 
+/// Detaches the engine-backed trace clock and the logger's sim-time source
+/// when the run ends (the engine dies with run_experiment's frame, so
+/// leaving either attached would dangle).
+struct ObsScope {
+  explicit ObsScope(obs::Observability* obs) : obs_(obs) {}
+  ~ObsScope() {
+    if (obs_ != nullptr) obs_->tracer.set_clock(nullptr);
+    util::Logger::set_time_source(nullptr);
+  }
+  obs::Observability* obs_;
+};
+
 }  // namespace
 
 ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system_config,
@@ -55,13 +68,23 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   stream::SessionTable sessions(sys);
   discovery::Registry registry(sys, counters);
 
+  obs::Observability* obs = config.obs;
+  ObsScope obs_scope(obs);
+  if (obs != nullptr) {
+    counters.attach_registry(&obs->metrics);
+    engine.set_metrics(&obs->metrics);
+    obs->tracer.set_clock([&engine] { return engine.now(); });
+    obs->tracer.begin_run(algorithm_name(config.algorithm));
+    util::Logger::set_time_source([&engine] { return engine.now(); });
+  }
+
   util::Rng run_rng(config.run_seed ^ (system_config.seed * 0x9e3779b97f4a7c15ULL));
   util::Rng workload_rng = run_rng.split(1);
   util::Rng probe_rng = run_rng.split(2);
   util::Rng baseline_rng = run_rng.split(3);
 
   // --- State management ----------------------------------------------------
-  state::GlobalStateManager global_state(sys, engine, counters, config.global_state);
+  state::GlobalStateManager global_state(sys, engine, counters, config.global_state, obs);
   state::LocalStateManager local_state(sys, engine, counters, config.local_state);
   if (uses_global_state(config.algorithm)) {
     global_state.start();
@@ -70,7 +93,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
     local_state.start();  // RP keeps local measurement but no global state
   }
 
-  core::MigrationManager migration(sys, engine, counters, config.migration);
+  core::MigrationManager migration(sys, engine, counters, config.migration, obs);
   if (config.enable_migration) migration.start();
 
   // --- Composer ------------------------------------------------------------
@@ -78,7 +101,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   const stream::StateView& guidance =
       uses_global_state(config.algorithm) ? global_state.view() : sys.true_state();
   core::ProbingProtocol protocol(sys, sessions, engine, counters, registry, guidance, probe_rng,
-                                 config.probing);
+                                 config.probing, obs);
   core::ProbingRatioTuner tuner(sys, engine, config.tuner);
 
   std::unique_ptr<core::Composer> composer;
@@ -100,15 +123,15 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
       break;
     case Algorithm::kOptimal:
       composer = std::make_unique<core::OptimalComposer>(
-          core::BaselineContext{&sys, &sessions, &engine, &counters});
+          core::BaselineContext{&sys, &sessions, &engine, &counters, obs});
       break;
     case Algorithm::kRandom:
       composer = std::make_unique<core::RandomComposer>(
-          core::BaselineContext{&sys, &sessions, &engine, &counters}, baseline_rng);
+          core::BaselineContext{&sys, &sessions, &engine, &counters, obs}, baseline_rng);
       break;
     case Algorithm::kStatic:
       composer = std::make_unique<core::StaticComposer>(
-          core::BaselineContext{&sys, &sessions, &engine, &counters});
+          core::BaselineContext{&sys, &sessions, &engine, &counters, obs});
       break;
   }
 

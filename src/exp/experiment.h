@@ -12,6 +12,7 @@
 #include "core/probing.h"
 #include "core/tuner.h"
 #include "exp/system_builder.h"
+#include "obs/observability.h"
 #include "state/global_state.h"
 #include "state/local_state.h"
 #include "util/stats.h"
@@ -43,6 +44,12 @@ struct ExperimentConfig {
   core::MigrationConfig migration;
   double sample_period_minutes = 5.0;  ///< u(t) sampling period
   std::uint64_t run_seed = 7;          ///< workload/probing randomness
+  /// Optional observability sink. When set, the run streams probe-lifecycle
+  /// trace spans, mirrors legacy counters into the metrics registry, stamps
+  /// log lines with sim time, and labels the trace with the algorithm name
+  /// via Tracer::begin_run. Must outlive the call; the engine-backed trace
+  /// clock and log time source are detached before returning.
+  obs::Observability* obs = nullptr;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,73 @@
+// Observability bundle — one metrics registry plus one tracer, passed by
+// pointer into instrumented components (nullptr ⇒ observability off, all
+// hooks compile to cheap branches).
+//
+// Also the home of the well-known metric and reason names, so call sites,
+// the report, and tests agree on spelling (same role sim::counter plays for
+// the legacy CounterSet).
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace acp::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// Metric names (convention: acp.request.* / acp.probe.* / acp.state.* /
+/// acp.sim.* / acp.migration.*).
+namespace metric {
+// Request lifecycle.
+inline constexpr const char* kRequestAccepted = "acp.request.accepted";
+inline constexpr const char* kRequestConfirmed = "acp.request.confirmed";
+inline constexpr const char* kRequestFailed = "acp.request.failed";
+inline constexpr const char* kRequestSetupTime = "acp.request.setup_time_s";
+
+// Probe lifecycle.
+inline constexpr const char* kProbeSpawned = "acp.probe.spawned";
+inline constexpr const char* kProbeReturned = "acp.probe.returned";
+inline constexpr const char* kProbeDeaths = "acp.probe.deaths";  ///< label: reason
+inline constexpr const char* kProbeHopDepth = "acp.probe.hop_depth";
+inline constexpr const char* kCandidatesEvaluated = "acp.probe.candidates_evaluated";
+inline constexpr const char* kCandidatesRejected = "acp.probe.candidates_rejected";  ///< label: reason
+
+// State maintenance.
+inline constexpr const char* kStateReadStaleness = "acp.state.read_staleness_s";
+inline constexpr const char* kStateStalenessAge = "acp.state.staleness_age_s";
+inline constexpr const char* kStateUpdates = "acp.state.updates";  ///< label: kind
+
+// Simulation engine.
+inline constexpr const char* kSimEventsExecuted = "acp.sim.events_executed";
+inline constexpr const char* kSimQueueDepth = "acp.sim.queue_depth";
+
+// Extensions.
+inline constexpr const char* kMigrationMoves = "acp.migration.moves";
+}  // namespace metric
+
+/// Probe-death reasons (`acp.probe.deaths{reason=...}`, `probe_rejected`
+/// trace events). A probe dies exactly once.
+namespace reason {
+inline constexpr const char* kQoSViolation = "qos_violation";        ///< Eq. 6 on precise state
+inline constexpr const char* kNodeReservation = "node_reservation";  ///< transient alloc failed
+inline constexpr const char* kLinkReservation = "link_reservation";  ///< link transient failed
+inline constexpr const char* kComponentMoved = "component_moved";    ///< migrated mid-flight
+inline constexpr const char* kTimeout = "timeout";                   ///< outstanding at deadline
+inline constexpr const char* kNoChildren = "no_children";            ///< dead end: nothing to spawn
+}  // namespace reason
+
+/// Per-hop candidate rejection reasons (`acp.probe.candidates_rejected`).
+/// Invariant: candidates_evaluated == probes_spawned + Σ_reason rejected.
+namespace candidate_reason {
+inline constexpr const char* kPolicy = "policy";                  ///< security/license
+inline constexpr const char* kRateIncompatible = "rate_incompatible";
+inline constexpr const char* kQoSBound = "qos_bound";             ///< Eq. 6 on coarse state
+inline constexpr const char* kNodeResources = "node_resources";   ///< Eq. 7
+inline constexpr const char* kLinkBandwidth = "link_bandwidth";   ///< Eq. 8
+inline constexpr const char* kRankCutoff = "rank_cutoff";         ///< qualified, outside top M
+inline constexpr const char* kBudget = "budget";                  ///< spawn-suppressed (cap)
+}  // namespace candidate_reason
+
+}  // namespace acp::obs

@@ -1,0 +1,55 @@
+#include "obs/report.h"
+
+#include "util/table.h"
+
+namespace acp::obs {
+
+void write_report(std::ostream& os, const MetricsRegistry& registry) {
+  bool any = false;
+
+  {
+    util::Table t({"counter", "value"});
+    registry.for_each_counter(
+        [&](const std::string& name, const Labels& labels, const Counter& c) {
+          t.add_row({name + labels.render(), static_cast<std::int64_t>(c.value())});
+        });
+    if (t.rows() > 0) {
+      os << "== counters ==\n";
+      t.print(os);
+      any = true;
+    }
+  }
+
+  {
+    util::Table t({"gauge", "last", "min", "max"});
+    registry.for_each_gauge([&](const std::string& name, const Labels& labels, const Gauge& g) {
+      t.add_row({name + labels.render(), g.value(), g.min(), g.max()});
+    });
+    if (t.rows() > 0) {
+      if (any) os << '\n';
+      os << "== gauges ==\n";
+      t.print(os);
+      any = true;
+    }
+  }
+
+  {
+    util::Table t({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    t.set_precision(4);
+    registry.for_each_histogram(
+        [&](const std::string& name, const Labels& labels, const Histogram& h) {
+          t.add_row({name + labels.render(), static_cast<std::int64_t>(h.count()), h.mean(),
+                     h.quantile(0.50), h.quantile(0.90), h.quantile(0.99), h.max()});
+        });
+    if (t.rows() > 0) {
+      if (any) os << '\n';
+      os << "== histograms ==\n";
+      t.print(os);
+      any = true;
+    }
+  }
+
+  if (!any) os << "(no metrics recorded)\n";
+}
+
+}  // namespace acp::obs

@@ -1,0 +1,15 @@
+// Human-readable end-of-run report rendered from a MetricsRegistry.
+#pragma once
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace acp::obs {
+
+/// Prints aligned tables: counters (grouped by family), gauges
+/// (last/min/max), and histograms (count, mean, p50/p90/p99, max). Intended
+/// for the `--report` flag of the experiment drivers.
+void write_report(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace acp::obs

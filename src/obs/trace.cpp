@@ -1,0 +1,227 @@
+#include "obs/trace.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace acp::obs {
+
+// ---- TraceEvent -----------------------------------------------------------
+
+TraceEvent::TraceEvent(Tracer* tracer, const char* type) : tracer_(tracer) {
+  if (!tracer_) return;
+  line_ = "{\"t\": ";
+  line_ += json_number(tracer_->clock_ ? tracer_->clock_() : 0.0);
+  line_ += ", \"type\": \"";
+  line_ += json_escape(type);
+  line_ += '"';
+  if (tracer_->run_ > 0) {
+    line_ += ", \"run\": ";
+    line_ += std::to_string(tracer_->run_);
+  }
+}
+
+TraceEvent::~TraceEvent() {
+  if (!tracer_) return;
+  line_ += '}';
+  tracer_->write_line(line_);
+}
+
+TraceEvent& TraceEvent::field(const char* key, const char* value) {
+  if (!tracer_) return *this;
+  line_ += ", \"";
+  line_ += key;
+  line_ += "\": \"";
+  line_ += json_escape(value);
+  line_ += '"';
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(const char* key, const std::string& value) {
+  return field(key, value.c_str());
+}
+
+TraceEvent& TraceEvent::field(const char* key, double value) {
+  if (!tracer_) return *this;
+  line_ += ", \"";
+  line_ += key;
+  line_ += "\": ";
+  line_ += json_number(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(const char* key, std::uint64_t value) {
+  if (!tracer_) return *this;
+  line_ += ", \"";
+  line_ += key;
+  line_ += "\": ";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(const char* key, std::int64_t value) {
+  if (!tracer_) return *this;
+  line_ += ", \"";
+  line_ += key;
+  line_ += "\": ";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(const char* key, bool value) {
+  if (!tracer_) return *this;
+  line_ += ", \"";
+  line_ += key;
+  line_ += "\": ";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+// ---- Tracer ---------------------------------------------------------------
+
+void Tracer::open(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*f) throw PreconditionError("cannot open trace output file: " + path);
+  file_ = std::move(f);
+  out_ = file_.get();
+}
+
+void Tracer::set_stream(std::ostream* os) {
+  file_.reset();
+  out_ = os;
+}
+
+void Tracer::close() {
+  if (file_) file_->flush();
+  file_.reset();
+  out_ = nullptr;
+}
+
+void Tracer::begin_run(const std::string& label) {
+  ++run_;
+  event("run_started").field("label", label);
+}
+
+TraceEvent Tracer::event(const char* type) { return TraceEvent(enabled() ? this : nullptr, type); }
+
+void Tracer::write_line(const std::string& line) {
+  if (!out_) return;
+  *out_ << line << '\n';
+  ++events_;
+}
+
+// ---- Flat JSON parsing ----------------------------------------------------
+
+const std::string& ParsedTraceEvent::str(const std::string& key) const {
+  static const std::string empty;
+  const auto it = strings.find(key);
+  return it == strings.end() ? empty : it->second;
+}
+
+double ParsedTraceEvent::num(const std::string& key) const {
+  const auto it = numbers.find(key);
+  return it == numbers.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw PreconditionError("bad trace line at offset " + std::to_string(i) + ": " + why);
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() const { return i < s.size() ? s[i] : '\0'; }
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) fail("truncated escape");
+        const char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 > s.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(std::stoul(s.substr(i, 4), nullptr, 16));
+            i += 4;
+            // The writer only emits \u00xx control escapes.
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (i >= s.size()) fail("unterminated string");
+    ++i;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    const std::size_t start = i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+                            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) fail("expected number");
+    return std::stod(s.substr(start, i - start));
+  }
+};
+
+}  // namespace
+
+ParsedTraceEvent parse_trace_line(const std::string& line) {
+  ParsedTraceEvent ev;
+  Cursor c{line};
+  c.expect('{');
+  c.skip_ws();
+  if (c.peek() == '}') return ev;
+  while (true) {
+    c.skip_ws();
+    const std::string key = c.parse_string();
+    c.expect(':');
+    c.skip_ws();
+    const char p = c.peek();
+    if (p == '"') {
+      ev.strings[key] = c.parse_string();
+    } else if (p == 't' || p == 'f') {
+      const bool is_true = line.compare(c.i, 4, "true") == 0;
+      if (!is_true && line.compare(c.i, 5, "false") != 0) c.fail("expected literal");
+      ev.numbers[key] = is_true ? 1.0 : 0.0;
+      c.i += is_true ? 4 : 5;
+    } else {
+      ev.numbers[key] = c.parse_number();
+    }
+    c.skip_ws();
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    c.expect('}');
+    break;
+  }
+  return ev;
+}
+
+}  // namespace acp::obs

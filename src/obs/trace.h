@@ -1,0 +1,138 @@
+// Probe-lifecycle tracer — structured span events as JSONL.
+//
+// Every consequential step of a composition request emits one event line:
+//
+//   request_accepted      deputy picked, probing starts (or a baseline runs)
+//   probe_spawned         probe created (parent=0 for a path's root probe)
+//   probe_hop             probe passed conformance at a node and evaluated
+//                         next-hop candidates (counts per reject reason)
+//   probe_rejected        probe died at a node, reason ∈ {qos_violation,
+//                         node_reservation, link_reservation, component_moved}
+//   probe_returned        probe completed its path back to the deputy
+//   probe_timeout         deadline fired with probes still outstanding
+//   transients_cancelled  the request's transient allocations were dropped
+//                         (composition failed / losers after commit)
+//   composition_confirmed winner committed (session id, φ, setup time)
+//   composition_failed    no qualified composition
+//   component_migrated    migration manager moved a component
+//
+// Events carry sim-time timestamps (`t`), request / probe / parent-probe
+// ids, and hop depth, so a trace can be re-assembled into per-request span
+// trees offline (jq, python — each line is one flat JSON object).
+//
+// The tracer is free when disabled: `event()` returns an inert builder and
+// every field call is a no-op, so instrumentation can stay unconditionally
+// in place on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace acp::obs {
+
+class Tracer;
+
+/// Builder for one trace event; writes the JSONL line on destruction (or
+/// does nothing when the tracer is disabled).
+class TraceEvent {
+ public:
+  TraceEvent(TraceEvent&& o) noexcept : tracer_(o.tracer_), line_(std::move(o.line_)) {
+    o.tracer_ = nullptr;
+  }
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+  TraceEvent& operator=(TraceEvent&&) = delete;
+  ~TraceEvent();
+
+  TraceEvent& field(const char* key, const char* value);
+  TraceEvent& field(const char* key, const std::string& value);
+  TraceEvent& field(const char* key, double value);
+  TraceEvent& field(const char* key, std::uint64_t value);
+  TraceEvent& field(const char* key, std::int64_t value);
+  TraceEvent& field(const char* key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  TraceEvent& field(const char* key, unsigned value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  TraceEvent& field(const char* key, bool value);
+
+ private:
+  friend class Tracer;
+  TraceEvent(Tracer* tracer, const char* type);
+
+  Tracer* tracer_;  ///< nullptr ⇒ inert
+  std::string line_;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens `path` as the JSONL sink (truncating); throws on I/O failure.
+  void open(const std::string& path);
+
+  /// Uses a caller-owned stream as the sink (tests). Pass nullptr to disable.
+  void set_stream(std::ostream* os);
+
+  /// Flushes and detaches the sink; the tracer becomes disabled.
+  void close();
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Sim-clock used to stamp `t` on every event (seconds). Unset ⇒ t=0.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Stamps every subsequent event with `"run":index` and emits a
+  /// `run_started` marker carrying `label` (e.g. the algorithm name).
+  /// Lets several experiment runs share one trace file unambiguously.
+  void begin_run(const std::string& label);
+
+  /// Starts an event of `type`; fields are added fluently and the line is
+  /// written when the returned builder goes out of scope.
+  TraceEvent event(const char* type);
+
+  /// Fresh probe id, unique within this tracer's lifetime (never 0; 0 means
+  /// "no parent").
+  std::uint64_t next_probe_id() { return ++last_probe_id_; }
+
+  std::uint64_t events_emitted() const { return events_; }
+  std::uint64_t run_index() const { return run_; }
+
+ private:
+  friend class TraceEvent;
+  void write_line(const std::string& line);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+  std::function<double()> clock_;
+  std::uint64_t events_ = 0;
+  std::uint64_t run_ = 0;
+  std::uint64_t last_probe_id_ = 0;
+};
+
+/// One parsed flat JSONL event: string fields and numeric fields separated.
+/// Sufficient for every event this tracer writes (no nesting).
+struct ParsedTraceEvent {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+
+  const std::string& str(const std::string& key) const;
+  double num(const std::string& key) const;  ///< 0.0 when absent
+  bool has(const std::string& key) const {
+    return strings.count(key) > 0 || numbers.count(key) > 0;
+  }
+};
+
+/// Parses one trace line (a flat JSON object). Throws PreconditionError on
+/// malformed input — used by tests (round-trip) and offline analysis.
+ParsedTraceEvent parse_trace_line(const std::string& line);
+
+}  // namespace acp::obs

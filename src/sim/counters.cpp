@@ -2,7 +2,32 @@
 
 namespace acp::sim {
 
-void CounterSet::add(const std::string& name, std::uint64_t n) { counts_[name] += n; }
+std::string canonical_metric_name(const std::string& counter_name) {
+  if (counter_name == counter::kProbe) return "acp.probe.messages";
+  if (counter_name == counter::kGlobalStateUpdate) return "acp.state.global_updates";
+  if (counter_name == counter::kAggregationUpdate) return "acp.state.aggregation_updates";
+  if (counter_name == counter::kConfirmation) return "acp.probe.confirmations";
+  if (counter_name == counter::kDiscovery) return "acp.discovery.lookups";
+  if (counter_name == counter::kLocalRefresh) return "acp.state.local_refresh";
+  if (counter_name == "component_migrations") return "acp.migration.moves";
+  return "acp.sim.counter." + counter_name;
+}
+
+void CounterSet::add(const std::string& name, std::uint64_t n) {
+  counts_[name] += n;
+  if (registry_ != nullptr) registry_->counter(canonical_metric_name(name)).add(n);
+}
+
+void CounterSet::attach_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  // Back-fill totals accumulated before attach, so registry counters always
+  // match total() for mirrored names.
+  for (const auto& [name, total] : counts_) {
+    auto& c = registry_->counter(canonical_metric_name(name));
+    if (c.value() < total) c.add(total - c.value());
+  }
+}
 
 std::uint64_t CounterSet::total(const std::string& name) const {
   const auto it = counts_.find(name);
@@ -42,14 +67,16 @@ std::uint64_t CounterSet::window_grand_count() const {
 }
 
 double CounterSet::window_rate_per_minute(const std::string& name, SimTime t) const {
+  // Guard t < window_start_ as well as the zero-width window: a caller
+  // evaluating before the window opened gets 0, never a negative rate.
   const double span = t - window_start_;
-  if (span <= 0.0) return 0.0;
+  if (!(span > 0.0)) return 0.0;
   return static_cast<double>(window_count(name)) * 60.0 / span;
 }
 
 double CounterSet::window_grand_rate_per_minute(SimTime t) const {
   const double span = t - window_start_;
-  if (span <= 0.0) return 0.0;
+  if (!(span > 0.0)) return 0.0;
   return static_cast<double>(window_grand_count()) * 60.0 / span;
 }
 

@@ -3,6 +3,13 @@
 // The paper's "overhead" metric is messages per minute, broken down by kind
 // (probes, global-state updates, confirmations, ...). CounterSet gives each
 // kind a named counter and can compute per-minute rates over a window.
+//
+// CounterSet is now the compatibility shim over the obs::MetricsRegistry:
+// when a registry is attached, every add() is mirrored into a typed counter
+// under the acp.* naming convention (see canonical_metric_name), so legacy
+// call sites feed the same snapshot/report pipeline as new instrumentation
+// without changing their spelling or the window-rate semantics experiments
+// rely on.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace acp::sim {
@@ -18,6 +26,10 @@ class CounterSet {
  public:
   /// Adds `n` to counter `name` (created on first use).
   void add(const std::string& name, std::uint64_t n = 1);
+
+  /// Mirrors all subsequent add() calls into `registry` (nullptr detaches).
+  /// Existing totals are back-filled on attach so the registry never lags.
+  void attach_registry(obs::MetricsRegistry* registry);
 
   /// Total since construction (0 for unknown names).
   std::uint64_t total(const std::string& name) const;
@@ -38,7 +50,8 @@ class CounterSet {
   std::uint64_t window_grand_count() const;
 
   /// Rate in events/minute since begin_window(), evaluated at time `t`.
-  /// Returns 0 when the window has zero width.
+  /// Returns 0 when the window has zero or negative width (evaluating at a
+  /// `t` earlier than the window start must never yield a negative rate).
   double window_rate_per_minute(const std::string& name, SimTime t) const;
   double window_grand_rate_per_minute(SimTime t) const;
 
@@ -48,7 +61,13 @@ class CounterSet {
   std::map<std::string, std::uint64_t> counts_;
   std::map<std::string, std::uint64_t> window_start_counts_;
   SimTime window_start_ = 0.0;
+  obs::MetricsRegistry* registry_ = nullptr;
 };
+
+/// Maps a legacy CounterSet name onto the acp.* metric naming convention
+/// used by the obs registry ("probe_messages" → "acp.probe.messages";
+/// unknown names fall back to "acp.sim.counter.<name>").
+std::string canonical_metric_name(const std::string& counter_name);
 
 /// Well-known counter names shared across modules, so experiment code and
 /// tests agree on spelling.

@@ -1,6 +1,18 @@
 #include "sim/engine.h"
 
+#include "obs/observability.h"
+
 namespace acp::sim {
+
+void Engine::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    events_metric_ = nullptr;
+    depth_metric_ = nullptr;
+    return;
+  }
+  events_metric_ = &registry->counter(obs::metric::kSimEventsExecuted);
+  depth_metric_ = &registry->gauge(obs::metric::kSimQueueDepth);
+}
 
 EventId Engine::schedule_at(SimTime at, Callback cb) {
   ACP_REQUIRE_MSG(at >= now_, "cannot schedule events in the past");
@@ -34,6 +46,10 @@ bool Engine::step() {
   Callback cb = std::move(it->second);
   callbacks_.erase(it);
   ++fired_;
+  if (events_metric_ != nullptr) {
+    events_metric_->add(1);
+    depth_metric_->set(static_cast<double>(callbacks_.size()));
+  }
   cb();
   return true;
 }

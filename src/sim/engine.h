@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace acp::sim {
@@ -63,6 +64,11 @@ class Engine {
 
   std::uint64_t events_fired() const { return fired_; }
 
+  /// Mirrors engine activity into `registry` (nullptr detaches): counter
+  /// acp.sim.events_executed per fired event and gauge acp.sim.queue_depth
+  /// updated after each step (its max tracks the high-water mark).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Scheduled {
     SimTime at;
@@ -83,6 +89,11 @@ class Engine {
   std::uint64_t fired_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<Scheduled>> queue_;
   std::unordered_map<EventId, Callback> callbacks_;
+
+  // Cached metric handles (owned by the attached registry); both set or
+  // both null.
+  obs::Counter* events_metric_ = nullptr;
+  obs::Gauge* depth_metric_ = nullptr;
 };
 
 }  // namespace acp::sim

@@ -11,11 +11,13 @@ class GlobalStateManager::CoarseView final : public stream::StateView {
 
   stream::ResourceVector node_available(stream::NodeId node, double /*now*/) const override {
     ACP_REQUIRE(node < m_.node_avail_.size());
+    m_.observe_read_staleness(m_.node_updated_at_[node]);
     return m_.node_avail_[node];
   }
 
   double link_available_kbps(net::OverlayLinkIndex l, double /*now*/) const override {
     ACP_REQUIRE(l < m_.link_avail_.size());
+    m_.observe_read_staleness(m_.links_published_at_);
     return m_.link_avail_[l];
   }
 
@@ -35,16 +37,27 @@ class GlobalStateManager::CoarseView final : public stream::StateView {
 };
 
 GlobalStateManager::GlobalStateManager(const stream::StreamSystem& sys, sim::Engine& engine,
-                                       sim::CounterSet& counters, GlobalStateConfig config)
-    : sys_(&sys), engine_(&engine), counters_(&counters), config_(config) {
+                                       sim::CounterSet& counters, GlobalStateConfig config,
+                                       obs::Observability* obs)
+    : sys_(&sys), engine_(&engine), counters_(&counters), config_(config), obs_(obs) {
   ACP_REQUIRE(config_.check_interval_s > 0.0);
   ACP_REQUIRE(config_.threshold_fraction >= 0.0 && config_.threshold_fraction <= 1.0);
   ACP_REQUIRE(config_.aggregation_publish_interval_s > 0.0);
   node_avail_.resize(sys.node_count());
+  node_updated_at_.resize(sys.node_count(), 0.0);
   link_avail_.resize(sys.mesh().link_count());
   agg_link_avail_.resize(sys.mesh().link_count());
   link_reported_.resize(sys.mesh().link_count());
   view_ = std::make_unique<CoarseView>(*this);
+}
+
+void GlobalStateManager::observe_read_staleness(double updated_at) const {
+  if (obs_ == nullptr) return;
+  const double age = engine_->now() - updated_at;
+  obs_->metrics
+      .histogram(obs::metric::kStateReadStaleness, obs::duration_bounds_s())
+      .observe(age);
+  obs_->metrics.gauge(obs::metric::kStateStalenessAge).set(age);
 }
 
 GlobalStateManager::~GlobalStateManager() = default;
@@ -58,7 +71,9 @@ void GlobalStateManager::start() {
   // Seed every copy from ground truth — a fresh system announces itself.
   for (stream::NodeId n = 0; n < node_avail_.size(); ++n) {
     node_avail_[n] = sys_->node_pool(n).available(now);
+    node_updated_at_[n] = now;
   }
+  links_published_at_ = now;
   for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); ++l) {
     const double avail = sys_->link_pool(l).available(now);
     link_avail_[l] = avail;
@@ -101,7 +116,11 @@ void GlobalStateManager::run_check_sweep() {
     }
     if (significant) {
       node_avail_[n] = live;
+      node_updated_at_[n] = now;
       counters_->add(sim::counter::kGlobalStateUpdate);
+      if (obs_ != nullptr) {
+        obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "node"}}).add();
+      }
     }
   }
 
@@ -114,6 +133,9 @@ void GlobalStateManager::run_check_sweep() {
       link_reported_[l] = live;
       agg_link_avail_[l] = live;
       counters_->add(sim::counter::kAggregationUpdate);
+      if (obs_ != nullptr) {
+        obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "link"}}).add();
+      }
     }
   }
 }
@@ -122,7 +144,11 @@ void GlobalStateManager::run_publish() {
   // The aggregation node folds its collected link states into the global
   // state (one bulk update message) and the role rotates for load sharing.
   link_avail_ = agg_link_avail_;
+  links_published_at_ = engine_->now();
   counters_->add(sim::counter::kGlobalStateUpdate);
+  if (obs_ != nullptr) {
+    obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "publish"}}).add();
+  }
   if (config_.rotate_aggregation_node && sys_->node_count() > 0) {
     aggregation_node_ =
         static_cast<stream::NodeId>((aggregation_node_ + 1) % sys_->node_count());

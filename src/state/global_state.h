@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "stream/state_view.h"
@@ -41,8 +42,14 @@ struct GlobalStateConfig {
 class GlobalStateManager {
  public:
   /// Registers with `engine` but does not start ticking until start().
+  /// `obs`, when non-null, records acp.state.updates{kind} counters and —
+  /// the number the paper's coarse-grain-state argument hinges on — the
+  /// staleness of every coarse read (acp.state.read_staleness_s histogram
+  /// and acp.state.staleness_age_s gauge): sim-time age of the published
+  /// copy at the moment composition logic consults it.
   GlobalStateManager(const stream::StreamSystem& sys, sim::Engine& engine,
-                     sim::CounterSet& counters, GlobalStateConfig config = {});
+                     sim::CounterSet& counters, GlobalStateConfig config = {},
+                     obs::Observability* obs = nullptr);
   ~GlobalStateManager();
 
   GlobalStateManager(const GlobalStateManager&) = delete;
@@ -72,15 +79,22 @@ class GlobalStateManager {
 
   void schedule_check();
   void schedule_publish();
+  /// Feeds one coarse read's staleness into the histogram/gauge.
+  void observe_read_staleness(double updated_at) const;
 
   const stream::StreamSystem* sys_;
   sim::Engine* engine_;
   sim::CounterSet* counters_;
   GlobalStateConfig config_;
+  obs::Observability* obs_;
 
   // Published (queryable) coarse copies.
   std::vector<stream::ResourceVector> node_avail_;
   std::vector<double> link_avail_;
+
+  // Sim time each published copy was last written (staleness accounting).
+  std::vector<double> node_updated_at_;
+  double links_published_at_ = 0.0;
 
   // Link states collected at the aggregation node since the last publish
   // (threshold-updated by link owners, fresher than the published copy).

@@ -1,6 +1,8 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace acp::util {
 
@@ -53,6 +55,21 @@ bool Flags::get_bool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+void Flags::require_writable_path(const std::string& flag, const std::string& path) {
+  if (path.empty()) return;
+  if (path == "true") {
+    std::fprintf(stderr, "error: --%s requires a PATH value\n", flag.c_str());
+    std::exit(2);
+  }
+  // Append mode probes writability without truncating anything that is
+  // already there; the real sink re-opens the file when it writes.
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    std::fprintf(stderr, "error: cannot open %s for writing (--%s)\n", path.c_str(), flag.c_str());
+    std::exit(2);
+  }
 }
 
 std::vector<std::string> Flags::unknown_flags() const {

@@ -27,6 +27,13 @@ class Flags {
   /// Flags that were never read by a get_* call — useful for typo warnings.
   std::vector<std::string> unknown_flags() const;
 
+  /// Validates a path-valued flag at startup so a bad output destination
+  /// fails before the run instead of after it. Exits with a usage error
+  /// when the flag was given without a value (a bare "--trace-out" parses
+  /// as the boolean string "true") or the path cannot be opened for
+  /// writing. Empty path means the flag was not given; that is fine.
+  static void require_writable_path(const std::string& flag, const std::string& path);
+
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> read_;

@@ -9,6 +9,7 @@ namespace {
 LogLevel g_level = LogLevel::kWarn;
 bool g_capture = false;
 std::string g_buffer;
+std::function<double()> g_time_source;
 }  // namespace
 
 LogLevel Logger::level() { return g_level; }
@@ -25,6 +26,9 @@ std::string Logger::take_buffer() {
   return out;
 }
 
+void Logger::set_time_source(std::function<double()> now) { g_time_source = std::move(now); }
+bool Logger::has_time_source() { return static_cast<bool>(g_time_source); }
+
 const char* Logger::level_name(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::kTrace: return "TRACE";
@@ -38,11 +42,18 @@ const char* Logger::level_name(LogLevel lvl) {
 }
 
 void Logger::write(LogLevel lvl, const std::string& msg) {
+  std::string prefix;
+  if (g_time_source) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "[t=%.6f] ", g_time_source());
+    prefix = buf;
+  }
   if (g_capture) {
+    g_buffer += prefix;
     g_buffer += msg;
     g_buffer += '\n';
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+    std::fprintf(stderr, "%s[%s] %s\n", prefix.c_str(), level_name(lvl), msg.c_str());
   }
 }
 

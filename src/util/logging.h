@@ -2,6 +2,7 @@
 // experiments and examples raise it explicitly.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,6 +20,12 @@ class Logger {
   /// stderr.
   static void capture_to_buffer(bool enable);
   static std::string take_buffer();
+
+  /// Registers a sim-clock; while set, every line is prefixed with
+  /// `[t=<sim seconds>]`. Pass nullptr to clear (e.g. when the engine that
+  /// backs the clock is about to be destroyed).
+  static void set_time_source(std::function<double()> now);
+  static bool has_time_source();
 
   static void write(LogLevel lvl, const std::string& msg);
 

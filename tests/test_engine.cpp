@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "obs/metrics.h"
 #include "sim/counters.h"
 
 namespace acp::sim {
@@ -153,6 +156,49 @@ TEST(Counters, ZeroWidthWindowRateIsZero) {
   c.begin_window(10.0);
   c.add("x");
   EXPECT_DOUBLE_EQ(c.window_rate_per_minute("x", 10.0), 0.0);
+}
+
+TEST(Counters, RateBeforeWindowStartIsZero) {
+  // Regression: evaluating at a t earlier than the window start must yield
+  // 0, never a negative rate.
+  CounterSet c;
+  c.begin_window(120.0);
+  c.add("x", 10);
+  EXPECT_DOUBLE_EQ(c.window_rate_per_minute("x", 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.window_grand_rate_per_minute(60.0), 0.0);
+  // And a NaN timestamp is treated like an invalid window, not propagated.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(c.window_rate_per_minute("x", nan), 0.0);
+}
+
+TEST(Counters, AttachRegistryMirrorsAndBackfills) {
+  CounterSet c;
+  c.add(counter::kProbe, 5);
+  c.add("bespoke_counter", 2);
+
+  obs::MetricsRegistry reg;
+  c.attach_registry(&reg);
+  // Pre-attach totals are back-filled under canonical names.
+  ASSERT_NE(reg.find_counter("acp.probe.messages"), nullptr);
+  EXPECT_EQ(reg.find_counter("acp.probe.messages")->value(), 5u);
+  ASSERT_NE(reg.find_counter("acp.sim.counter.bespoke_counter"), nullptr);
+  EXPECT_EQ(reg.find_counter("acp.sim.counter.bespoke_counter")->value(), 2u);
+
+  // Subsequent adds mirror 1:1 without double-counting the backfill.
+  c.add(counter::kProbe, 3);
+  EXPECT_EQ(c.total(counter::kProbe), 8u);
+  EXPECT_EQ(reg.find_counter("acp.probe.messages")->value(), 8u);
+
+  c.attach_registry(nullptr);
+  c.add(counter::kProbe);
+  EXPECT_EQ(reg.find_counter("acp.probe.messages")->value(), 8u);
+}
+
+TEST(Counters, CanonicalMetricNames) {
+  EXPECT_EQ(canonical_metric_name(counter::kProbe), "acp.probe.messages");
+  EXPECT_EQ(canonical_metric_name(counter::kGlobalStateUpdate), "acp.state.global_updates");
+  EXPECT_EQ(canonical_metric_name("component_migrations"), "acp.migration.moves");
+  EXPECT_EQ(canonical_metric_name("whatever"), "acp.sim.counter.whatever");
 }
 
 TEST(Counters, ResetClearsEverything) {

@@ -1,0 +1,128 @@
+// Tests for the JSONL tracer: event emission, clock stamping, run markers,
+// and the parse round-trip used by offline trace analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace acp::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(Tracer, DisabledTracerEmitsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.event("probe_spawned").field("req", std::uint64_t{1}).field("hop", 0);
+  EXPECT_EQ(t.events_emitted(), 0u);
+}
+
+TEST(Tracer, EventRoundTripsThroughParser) {
+  std::ostringstream os;
+  Tracer t;
+  t.set_stream(&os);
+  double now = 0.0;
+  t.set_clock([&now] { return now; });
+
+  now = 12.5;
+  t.event("probe_hop")
+      .field("req", std::uint64_t{42})
+      .field("probe", std::uint64_t{7})
+      .field("node", 3u)
+      .field("reason", "qos_violation")
+      .field("phi", 0.625)
+      .field("confirmed", true);
+
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const ParsedTraceEvent ev = parse_trace_line(lines[0]);
+  EXPECT_EQ(ev.str("type"), "probe_hop");
+  EXPECT_DOUBLE_EQ(ev.num("t"), 12.5);
+  EXPECT_DOUBLE_EQ(ev.num("req"), 42.0);
+  EXPECT_DOUBLE_EQ(ev.num("probe"), 7.0);
+  EXPECT_DOUBLE_EQ(ev.num("node"), 3.0);
+  EXPECT_EQ(ev.str("reason"), "qos_violation");
+  EXPECT_DOUBLE_EQ(ev.num("phi"), 0.625);
+  EXPECT_TRUE(ev.has("confirmed"));
+  EXPECT_FALSE(ev.has("absent"));
+  EXPECT_DOUBLE_EQ(ev.num("absent"), 0.0);
+}
+
+TEST(Tracer, BeginRunStampsSubsequentEvents) {
+  std::ostringstream os;
+  Tracer t;
+  t.set_stream(&os);
+
+  t.begin_run("ACP");
+  t.event("request_accepted").field("req", std::uint64_t{1});
+  t.begin_run("RP");
+  t.event("request_accepted").field("req", std::uint64_t{2});
+
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 4u);  // 2 run_started markers + 2 events
+  const auto run1 = parse_trace_line(lines[0]);
+  EXPECT_EQ(run1.str("type"), "run_started");
+  EXPECT_EQ(run1.str("label"), "ACP");
+  EXPECT_DOUBLE_EQ(run1.num("run"), 1.0);
+  EXPECT_DOUBLE_EQ(parse_trace_line(lines[1]).num("run"), 1.0);
+  const auto run2 = parse_trace_line(lines[2]);
+  EXPECT_EQ(run2.str("label"), "RP");
+  EXPECT_DOUBLE_EQ(run2.num("run"), 2.0);
+  EXPECT_DOUBLE_EQ(parse_trace_line(lines[3]).num("run"), 2.0);
+  EXPECT_EQ(t.events_emitted(), 4u);
+}
+
+TEST(Tracer, StringFieldsAreJsonEscaped) {
+  std::ostringstream os;
+  Tracer t;
+  t.set_stream(&os);
+  t.event("note").field("msg", "say \"hi\"\nback\\slash");
+  const auto ev = parse_trace_line(lines_of(os.str()).at(0));
+  EXPECT_EQ(ev.str("msg"), "say \"hi\"\nback\\slash");
+}
+
+TEST(Tracer, ProbeIdsAreUniqueAndNonZero) {
+  Tracer t;
+  EXPECT_EQ(t.next_probe_id(), 1u);
+  EXPECT_EQ(t.next_probe_id(), 2u);
+  EXPECT_EQ(t.next_probe_id(), 3u);
+}
+
+TEST(Tracer, CloseDisablesEmission) {
+  std::ostringstream os;
+  Tracer t;
+  t.set_stream(&os);
+  t.event("one");
+  t.close();
+  EXPECT_FALSE(t.enabled());
+  t.event("two");
+  EXPECT_EQ(lines_of(os.str()).size(), 1u);
+}
+
+TEST(ParseTraceLine, RejectsMalformedInput) {
+  EXPECT_THROW(parse_trace_line("not json"), PreconditionError);
+  EXPECT_THROW(parse_trace_line("{\"unterminated\": \"str"), PreconditionError);
+  EXPECT_THROW(parse_trace_line(""), PreconditionError);
+}
+
+TEST(ParseTraceLine, ParsesNegativeAndExponentNumbers) {
+  const auto ev = parse_trace_line(R"({"a": -1.5, "b": 2.5e3, "c": true, "d": false})");
+  EXPECT_DOUBLE_EQ(ev.num("a"), -1.5);
+  EXPECT_DOUBLE_EQ(ev.num("b"), 2500.0);
+  EXPECT_DOUBLE_EQ(ev.num("c"), 1.0);
+  EXPECT_DOUBLE_EQ(ev.num("d"), 0.0);
+}
+
+}  // namespace
+}  // namespace acp::obs

@@ -41,6 +41,26 @@ TEST_F(LoggingTest, LevelNames) {
   EXPECT_STREQ(Logger::level_name(LogLevel::kError), "ERROR");
 }
 
+TEST_F(LoggingTest, SimTimeSourcePrefixesLines) {
+  double now = 42.125;
+  Logger::set_time_source([&now] { return now; });
+  EXPECT_TRUE(Logger::has_time_source());
+  ACP_LOG_INFO << "tick";
+  now = 43.5;
+  ACP_LOG_INFO << "tock";
+  Logger::set_time_source(nullptr);
+  EXPECT_FALSE(Logger::has_time_source());
+  ACP_LOG_INFO << "untimed";
+
+  const auto out = Logger::take_buffer();
+  EXPECT_NE(out.find("[t=42.125000] "), std::string::npos);
+  EXPECT_NE(out.find("[t=43.500000] "), std::string::npos);
+  // After the source is cleared, lines carry no sim-time prefix.
+  const auto untimed_pos = out.find("untimed");
+  ASSERT_NE(untimed_pos, std::string::npos);
+  EXPECT_EQ(out.rfind("[t=", untimed_pos), out.rfind("[t=43.5", untimed_pos));
+}
+
 TEST(Table, PrintAligns) {
   Table t({"name", "value"});
   t.add_row({std::string("x"), 1.5});
