@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
 
   std::printf("Migration ablation: %zu nodes, alpha=0.3, %.0f req/min, %.0f min\n",
               overlay_nodes, rate, duration_min);
+  benchx::BenchObservability bobs("ablation_migration", opt);
+  bobs.add_config("rate_per_min", std::to_string(rate));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   util::Table table(
       {"placement skew", "no migration: success %", "migration: success %", "moves"});
@@ -44,7 +47,9 @@ int main(int argc, char** argv) {
       cfg.migration.target_headroom = 0.3;
       cfg.migration.max_moves_per_round = 8;
       cfg.run_seed = opt.seed + 600;
+      cfg.obs = bobs.get();
       const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+      bobs.record(res);
       if (migrate) {
         success_on = res.success_rate * 100.0;
         moves = res.component_migrations;
@@ -59,5 +64,6 @@ int main(int argc, char** argv) {
   }
   benchx::emit(table, "Ablation: component migration under placement skew", opt,
                "ablation_migration");
+  bobs.finish();
   return 0;
 }

@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
   const double duration_min = opt.quick ? 10.0 : 40.0;
   const double rate = 60.0;
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  benchx::BenchObservability bobs("ablation_selection", opt);
+  bobs.add_config("rate_per_min", std::to_string(rate));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   // ---- Part 1: ranking rule -------------------------------------------------
   struct RankCase {
@@ -52,7 +55,9 @@ int main(int argc, char** argv) {
     cfg.duration_minutes = duration_min;
     cfg.schedule = {{0.0, rate}};
     cfg.run_seed = opt.seed + 300;
+    cfg.obs = bobs.get();
     const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+    bobs.record(res);
     rank_table.add_row({std::string(c.name), res.success_rate * 100.0, res.mean_phi});
     std::printf("  %-18s success=%5.1f%%  mean_phi=%.3f\n", c.name, res.success_rate * 100.0,
                 res.mean_phi);
@@ -74,7 +79,9 @@ int main(int argc, char** argv) {
       cfg.schedule = {{0.0, rate}};
       cfg.workload.strict_policy_fraction = frac;
       cfg.run_seed = opt.seed + 301;
+      cfg.obs = bobs.get();
       const auto res = exp::run_experiment(fabric2, sys_cfg, cfg);
+      bobs.record(res);
       (algo == exp::Algorithm::kAcp ? acp_s : opt_s) = res.success_rate * 100.0;
       std::printf("  frac=%.2f %-8s success=%5.1f%%\n", frac, exp::algorithm_name(algo).c_str(),
                   res.success_rate * 100.0);
@@ -82,5 +89,6 @@ int main(int argc, char** argv) {
     policy_table.add_row({frac, acp_s, opt_s});
   }
   benchx::emit(policy_table, "Ablation: policy-constraint selectivity", opt, "ablation_policy");
+  bobs.finish();
   return 0;
 }

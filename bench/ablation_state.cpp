@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   const double duration_min = opt.quick ? 10.0 : 40.0;
   const double rate = 60.0;
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  benchx::BenchObservability bobs("ablation_state", opt);
+  bobs.add_config("rate_per_min", std::to_string(rate));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   auto run_point = [&](double threshold, double publish_s) {
     exp::ExperimentConfig cfg;
@@ -34,7 +37,10 @@ int main(int argc, char** argv) {
     cfg.global_state.threshold_fraction = threshold;
     cfg.global_state.aggregation_publish_interval_s = publish_s;
     cfg.run_seed = opt.seed + 400;
-    return exp::run_experiment(fabric, sys_cfg, cfg);
+    cfg.obs = bobs.get();
+    auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+    bobs.record(res);
+    return res;
   };
 
   std::printf("State-staleness ablation: %zu nodes, alpha=0.3, %.0f req/min, %.0f min\n",
@@ -61,5 +67,6 @@ int main(int argc, char** argv) {
                 res.success_rate * 100.0, res.state_update_rate_per_minute);
   }
   benchx::emit(publish_table, "Ablation: aggregation publish interval", opt, "ablation_publish");
+  bobs.finish();
   return 0;
 }

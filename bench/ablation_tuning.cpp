@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
   const double duration_min = 150.0 * scale;
   const double target = 0.90;
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  benchx::BenchObservability bobs("ablation_tuning", opt);
+  bobs.add_config("target_success", std::to_string(target));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   struct Case {
     std::string name;
@@ -57,7 +60,9 @@ int main(int argc, char** argv) {
     cfg.workload.max_memory_mb = 25.0;
     cfg.sample_period_minutes = 5.0 * scale;
     cfg.run_seed = opt.seed + 500;
+    cfg.obs = bobs.get();
     const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+    bobs.record(res);
 
     double abs_err = 0.0;
     for (std::size_t i = 0; i < res.success_series.size(); ++i) {
@@ -73,5 +78,6 @@ int main(int argc, char** argv) {
                 res.success_rate * 100.0, abs_err * 100.0, res.probe_rate_per_minute);
   }
   benchx::emit(table, "Ablation: probing-ratio tuning strategies", opt, "ablation_tuning");
+  bobs.finish();
   return 0;
 }

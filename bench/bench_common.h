@@ -5,13 +5,22 @@
 // depend on the simulated substrate (as they did on the authors'); the
 // *shapes* — orderings, crossovers, saturation points — are the
 // reproduction targets recorded in EXPERIMENTS.md.
+//
+// Perf trajectory: every bench also emits a schema-versioned
+// BENCH_<name>.json (obs/bench_report.h) capturing wall-clock totals,
+// per-scope timing quantiles, and the headline sim metrics. On by default
+// under --quick (the CI perf-smoke configuration), opt-in/out anywhere via
+// --bench-out[=PATH] / --no-bench-out.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "exp/experiment.h"
+#include "obs/bench_report.h"
+#include "obs/guard.h"
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "util/flags.h"
@@ -43,7 +52,18 @@ struct BenchOptions {
   std::string metrics_out;   ///< --metrics-out: end-of-run metrics snapshot (JSON)
   bool report = false;       ///< --report: print a human-readable metrics report
 
-  bool observing() const { return !trace_out.empty() || !metrics_out.empty() || report; }
+  std::string bench_out;     ///< --bench-out=PATH; "" = default BENCH_<name>.json
+  bool bench_out_flag = false;      ///< bare --bench-out given
+  bool bench_out_disabled = false;  ///< --no-bench-out given
+
+  /// BENCH_<name>.json emission: explicit flag wins; --quick defaults on.
+  bool bench_enabled() const {
+    return !bench_out_disabled && (bench_out_flag || !bench_out.empty() || quick);
+  }
+
+  bool observing() const {
+    return !trace_out.empty() || !metrics_out.empty() || report || bench_enabled();
+  }
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -55,8 +75,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
   opt.trace_out = flags.get_string("trace-out", "");
   opt.metrics_out = flags.get_string("metrics-out", "");
   opt.report = flags.get_bool("report", false);
+  // --bench-out is tri-state: bare flag ("true"), --no-bench-out ("false"),
+  // or an explicit path.
+  const std::string bench_out = flags.get_string("bench-out", "");
+  if (bench_out == "true") {
+    opt.bench_out_flag = true;
+  } else if (bench_out == "false") {
+    opt.bench_out_disabled = true;
+  } else {
+    opt.bench_out = bench_out;
+  }
   util::Flags::require_writable_path("trace-out", opt.trace_out);
   util::Flags::require_writable_path("metrics-out", opt.metrics_out);
+  if (!opt.bench_out.empty()) util::Flags::require_writable_path("bench-out", opt.bench_out);
   for (const auto& f : flags.unknown_flags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", f.c_str());
   }
@@ -65,20 +96,72 @@ inline BenchOptions parse_options(int argc, char** argv) {
 
 /// Owns the bench's Observability instance for the duration of a binary.
 /// Pass get() into every ExperimentConfig (nullptr when no observability
-/// flag was given — the instrumented code paths then cost one branch), and
-/// call finish() once after the last experiment to flush the sinks.
+/// flag was given — the instrumented code paths then cost one branch), call
+/// record() on each experiment result so the bench JSON carries headline
+/// sim metrics, and call finish() once after the last experiment to flush
+/// every sink.
 class BenchObservability {
  public:
-  explicit BenchObservability(const BenchOptions& opt) : opt_(opt) {
-    if (!opt_.trace_out.empty()) obs_.tracer.open(opt_.trace_out);
+  BenchObservability(std::string bench_name, const BenchOptions& opt)
+      : name_(std::move(bench_name)), opt_(opt),
+        wall_start_(std::chrono::steady_clock::now()) {
+    if (!opt_.trace_out.empty()) {
+      obs_.tracer.open(opt_.trace_out);
+      // Identity header before any run: the trace is reproducible from its
+      // own first line.
+      obs_.tracer.event("trace_header")
+          .field("bench", name_)
+          .field("git_sha", obs::current_git_sha())
+          .field("seed", opt_.seed)
+          .field("quick", opt_.quick);
+    }
+    if (opt_.observing()) {
+      obs_.metrics.set_meta("bench", name_);
+      obs_.metrics.set_meta("git_sha", obs::current_git_sha());
+      obs_.metrics.set_meta("seed", std::to_string(opt_.seed));
+      obs_.metrics.set_meta("quick", opt_.quick ? "true" : "false");
+      if (!opt_.metrics_out.empty()) {
+        // Abnormal-exit insurance: std::terminate still leaves a snapshot
+        // (the tracer registers its own hook in open()).
+        guard_token_ = obs::on_abnormal_exit([this] {
+          obs_.metrics.set_meta("truncated", "true");
+          try {
+            obs_.metrics.save_json(opt_.metrics_out);
+          } catch (...) {
+          }
+        });
+      }
+    }
+  }
+
+  ~BenchObservability() {
+    if (guard_token_ != 0) obs::cancel_abnormal_exit(guard_token_);
   }
 
   obs::Observability* get() { return opt_.observing() ? &obs_ : nullptr; }
 
+  /// Folds one experiment's headline metrics into the bench report.
+  void record(const exp::ExperimentResult& res) {
+    ++runs_;
+    success_.add(res.success_rate);
+    overhead_.add(res.overhead_per_minute);
+    phi_.add(res.mean_phi);
+  }
+
+  /// Bench-level configuration recorded in the BENCH json (durations,
+  /// rates, sweep ranges — whatever makes the run comparable).
+  void add_config(const std::string& key, const std::string& value) {
+    report_config_.emplace_back(key, value);
+  }
+
   /// Flushes every sink: metrics JSON snapshot, human-readable report,
-  /// trace stream. Idempotent enough for end-of-main use.
+  /// trace stream, BENCH_<name>.json. Idempotent enough for end-of-main use.
   void finish() {
     if (!opt_.observing()) return;
+    if (guard_token_ != 0) {
+      obs::cancel_abnormal_exit(guard_token_);
+      guard_token_ = 0;
+    }
     if (!opt_.metrics_out.empty()) {
       obs_.metrics.save_json(opt_.metrics_out);
       std::printf("(saved metrics to %s)\n", opt_.metrics_out.c_str());
@@ -90,11 +173,41 @@ class BenchObservability {
       std::printf("(saved %llu trace events to %s)\n", static_cast<unsigned long long>(n),
                   opt_.trace_out.c_str());
     }
+    if (opt_.bench_enabled()) {
+      const std::string path =
+          opt_.bench_out.empty() ? "BENCH_" + name_ + ".json" : opt_.bench_out;
+      make_report().save(path);
+      std::printf("(saved bench report to %s)\n", path.c_str());
+    }
+  }
+
+  /// The report finish() would save (exposed for tests / custom sinks).
+  obs::BenchReport make_report() const {
+    obs::BenchReport rep;
+    rep.name = name_;
+    rep.git_sha = obs::current_git_sha();
+    rep.seed = opt_.seed;
+    rep.quick = opt_.quick;
+    rep.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
+                     .count();
+    rep.config = report_config_;
+    rep.runs = runs_;
+    rep.success_rate = success_.mean();
+    rep.overhead_per_minute = overhead_.mean();
+    rep.mean_phi = phi_.mean();
+    rep.collect_from(obs_.metrics);
+    return rep;
   }
 
  private:
+  std::string name_;
   BenchOptions opt_;
   obs::Observability obs_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::vector<std::pair<std::string, std::string>> report_config_;
+  util::RunningStat success_, overhead_, phi_;
+  std::uint64_t runs_ = 0;
+  obs::GuardToken guard_token_ = 0;
 };
 
 inline void emit(const util::Table& table, const std::string& title, const BenchOptions& opt,

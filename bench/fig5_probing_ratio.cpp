@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
   std::printf("Fig 5: %zu-node system, ACP, %.0f-minute simulations\n", overlay_nodes,
               duration_min);
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
-  benchx::BenchObservability bobs(opt);
+  benchx::BenchObservability bobs("fig5", opt);
+  bobs.add_config("overlay_nodes", std::to_string(overlay_nodes));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   auto run_point = [&](double alpha, double rate, double qos_scale) {
     exp::ExperimentConfig cfg;
@@ -37,7 +39,9 @@ int main(int argc, char** argv) {
     cfg.workload.qos_scale = qos_scale;
     cfg.run_seed = opt.seed + 500;
     cfg.obs = bobs.get();
-    return exp::run_experiment(fabric, sys_cfg, cfg).success_rate * 100.0;
+    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+    bobs.record(res);
+    return res.success_rate * 100.0;
   };
 
   // ---- Fig 5(a): request-rate sweep ----------------------------------------

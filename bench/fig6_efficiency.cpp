@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
   std::printf("Fig 6: %zu-node system, alpha=0.3, %.0f-minute simulations\n", overlay_nodes,
               duration_min);
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
-  benchx::BenchObservability bobs(opt);
+  benchx::BenchObservability bobs("fig6", opt);
+  bobs.add_config("overlay_nodes", std::to_string(overlay_nodes));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   util::Table success({"request_rate", "Optimal", "ACP", "SP", "RP", "Random", "Static"});
   util::Table overhead({"request_rate", "Optimal", "ACP", "RP", "Centralized(N^2)"});
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
       cfg.run_seed = opt.seed + 100;
       cfg.obs = bobs.get();
       const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+      bobs.record(res);
       srow.push_back(res.success_rate * 100.0);
       if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
       if (algo == exp::Algorithm::kAcp) oh_acp = res.overhead_per_minute;

@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   util::Table success({"node_count", "Optimal", "ACP", "SP", "RP", "Random", "Static"});
   util::Table overhead({"node_count", "Optimal", "ACP", "RP", "Centralized(N^2)"});
   overhead.set_precision(0);
-  benchx::BenchObservability bobs(opt);
+  benchx::BenchObservability bobs("fig7", opt);
+  bobs.add_config("rate_per_min", std::to_string(rate));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   for (std::size_t n : node_counts) {
     const exp::SystemConfig sys_cfg =
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
       cfg.run_seed = opt.seed + 700;
       cfg.obs = bobs.get();
       const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+      bobs.record(res);
       srow.push_back(res.success_rate * 100.0);
       if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
       if (algo == exp::Algorithm::kAcp) oh_acp = res.overhead_per_minute;

@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   std::printf("Fig 8: %zu-node system, dynamic workload 40→80→60 req/min, %.0f minutes\n",
               overlay_nodes, duration_min);
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
-  benchx::BenchObservability bobs(opt);
+  benchx::BenchObservability bobs("fig8", opt);
+  bobs.add_config("overlay_nodes", std::to_string(overlay_nodes));
+  bobs.add_config("duration_min", std::to_string(duration_min));
 
   auto run_case = [&](bool adaptive) {
     exp::ExperimentConfig cfg;
@@ -50,7 +52,9 @@ int main(int argc, char** argv) {
     cfg.sample_period_minutes = 5.0 * scale;
     cfg.run_seed = opt.seed + 900;
     cfg.obs = bobs.get();
-    return exp::run_experiment(fabric, sys_cfg, cfg);
+    auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+    bobs.record(res);
+    return res;
   };
 
   const auto fixed = run_case(false);

@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the building blocks the ACP
 // protocol exercises on its hot paths. Not a paper figure — an engineering
 // ablation quantifying the cost of each mechanism (DESIGN.md Sec. 5).
+//
+// Custom main instead of BENCHMARK_MAIN(): --benchmark_* flags go to
+// google-benchmark while the repo-wide bench flags (--quick, --bench-out,
+// --seed) are handled here, and each benchmark's timing is captured into
+// BENCH_micro.json so micro costs ride the same perf trajectory as the
+// figure benches.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_common.h"
 #include "core/candidate_selection.h"
 #include "core/search.h"
 #include "core/whatif.h"
@@ -156,6 +165,65 @@ void BM_WhatIfReplayStep(benchmark::State& state) {
 }
 BENCHMARK(BM_WhatIfReplayStep);
 
+// Console output as usual, plus per-benchmark timing kept for the report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      obs::ScopeStats s;
+      s.scope = run.benchmark_name();
+      s.count = static_cast<std::uint64_t>(run.iterations);
+      s.total_s = run.real_accumulated_time;
+      s.mean_s = run.iterations > 0
+                     ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                     : 0.0;
+      // google-benchmark reports one aggregate time per benchmark; the
+      // quantile columns carry the mean so the schema stays uniform.
+      s.p50_s = s.p90_s = s.p99_s = s.max_s = s.mean_s;
+      scopes.push_back(std::move(s));
+    }
+  }
+
+  std::vector<obs::ScopeStats> scopes;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // --benchmark_* flags belong to google-benchmark; everything else is ours.
+  std::vector<char*> gb_args{argv[0]};
+  std::vector<char*> our_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    (std::strncmp(argv[i], "--benchmark", 11) == 0 ? gb_args : our_args).push_back(argv[i]);
+  }
+  int our_argc = static_cast<int>(our_args.size());
+  const auto opt = acp::benchx::parse_options(our_argc, our_args.data());
+
+  std::string quick_min_time = "--benchmark_min_time=0.01";
+  if (opt.quick) gb_args.push_back(quick_min_time.data());
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (opt.bench_enabled()) {
+    acp::obs::BenchReport rep;
+    rep.name = "micro";
+    rep.git_sha = acp::obs::current_git_sha();
+    rep.seed = opt.seed;
+    rep.quick = opt.quick;
+    rep.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    rep.runs = static_cast<std::uint64_t>(reporter.scopes.size());
+    rep.scopes = std::move(reporter.scopes);
+    const std::string path = opt.bench_out.empty() ? "BENCH_micro.json" : opt.bench_out;
+    rep.save(path);
+    std::printf("(saved bench report to %s)\n", path.c_str());
+  }
+  return 0;
+}

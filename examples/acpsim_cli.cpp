@@ -38,6 +38,7 @@
 
 #include "exp/experiment.h"
 #include "exp/repeated.h"
+#include "obs/bench_report.h"
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "util/flags.h"
@@ -101,8 +102,22 @@ int main(int argc, char** argv) {
 
   obs::Observability obs;
   const bool observing = !trace_out.empty() || !metrics_out.empty() || report;
-  if (!trace_out.empty()) obs.tracer.open(trace_out);
-  if (observing) cfg.obs = &obs;
+  if (!trace_out.empty()) {
+    obs.tracer.open(trace_out);
+    obs.tracer.event("trace_header")
+        .field("bench", "acpsim")
+        .field("git_sha", obs::current_git_sha())
+        .field("seed", sys_cfg.seed)
+        .field("run_seed", cfg.run_seed);
+  }
+  if (observing) {
+    // Run identity in every snapshot: a metrics file names the commit and
+    // seeds that produced it.
+    obs.metrics.set_meta("git_sha", obs::current_git_sha());
+    obs.metrics.set_meta("seed", std::to_string(sys_cfg.seed));
+    obs.metrics.set_meta("run_seed", std::to_string(cfg.run_seed));
+    cfg.obs = &obs;
+  }
   const auto flush_obs = [&] {
     if (!metrics_out.empty()) {
       obs.metrics.save_json(metrics_out);

@@ -1,6 +1,7 @@
 #include "core/probing.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace acp::core {
 
@@ -59,6 +60,11 @@ ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable
   ACP_REQUIRE(config_.probe_timeout_s > 0.0);
   ACP_REQUIRE(config_.transient_ttl_s > 0.0);
   ACP_REQUIRE(config_.max_probes_per_request >= 1);
+  if (obs_ != nullptr) {
+    prof_process_ = obs_->profiler.scope(obs::prof_scope::kProbingProcess);
+    prof_rank_ = obs_->profiler.scope(obs::prof_scope::kProbingRank);
+    prof_finalize_ = obs_->profiler.scope(obs::prof_scope::kProbingFinalize);
+  }
 }
 
 stream::NodeId ProbingProtocol::deputy_for(net::NodeIndex client_ip) const {
@@ -125,6 +131,7 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
 
 void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, Probe probe) {
   if (coord->finalized) return;  // late arrival after deadline: ignore
+  const obs::ProfScope prof(prof_process_);
   const workload::Request& req = *coord->req;
   const auto& path = coord->paths[probe.path_index];
   const double now = engine_->now();
@@ -209,27 +216,30 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
   std::vector<ComponentId> selected;
   HopFilterStats filter_stats;
   std::size_t rank_cutoff = 0;
-  if (coord->hop_policy == PerHopPolicy::kGuided) {
-    // Filter + rank on the coarse global state (possibly stale — that is
-    // the point: precise state comes from the probes themselves).
-    auto qualified = filter_qualified(ctx, *global_view_, candidates, &filter_stats);
-    const std::size_t n_qualified = qualified.size();
-    selected = select_best(ctx, *global_view_, std::move(qualified), m, config_.risk_eps,
-                           config_.ranking);
-    rank_cutoff = n_qualified - selected.size();
-  } else {
-    // RP: random selection among discovered, rate-compatible candidates.
-    std::vector<ComponentId> compatible;
-    for (ComponentId c : candidates) {
-      if (!ctx.has_upstream ||
-          sys_->catalog().compatible(ctx.current_function, sys_->component(c).function)) {
-        compatible.push_back(c);
+  {
+    const obs::ProfScope rank_prof(prof_rank_);
+    if (coord->hop_policy == PerHopPolicy::kGuided) {
+      // Filter + rank on the coarse global state (possibly stale — that is
+      // the point: precise state comes from the probes themselves).
+      auto qualified = filter_qualified(ctx, *global_view_, candidates, &filter_stats);
+      const std::size_t n_qualified = qualified.size();
+      selected = select_best(ctx, *global_view_, std::move(qualified), m, config_.risk_eps,
+                             config_.ranking);
+      rank_cutoff = n_qualified - selected.size();
+    } else {
+      // RP: random selection among discovered, rate-compatible candidates.
+      std::vector<ComponentId> compatible;
+      for (ComponentId c : candidates) {
+        if (!ctx.has_upstream ||
+            sys_->catalog().compatible(ctx.current_function, sys_->component(c).function)) {
+          compatible.push_back(c);
+        }
       }
+      filter_stats.rate_incompatible = candidates.size() - compatible.size();
+      const std::size_t n_compatible = compatible.size();
+      selected = select_random(std::move(compatible), m, rng_);
+      rank_cutoff = n_compatible - selected.size();
     }
-    filter_stats.rate_incompatible = candidates.size() - compatible.size();
-    const std::size_t n_compatible = compatible.size();
-    selected = select_random(std::move(compatible), m, rng_);
-    rank_cutoff = n_compatible - selected.size();
   }
 
   // Spawn suppression beyond the per-request budget keeps the best-ranked
@@ -363,6 +373,11 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
   }
 
   CompositionOutcome out;
+  // Deputy-side finalize cost: merge, qualification, winner selection,
+  // commit. Released before `done` so the requester's callback is not
+  // charged to it.
+  std::optional<obs::ProfScope> prof;
+  if (prof_finalize_.wall != nullptr) prof.emplace(prof_finalize_);
 
   // Merge per-path assignments into complete component graphs (DAG case:
   // combinations must agree on shared split/merge nodes).
@@ -441,6 +456,7 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
       obs_->tracer.event("transients_cancelled").field("req", req.id).field("scope", "all");
     }
   }
+  prof.reset();
 
   coord->done(out);
 }

@@ -114,6 +114,12 @@ class ProbingProtocol {
   ProbingConfig config_;
   obs::Observability* obs_;
   std::uint64_t next_probe_id_ = 0;
+
+  // Wall-clock profiling scopes (inert without obs_): the per-hop hot path,
+  // its candidate-ranking section, and the deputy's finalize step.
+  obs::ProfSlot prof_process_;
+  obs::ProfSlot prof_rank_;
+  obs::ProfSlot prof_finalize_;
 };
 
 }  // namespace acp::core

@@ -3,13 +3,15 @@
 namespace acp::discovery {
 
 Registry::Registry(const stream::StreamSystem& sys, sim::CounterSet& counters,
-                   DiscoveryConfig config)
+                   DiscoveryConfig config, obs::Observability* obs)
     : sys_(&sys), counters_(&counters), config_(config) {
   ACP_REQUIRE(config_.min_lookup_latency_ms >= 0.0);
   ACP_REQUIRE(config_.max_lookup_latency_ms >= config_.min_lookup_latency_ms);
+  if (obs != nullptr) prof_lookup_ = obs->profiler.scope(obs::prof_scope::kDiscoveryLookup);
 }
 
 const std::vector<stream::ComponentId>& Registry::lookup(stream::FunctionId f) const {
+  const obs::ProfScope prof(prof_lookup_);
   ++lookups_;
   counters_->add(sim::counter::kDiscovery);
   return sys_->components_providing(f);

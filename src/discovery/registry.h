@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "obs/observability.h"
 #include "sim/counters.h"
 #include "stream/system.h"
 #include "util/rng.h"
@@ -23,8 +24,10 @@ struct DiscoveryConfig {
 
 class Registry {
  public:
+  /// `obs`, when non-null, records each lookup's wall-clock under the
+  /// "discovery.lookup" profiling scope.
   Registry(const stream::StreamSystem& sys, sim::CounterSet& counters,
-           DiscoveryConfig config = {});
+           DiscoveryConfig config = {}, obs::Observability* obs = nullptr);
 
   /// All components currently providing `f`. Counts one discovery lookup.
   const std::vector<stream::ComponentId>& lookup(stream::FunctionId f) const;
@@ -38,6 +41,7 @@ class Registry {
   const stream::StreamSystem* sys_;
   sim::CounterSet* counters_;
   DiscoveryConfig config_;
+  obs::ProfSlot prof_lookup_;
   mutable std::uint64_t lookups_ = 0;
 };
 

@@ -66,7 +66,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   sim::Engine engine;
   sim::CounterSet counters;
   stream::SessionTable sessions(sys);
-  discovery::Registry registry(sys, counters);
+  discovery::Registry registry(sys, counters, {}, config.obs);
 
   obs::Observability* obs = config.obs;
   ObsScope obs_scope(obs);

@@ -1,0 +1,100 @@
+#include "obs/bench_report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "obs/profile.h"
+#include "util/error.h"
+
+namespace acp::obs {
+
+void BenchReport::collect_from(const MetricsRegistry& registry) {
+  scopes.clear();
+  registry.for_each_histogram(
+      [&](const std::string& name, const Labels& labels, const Histogram& h) {
+        if (name != metric::kProfWall) return;
+        ScopeStats s;
+        s.scope = labels.get("scope");
+        s.count = h.count();
+        s.total_s = h.sum();
+        s.mean_s = h.mean();
+        s.p50_s = h.quantile(0.50);
+        s.p90_s = h.quantile(0.90);
+        s.p99_s = h.quantile(0.99);
+        s.max_s = h.max();
+        scopes.push_back(std::move(s));
+      });
+
+  counters.clear();
+  std::map<std::string, std::uint64_t> totals;
+  registry.for_each_counter(
+      [&](const std::string& name, const Labels&, const Counter& c) { totals[name] += c.value(); });
+  counters.assign(totals.begin(), totals.end());
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"schema\": \"" << kBenchSchema << "\",\n";
+  os << "  \"name\": \"" << json_escape(name) << "\",\n";
+  os << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"wall_s\": " << json_number(wall_s) << ",\n";
+  os << "  \"config\": {";
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(config[i].first) << "\": \""
+       << json_escape(config[i].second) << '"';
+  }
+  os << "},\n";
+  os << "  \"headline\": {\"runs\": " << runs
+     << ", \"success_rate\": " << json_number(success_rate)
+     << ", \"overhead_per_minute\": " << json_number(overhead_per_minute)
+     << ", \"mean_phi\": " << json_number(mean_phi) << "},\n";
+  os << "  \"scopes\": [";
+  for (std::size_t i = 0; i < scopes.size(); ++i) {
+    const ScopeStats& s = scopes[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"scope\": \"" << json_escape(s.scope)
+       << "\", \"count\": " << s.count << ", \"total_s\": " << json_number(s.total_s)
+       << ", \"mean_s\": " << json_number(s.mean_s) << ", \"p50_s\": " << json_number(s.p50_s)
+       << ", \"p90_s\": " << json_number(s.p90_s) << ", \"p99_s\": " << json_number(s.p99_s)
+       << ", \"max_s\": " << json_number(s.max_s) << '}';
+  }
+  os << (scopes.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(counters[i].first)
+       << "\": " << counters[i].second;
+  }
+  os << (counters.empty() ? "}" : "\n  }") << "\n}\n";
+}
+
+void BenchReport::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw PreconditionError("cannot open bench output file: " + path);
+  write_json(f);
+  if (!f.good()) throw PreconditionError("failed writing bench output file: " + path);
+}
+
+std::string current_git_sha() {
+  static std::string cached = [] {
+    if (const char* env = std::getenv("ACP_GIT_SHA"); env != nullptr && *env != '\0') {
+      return std::string(env);
+    }
+    std::string sha;
+    if (std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+      char buf[128];
+      if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+      ::pclose(pipe);
+    }
+    while (!sha.empty() && std::isspace(static_cast<unsigned char>(sha.back()))) sha.pop_back();
+    // A 40-hex sha (or "abc123-dirty" style override) — anything else means
+    // we are outside a git checkout.
+    return sha.empty() ? std::string("unknown") : sha;
+  }();
+  return cached;
+}
+
+}  // namespace acp::obs

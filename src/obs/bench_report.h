@@ -1,0 +1,90 @@
+// BENCH_<name>.json — the repo's perf-trajectory format.
+//
+// Every bench binary (fig5–fig8, ablations, micro) emits one schema-
+// versioned JSON document per run capturing everything needed to compare
+// two runs of the same bench: identity (name, git sha, RNG seed, quick
+// flag, config), cost (wall-clock total and per-scope wall-time quantiles
+// from the acp.prof.wall_s histograms), and quality (the headline sim
+// metrics the paper's evaluation plots — success ratio, probing overhead,
+// mean φ(λ)). `tools/acptrace diff` consumes two of these files and flags
+// regressions against configurable thresholds; CI keeps baselines under
+// bench/baselines/.
+//
+// Schema "acp-bench/1":
+//   {
+//     "schema": "acp-bench/1",
+//     "name": "fig6", "git_sha": "...", "seed": 42, "quick": true,
+//     "wall_s": 12.34,
+//     "config": {"key": "value", ...},
+//     "headline": {"runs": N, "success_rate": u, "overhead_per_minute": o,
+//                  "mean_phi": p},
+//     "scopes": [{"scope": "probing.process_probe", "count": N,
+//                 "total_s": t, "mean_s": m, "p50_s": a, "p90_s": b,
+//                 "p99_s": c, "max_s": d}, ...],
+//     "counters": {"acp.probe.spawned": N, ...}   // family totals
+//   }
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace acp::obs {
+
+inline constexpr const char* kBenchSchema = "acp-bench/1";
+
+/// Wall-time summary of one profiling scope (one acp.prof.wall_s series).
+struct ScopeStats {
+  std::string scope;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+struct BenchReport {
+  std::string name;
+  std::string git_sha;
+  std::uint64_t seed = 0;
+  bool quick = false;
+  double wall_s = 0.0;
+
+  /// Free-form bench configuration (duration, rates, …), insertion order.
+  std::vector<std::pair<std::string, std::string>> config;
+
+  // Headline sim metrics, aggregated over the bench's experiment runs.
+  std::uint64_t runs = 0;
+  double success_rate = 0.0;
+  double overhead_per_minute = 0.0;
+  double mean_phi = 0.0;
+
+  std::vector<ScopeStats> scopes;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  /// Fills `scopes` from the registry's acp.prof.wall_s series and
+  /// `counters` from its counter family totals.
+  void collect_from(const MetricsRegistry& registry);
+
+  void add_config(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+  }
+
+  void write_json(std::ostream& os) const;
+
+  /// write_json to `path`; throws PreconditionError on I/O failure.
+  void save(const std::string& path) const;
+};
+
+/// Git sha of the working tree, for artifact headers. Honors the
+/// ACP_GIT_SHA environment override (CI), else asks `git rev-parse HEAD`,
+/// else "unknown". Cached after the first call.
+std::string current_git_sha();
+
+}  // namespace acp::obs

@@ -1,0 +1,69 @@
+#include "obs/guard.h"
+
+#include <exception>
+#include <utility>
+#include <vector>
+
+namespace acp::obs {
+
+namespace {
+
+struct Hook {
+  GuardToken token;
+  std::function<void()> fn;
+};
+
+std::vector<Hook>& hooks() {
+  static std::vector<Hook> h;
+  return h;
+}
+
+GuardToken g_next_token = 1;
+std::terminate_handler g_previous_handler = nullptr;
+bool g_handler_installed = false;
+
+[[noreturn]] void terminate_with_flush() {
+  run_abnormal_exit_hooks();
+  if (g_previous_handler != nullptr) g_previous_handler();
+  std::abort();
+}
+
+}  // namespace
+
+GuardToken on_abnormal_exit(std::function<void()> fn) {
+  if (!g_handler_installed) {
+    g_previous_handler = std::set_terminate(&terminate_with_flush);
+    g_handler_installed = true;
+  }
+  const GuardToken token = g_next_token++;
+  hooks().push_back({token, std::move(fn)});
+  return token;
+}
+
+void cancel_abnormal_exit(GuardToken token) {
+  auto& h = hooks();
+  for (auto it = h.begin(); it != h.end(); ++it) {
+    if (it->token == token) {
+      h.erase(it);
+      return;
+    }
+  }
+}
+
+void run_abnormal_exit_hooks() noexcept {
+  // Steal the list first so a hook that itself dies (or re-registers)
+  // cannot loop us.
+  std::vector<Hook> pending = std::move(hooks());
+  hooks().clear();
+  for (Hook& hook : pending) {
+    try {
+      hook.fn();
+    } catch (...) {
+      // Already terminating; nothing better to do than keep flushing.
+    }
+  }
+}
+
+std::size_t abnormal_exit_hook_count() { return hooks().size(); }
+
+}  // namespace acp::obs

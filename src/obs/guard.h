@@ -1,0 +1,39 @@
+// Abnormal-exit flush hooks for observability sinks.
+//
+// A bench that dies mid-run (uncaught exception, std::terminate) would
+// normally take its buffered trace/metrics output with it: GCC's terminate
+// path does not unwind, so destructors never run. Components with sinks
+// worth saving register a hook here; the first registration chains a
+// std::terminate handler that runs every live hook (exactly once) before
+// handing off to the previous handler. Each hook should flush its sink and
+// leave a truncation marker so downstream readers (acptrace) can tell a
+// clean file from a cut-off one.
+//
+// Hooks capture raw pointers, so owners MUST cancel on normal destruction.
+// Single-threaded, like everything else in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace acp::obs {
+
+using GuardToken = std::uint64_t;
+
+/// Registers `fn` to run if the process terminates abnormally. Returns a
+/// token for cancel_abnormal_exit(). Hooks run in registration order.
+GuardToken on_abnormal_exit(std::function<void()> fn);
+
+/// Removes a previously registered hook. Safe to call with a token that
+/// already ran or was cancelled.
+void cancel_abnormal_exit(GuardToken token);
+
+/// Runs and clears every registered hook. Idempotent; exceptions thrown by
+/// hooks are swallowed (we are already on the way down). Called by the
+/// terminate handler; exposed for tests and for explicit emergency flushes.
+void run_abnormal_exit_hooks() noexcept;
+
+/// Number of currently registered hooks (tests).
+std::size_t abnormal_exit_hook_count();
+
+}  // namespace acp::obs

@@ -229,8 +229,22 @@ void write_labels_json(std::ostream& os, const Labels& labels) {
 
 }  // namespace
 
+void MetricsRegistry::set_meta(const std::string& key, const std::string& value) {
+  meta_[key] = value;
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
-  os << "{\n  \"counters\": [";
+  os << "{\n";
+  if (!meta_.empty()) {
+    os << "  \"meta\": {";
+    bool mfirst = true;
+    for (const auto& [k, v] : meta_) {
+      os << (mfirst ? "" : ", ") << '"' << json_escape(k) << "\": \"" << json_escape(v) << '"';
+      mfirst = false;
+    }
+    os << "},\n";
+  }
+  os << "  \"counters\": [";
   bool first = true;
   for (const auto& [key, c] : counters_) {
     os << (first ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(key.first)

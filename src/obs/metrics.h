@@ -153,9 +153,16 @@ class MetricsRegistry {
 
   std::size_t series_count() const { return counters_.size() + gauges_.size() + hists_.size(); }
 
+  /// Run-identity metadata carried into every snapshot and report (seed,
+  /// git sha, bench name, …) so an artifact is reproducible from its own
+  /// header. Last write per key wins.
+  void set_meta(const std::string& key, const std::string& value);
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+
   /// Writes the whole registry as one JSON document:
-  /// {"counters":[{"name":...,"labels":{...},"value":N}, ...],
-  ///  "gauges":[...], "histograms":[...]}.
+  /// {"meta":{...},
+  ///  "counters":[{"name":...,"labels":{...},"value":N}, ...],
+  ///  "gauges":[...], "histograms":[...]}. "meta" is omitted when empty.
   void write_json(std::ostream& os) const;
 
   /// write_json to a file path; throws on I/O failure.
@@ -172,6 +179,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> hists_;
   std::map<std::string, Kind> name_kinds_;
+  std::map<std::string, std::string> meta_;
 };
 
 /// Escapes `s` for inclusion in a JSON string literal (no quotes added).

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace acp::obs {
@@ -15,6 +16,9 @@ namespace acp::obs {
 struct Observability {
   MetricsRegistry metrics;
   Tracer tracer;
+  /// Wall-clock profiling scopes, recorded into `metrics` as
+  /// acp.prof.wall_s{scope=...} histograms (see obs/profile.h).
+  Profiler profiler{&metrics};
 };
 
 /// Metric names (convention: acp.request.* / acp.probe.* / acp.state.* /

@@ -1,0 +1,78 @@
+#include "obs/profile.h"
+
+#ifdef ACPSTREAM_PROF_ALLOC
+#include <cstdlib>
+#include <new>
+#endif
+
+namespace acp::obs {
+
+std::vector<double> prof_bounds_s() {
+  return {1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+          1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.25, 1.0};
+}
+
+std::vector<double> alloc_bounds() {
+  return {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+          512.0, 1024.0, 4096.0, 16384.0, 65536.0};
+}
+
+#ifdef ACPSTREAM_PROF_ALLOC
+namespace detail {
+// Plain (non-atomic) like the rest of the single-threaded simulator.
+std::uint64_t g_allocations = 0;
+}  // namespace detail
+
+std::uint64_t allocations_now() { return detail::g_allocations; }
+bool alloc_counting_enabled() { return true; }
+#else
+std::uint64_t allocations_now() { return 0; }
+bool alloc_counting_enabled() { return false; }
+#endif
+
+ProfSlot Profiler::scope(const char* name) const {
+  if (registry_ == nullptr) return {};
+  ProfSlot slot;
+  slot.wall = &registry_->histogram(metric::kProfWall, prof_bounds_s(), {{"scope", name}});
+  if (alloc_counting_enabled()) {
+    slot.allocs = &registry_->histogram(metric::kProfAllocs, alloc_bounds(), {{"scope", name}});
+  }
+  return slot;
+}
+
+}  // namespace acp::obs
+
+#ifdef ACPSTREAM_PROF_ALLOC
+// Counting replacements for the global allocation functions. Linked into
+// every binary that pulls in acp_obs; the counter costs one increment per
+// allocation, which is why the hook is an opt-in build flavor.
+void* operator new(std::size_t size) {
+  ++acp::obs::detail::g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++acp::obs::detail::g_allocations;
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+void* operator new[](std::size_t size) {
+  ++acp::obs::detail::g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++acp::obs::detail::g_allocations;
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#endif  // ACPSTREAM_PROF_ALLOC

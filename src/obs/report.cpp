@@ -7,6 +7,16 @@ namespace acp::obs {
 void write_report(std::ostream& os, const MetricsRegistry& registry) {
   bool any = false;
 
+  // Run-identity header (seed, git sha, …) so a pasted report is
+  // reproducible from its own text.
+  if (!registry.meta().empty()) {
+    os << "== run ==\n";
+    for (const auto& [key, value] : registry.meta()) {
+      os << key << ": " << value << '\n';
+    }
+    any = true;
+  }
+
   {
     util::Table t({"counter", "value"});
     registry.for_each_counter(
@@ -14,6 +24,7 @@ void write_report(std::ostream& os, const MetricsRegistry& registry) {
           t.add_row({name + labels.render(), static_cast<std::int64_t>(c.value())});
         });
     if (t.rows() > 0) {
+      if (any) os << '\n';
       os << "== counters ==\n";
       t.print(os);
       any = true;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "obs/guard.h"
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -81,20 +82,47 @@ TraceEvent& TraceEvent::field(const char* key, bool value) {
 
 // ---- Tracer ---------------------------------------------------------------
 
+Tracer::~Tracer() { emergency_flush("tracer_destroyed_without_close"); }
+
 void Tracer::open(const std::string& path) {
   auto f = std::make_unique<std::ofstream>(path, std::ios::trunc);
   if (!*f) throw PreconditionError("cannot open trace output file: " + path);
+  emergency_flush("tracer_reopened");  // a previous file-owned sink, if any
   file_ = std::move(f);
   out_ = file_.get();
+  guard_token_ = on_abnormal_exit([this] { emergency_flush("terminate"); });
 }
 
 void Tracer::set_stream(std::ostream* os) {
+  emergency_flush("tracer_redirected");
   file_.reset();
   out_ = os;
 }
 
 void Tracer::close() {
+  if (guard_token_ != 0) {
+    cancel_abnormal_exit(guard_token_);
+    guard_token_ = 0;
+  }
   if (file_) file_->flush();
+  file_.reset();
+  out_ = nullptr;
+}
+
+void Tracer::flush() {
+  if (file_) file_->flush();
+}
+
+void Tracer::emergency_flush(const char* why) {
+  if (guard_token_ != 0) {
+    cancel_abnormal_exit(guard_token_);
+    guard_token_ = 0;
+  }
+  if (!file_) return;
+  // The marker is a normal event line, so `python -c "json.loads(line)"`
+  // style consumers keep working and acptrace can report the truncation.
+  event("trace_truncated").field("why", why).field("events_before", events_);
+  file_->flush();
   file_.reset();
   out_ = nullptr;
 }

@@ -76,6 +76,14 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// A file-owned sink still open at destruction means close() never ran —
+  /// an abnormal exit path. The destructor appends a `trace_truncated`
+  /// marker event and flushes, so the file stays parseable line-by-line and
+  /// readers can tell it is cut short. Caller-owned set_stream() sinks are
+  /// left untouched. open() additionally registers an abnormal-exit hook
+  /// (obs/guard.h) covering std::terminate, where destructors never run.
+  ~Tracer();
+
   /// Opens `path` as the JSONL sink (truncating); throws on I/O failure.
   void open(const std::string& path);
 
@@ -84,6 +92,9 @@ class Tracer {
 
   /// Flushes and detaches the sink; the tracer becomes disabled.
   void close();
+
+  /// Flushes the file-owned sink (no-op for caller-owned streams).
+  void flush();
 
   bool enabled() const { return out_ != nullptr; }
 
@@ -109,6 +120,9 @@ class Tracer {
  private:
   friend class TraceEvent;
   void write_line(const std::string& line);
+  /// Emits the `trace_truncated` marker + flush on a still-open file sink,
+  /// then cancels the abnormal-exit hook. Idempotent.
+  void emergency_flush(const char* why);
 
   std::unique_ptr<std::ofstream> file_;
   std::ostream* out_ = nullptr;
@@ -116,6 +130,7 @@ class Tracer {
   std::uint64_t events_ = 0;
   std::uint64_t run_ = 0;
   std::uint64_t last_probe_id_ = 0;
+  std::uint64_t guard_token_ = 0;  ///< abnormal-exit hook; 0 = none
 };
 
 /// One parsed flat JSONL event: string fields and numeric fields separated.

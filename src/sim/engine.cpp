@@ -8,10 +8,12 @@ void Engine::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     events_metric_ = nullptr;
     depth_metric_ = nullptr;
+    dispatch_slot_ = obs::ProfSlot{};
     return;
   }
   events_metric_ = &registry->counter(obs::metric::kSimEventsExecuted);
   depth_metric_ = &registry->gauge(obs::metric::kSimQueueDepth);
+  dispatch_slot_ = obs::Profiler(registry).scope(obs::prof_scope::kSimDispatch);
 }
 
 EventId Engine::schedule_at(SimTime at, Callback cb) {
@@ -50,7 +52,10 @@ bool Engine::step() {
     events_metric_->add(1);
     depth_metric_->set(static_cast<double>(callbacks_.size()));
   }
-  cb();
+  {
+    obs::ProfScope prof(dispatch_slot_);
+    cb();
+  }
   return true;
 }
 

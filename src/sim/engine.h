@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/error.h"
 
 namespace acp::sim {
@@ -65,8 +66,10 @@ class Engine {
   std::uint64_t events_fired() const { return fired_; }
 
   /// Mirrors engine activity into `registry` (nullptr detaches): counter
-  /// acp.sim.events_executed per fired event and gauge acp.sim.queue_depth
-  /// updated after each step (its max tracks the high-water mark).
+  /// acp.sim.events_executed per fired event, gauge acp.sim.queue_depth
+  /// updated after each step (its max tracks the high-water mark), and the
+  /// wall-clock of every dispatched callback as the "sim.dispatch"
+  /// profiling scope.
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -94,6 +97,7 @@ class Engine {
   // both null.
   obs::Counter* events_metric_ = nullptr;
   obs::Gauge* depth_metric_ = nullptr;
+  obs::ProfSlot dispatch_slot_;  ///< "sim.dispatch" wall time; inert when detached
 };
 
 }  // namespace acp::sim

@@ -40,6 +40,10 @@ GlobalStateManager::GlobalStateManager(const stream::StreamSystem& sys, sim::Eng
                                        sim::CounterSet& counters, GlobalStateConfig config,
                                        obs::Observability* obs)
     : sys_(&sys), engine_(&engine), counters_(&counters), config_(config), obs_(obs) {
+  if (obs_ != nullptr) {
+    prof_check_ = obs_->profiler.scope(obs::prof_scope::kStateCheckSweep);
+    prof_publish_ = obs_->profiler.scope(obs::prof_scope::kStatePublish);
+  }
   ACP_REQUIRE(config_.check_interval_s > 0.0);
   ACP_REQUIRE(config_.threshold_fraction >= 0.0 && config_.threshold_fraction <= 1.0);
   ACP_REQUIRE(config_.aggregation_publish_interval_s > 0.0);
@@ -99,6 +103,7 @@ void GlobalStateManager::schedule_publish() {
 }
 
 void GlobalStateManager::run_check_sweep() {
+  const obs::ProfScope prof(prof_check_);
   const double now = engine_->now();
 
   // Node resource states: push to global state when any dimension moved by
@@ -141,6 +146,7 @@ void GlobalStateManager::run_check_sweep() {
 }
 
 void GlobalStateManager::run_publish() {
+  const obs::ProfScope prof(prof_publish_);
   // The aggregation node folds its collected link states into the global
   // state (one bulk update message) and the role rotates for load sharing.
   link_avail_ = agg_link_avail_;

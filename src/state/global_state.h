@@ -87,6 +87,8 @@ class GlobalStateManager {
   sim::CounterSet* counters_;
   GlobalStateConfig config_;
   obs::Observability* obs_;
+  obs::ProfSlot prof_check_;    ///< "state.check_sweep" wall time
+  obs::ProfSlot prof_publish_;  ///< "state.publish" wall time
 
   // Published (queryable) coarse copies.
   std::vector<stream::ResourceVector> node_avail_;

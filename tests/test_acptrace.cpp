@@ -1,0 +1,278 @@
+// Tests for the acptrace analyzer library: JSON parsing, critical-path
+// reconstruction, span-invariant validation, and the bench-report diff gate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "acptrace/acptrace_lib.h"
+#include "util/error.h"
+
+namespace acp::tracecli {
+namespace {
+
+// Mirrors tools/acptrace/testdata/golden_trace.jsonl: two paths, one fork
+// each; probe 4 rejected, probes 3 and 5 return, request confirmed.
+// Balance: 5 spawns == 2 forks + 2 returns + 1 reject.
+constexpr const char* kGoldenTrace = R"(
+{"t": 0, "type": "run_started", "run": 1, "label": "ACP"}
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "deputy": 5, "paths": 2, "alpha": 0.3}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "path": 0, "hop": 0, "node": 5}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 2, "parent": 0, "path": 1, "hop": 0, "node": 5}
+{"t": 0.01, "type": "probe_hop", "run": 1, "req": 1, "probe": 1, "path": 0, "hop": 0, "node": 5, "candidates": 6, "selected": 2, "spawned": 2}
+{"t": 0.01, "type": "probe_spawned", "run": 1, "req": 1, "probe": 3, "parent": 1, "path": 0, "hop": 1, "node": 7}
+{"t": 0.01, "type": "probe_spawned", "run": 1, "req": 1, "probe": 4, "parent": 1, "path": 0, "hop": 1, "node": 8}
+{"t": 0.012, "type": "probe_hop", "run": 1, "req": 1, "probe": 2, "path": 1, "hop": 0, "node": 5, "candidates": 4, "selected": 1, "spawned": 1}
+{"t": 0.012, "type": "probe_spawned", "run": 1, "req": 1, "probe": 5, "parent": 2, "path": 1, "hop": 1, "node": 9}
+{"t": 0.02, "type": "probe_rejected", "run": 1, "req": 1, "probe": 4, "path": 0, "hop": 1, "node": 8, "reason": "qos_violation"}
+{"t": 0.03, "type": "probe_returned", "run": 1, "req": 1, "probe": 3, "path": 0, "hops": 2}
+{"t": 0.05, "type": "probe_returned", "run": 1, "req": 1, "probe": 5, "path": 1, "hops": 2}
+{"t": 0.06, "type": "composition_confirmed", "run": 1, "req": 1, "session": 1, "phi": 1.2, "setup_s": 0.06}
+)";
+
+TraceData trace_from(const std::string& text) {
+  std::istringstream is(text);
+  return load_trace(is);
+}
+
+// ---- JSON parser -------------------------------------------------------------
+
+TEST(ParseJson, ParsesNestedDocument) {
+  const JsonValue doc = parse_json(
+      R"({"name": "x", "n": -2.5e1, "ok": true, "nil": null, "arr": [1, {"k": "v"}]})");
+  EXPECT_EQ(doc.str_or("name", ""), "x");
+  EXPECT_DOUBLE_EQ(doc.num_or("n", 0.0), -25.0);
+  ASSERT_NE(doc.find("ok"), nullptr);
+  EXPECT_TRUE(doc.find("ok")->boolean);
+  EXPECT_EQ(doc.find("nil")->kind, JsonValue::Kind::kNull);
+  const JsonValue* arr = doc.find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(arr->array[0].number, 1.0);
+  EXPECT_EQ(arr->array[1].str_or("k", ""), "v");
+  EXPECT_EQ(doc.num_or("missing", 9.0), 9.0);
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), PreconditionError);
+  EXPECT_THROW(parse_json("{} trailing"), PreconditionError);
+  EXPECT_THROW(parse_json(R"({"a": })"), PreconditionError);
+  EXPECT_THROW(parse_json(R"({"a": trug})"), PreconditionError);
+}
+
+TEST(ParseJson, DecodesStringEscapes) {
+  const JsonValue doc = parse_json(R"({"s": "a\"b\\c\nd\t"})");
+  EXPECT_EQ(doc.str_or("s", ""), "a\"b\\c\nd\t");
+}
+
+// ---- analyze -----------------------------------------------------------------
+
+TEST(Analyze, ReconstructsCriticalPath) {
+  const Analysis a = analyze(trace_from(kGoldenTrace), 5);
+  EXPECT_EQ(a.requests, 1u);
+  EXPECT_EQ(a.confirmed, 1u);
+  EXPECT_EQ(a.failed, 0u);
+  EXPECT_EQ(a.probes_spawned, 5u);
+  EXPECT_DOUBLE_EQ(a.mean_setup_s, 0.06);
+  EXPECT_DOUBLE_EQ(a.max_setup_s, 0.06);
+
+  ASSERT_EQ(a.slowest.size(), 1u);
+  const RequestPath& rp = a.slowest[0];
+  EXPECT_TRUE(rp.confirmed);
+  // Probe 5 returned last (t=0.05) → the critical chain is 2 → 5.
+  ASSERT_EQ(rp.critical_path.size(), 2u);
+  EXPECT_EQ(rp.critical_path[0].probe, 2u);
+  EXPECT_EQ(rp.critical_path[0].node, 5u);
+  EXPECT_EQ(rp.critical_path[1].probe, 5u);
+  EXPECT_EQ(rp.critical_path[1].node, 9u);
+  EXPECT_DOUBLE_EQ(rp.critical_path[1].spawn_t, 0.012);
+  EXPECT_DOUBLE_EQ(rp.critical_path[1].end_t, 0.05);
+  EXPECT_NEAR(rp.critical_path[1].latency_s, 0.038, 1e-12);
+}
+
+TEST(Analyze, SlowestListIsBoundedAndSorted) {
+  // Two runs of the same trace → two requests; top_k=1 keeps the slower.
+  std::string two = kGoldenTrace;
+  std::string second = kGoldenTrace;
+  std::size_t pos = 0;
+  while ((pos = second.find("\"run\": 1", pos)) != std::string::npos) {
+    second.replace(pos, 8, "\"run\": 2");
+    pos += 8;
+  }
+  // Slow down run 2's terminal so it wins.
+  pos = second.find("\"setup_s\": 0.06");
+  ASSERT_NE(pos, std::string::npos);
+  second.replace(pos, 15, "\"setup_s\": 0.90");
+  const Analysis a = analyze(trace_from(two + second), 1);
+  EXPECT_EQ(a.requests, 2u);
+  ASSERT_EQ(a.slowest.size(), 1u);
+  EXPECT_EQ(a.slowest[0].run, 2u);
+  EXPECT_DOUBLE_EQ(a.slowest[0].setup_s, 0.90);
+}
+
+// ---- validate ----------------------------------------------------------------
+
+TEST(Validate, GoldenTraceHasNoViolations) {
+  EXPECT_TRUE(validate(trace_from(kGoldenTrace)).empty());
+}
+
+TEST(Validate, FlagsOrphanHop) {
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.01, "type": "probe_hop", "run": 1, "req": 1, "probe": 99, "hop": 0, "node": 5, "spawned": 1}
+{"t": 0.02, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.03, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.03}
+)"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("never-spawned probe 99"), std::string::npos);
+}
+
+TEST(Validate, FlagsOrphanParent) {
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 2, "parent": 7, "hop": 1, "node": 5}
+{"t": 0.02, "type": "probe_returned", "run": 1, "req": 1, "probe": 2, "hops": 1}
+{"t": 0.03, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.03}
+)"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("unknown parent 7"), std::string::npos);
+}
+
+TEST(Validate, FlagsDoubleReturn) {
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.02, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.04, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.05, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.05}
+)"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("already returned"), std::string::npos);
+}
+
+TEST(Validate, FlagsAccountingImbalanceAndMissingTerminal) {
+  // Probe 1 is spawned and never heard from again; no confirmed/failed.
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+)"));
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].what.find("no composition_confirmed/failed"), std::string::npos);
+  EXPECT_NE(violations[1].what.find("imbalance"), std::string::npos);
+}
+
+TEST(Validate, TimeoutOutstandingBalancesAccounting) {
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 1.0, "type": "probe_timeout", "run": 1, "req": 1, "outstanding": 1, "deadline_s": 1.0}
+{"t": 1.0, "type": "composition_failed", "run": 1, "req": 1, "setup_s": 1.0}
+)"));
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Validate, TruncatedTraceSkipsBalanceButNotReferenceChecks) {
+  // Same incomplete stream as the imbalance test, but marked truncated:
+  // the cut legitimately hides the terminal, so only reference violations
+  // (here: an orphan hop) survive.
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.01, "type": "probe_hop", "run": 1, "req": 1, "probe": 99, "hop": 0, "node": 5, "spawned": 1}
+{"t": 0.02, "type": "trace_truncated", "why": "terminate", "events_before": 3}
+)"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("never-spawned probe 99"), std::string::npos);
+}
+
+// ---- diff --------------------------------------------------------------------
+
+BenchDoc make_bench() {
+  BenchDoc b;
+  b.name = "fig6";
+  b.git_sha = "sha";
+  b.wall_s = 10.0;
+  b.success_rate = 0.64;
+  b.overhead_per_minute = 32000.0;
+  b.mean_phi = 1.11;
+  b.runs = 12;
+  b.scopes["probing.process_probe"] = {3.0, 6e-6, 2e-5};
+  b.scopes["state.check_sweep"] = {0.001, 1e-5, 1e-5};  // below noise floor
+  return b;
+}
+
+TEST(Diff, IdenticalReportsPass) {
+  const BenchDoc b = make_bench();
+  const DiffResult r = diff(b, b, DiffThresholds{});
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+}
+
+TEST(Diff, TwoXScopeSlowdownIsFlagged) {
+  const BenchDoc base = make_bench();
+  BenchDoc cur = base;
+  cur.scopes["probing.process_probe"].mean_s *= 2.0;  // injected 2x slowdown
+  const DiffResult r = diff(base, cur, DiffThresholds{});
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].find("probing.process_probe"), std::string::npos);
+}
+
+TEST(Diff, NoiseFloorScopeIsIgnored) {
+  const BenchDoc base = make_bench();
+  BenchDoc cur = base;
+  cur.scopes["state.check_sweep"].mean_s *= 10.0;  // total_s below min_scope_total_s
+  EXPECT_TRUE(diff(base, cur, DiffThresholds{}).ok());
+}
+
+TEST(Diff, SuccessDropAndOverheadGrowthAreFlagged) {
+  const BenchDoc base = make_bench();
+  BenchDoc cur = base;
+  cur.success_rate = base.success_rate - 0.05;
+  cur.overhead_per_minute = base.overhead_per_minute * 1.5;
+  const DiffResult r = diff(base, cur, DiffThresholds{});
+  EXPECT_EQ(r.regressions.size(), 2u);
+}
+
+TEST(Diff, WallClockRespectsConfiguredRatio) {
+  const BenchDoc base = make_bench();
+  BenchDoc cur = base;
+  cur.wall_s = base.wall_s * 2.0;
+  EXPECT_FALSE(diff(base, cur, DiffThresholds{}).ok());
+  DiffThresholds loose;
+  loose.max_wall_ratio = 25.0;  // the CI perf-smoke setting
+  EXPECT_TRUE(diff(base, cur, loose).ok());
+}
+
+TEST(Diff, MissingAndNewScopesAreNotesNotRegressions) {
+  const BenchDoc base = make_bench();
+  BenchDoc cur = base;
+  cur.scopes.erase("state.check_sweep");
+  cur.scopes["discovery.lookup"] = {1.0, 1e-6, 1e-6};
+  const DiffResult r = diff(base, cur, DiffThresholds{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.notes.size(), 2u);
+}
+
+TEST(DecodeBench, RejectsWrongSchema) {
+  EXPECT_THROW(decode_bench(parse_json(R"({"schema": "acp-bench/999", "name": "x"})")),
+               PreconditionError);
+  EXPECT_THROW(decode_bench(parse_json(R"({"name": "x"})")), PreconditionError);
+}
+
+TEST(DecodeBench, DecodesFullDocument) {
+  const BenchDoc b = decode_bench(parse_json(R"({
+    "schema": "acp-bench/1", "name": "fig7", "git_sha": "abc", "seed": 42,
+    "quick": true, "wall_s": 3.5,
+    "headline": {"runs": 4, "success_rate": 0.8, "overhead_per_minute": 100.0, "mean_phi": 1.2},
+    "scopes": [{"scope": "sim.dispatch", "count": 10, "total_s": 1.0, "mean_s": 0.1, "p99_s": 0.2}],
+    "counters": {"acp.probe.spawned": 7}
+  })"));
+  EXPECT_EQ(b.name, "fig7");
+  EXPECT_DOUBLE_EQ(b.wall_s, 3.5);
+  EXPECT_EQ(b.runs, 4u);
+  EXPECT_DOUBLE_EQ(b.success_rate, 0.8);
+  ASSERT_EQ(b.scopes.count("sim.dispatch"), 1u);
+  EXPECT_DOUBLE_EQ(b.scopes.at("sim.dispatch").mean_s, 0.1);
+}
+
+}  // namespace
+}  // namespace acp::tracecli

@@ -105,6 +105,52 @@ TEST(Histogram, QuantileInterpolatesWithinBucket) {
   EXPECT_LE(h.quantile(0.75), 15.0);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  // Empty: no observations → every quantile is 0 (not a bucket bound).
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // Single sample: every quantile is that sample, clamped away from the
+  // bucket bounds on both sides.
+  Histogram single({1.0, 10.0});
+  single.observe(7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 7.0);
+
+  // All-equal samples: the observed range collapses to a point; the
+  // interpolation must not widen it.
+  Histogram equal({1.0, 10.0});
+  for (int i = 0; i < 50; ++i) equal.observe(3.0);
+  EXPECT_DOUBLE_EQ(equal.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(equal.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(equal.quantile(1.0), 3.0);
+
+  EXPECT_THROW(equal.quantile(-0.1), PreconditionError);
+  EXPECT_THROW(equal.quantile(1.1), PreconditionError);
+}
+
+TEST(MetricsRegistry, MetaAppearsInJsonSnapshot) {
+  MetricsRegistry reg;
+  reg.set_meta("seed", "42");
+  reg.set_meta("git_sha", "abc123");
+  reg.counter("c").add();
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": \"42\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\": \"abc123\""), std::string::npos);
+  // Overwrite, not append.
+  reg.set_meta("seed", "43");
+  EXPECT_EQ(reg.meta().at("seed"), "43");
+  EXPECT_EQ(reg.meta().size(), 2u);
+}
+
 TEST(MetricsRegistry, JsonSnapshotContainsEverySeries) {
   MetricsRegistry reg;
   reg.counter("acp.request.accepted").add(12);

@@ -1,0 +1,116 @@
+// Tests for the human-readable metrics report (obs/report.h) and the
+// BENCH_<name>.json writer (obs/bench_report.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+
+namespace acp::obs {
+namespace {
+
+TEST(Report, EmptyRegistrySaysSo) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  write_report(os, reg);
+  EXPECT_NE(os.str().find("(no metrics recorded)"), std::string::npos);
+}
+
+TEST(Report, SectionsAppearForEachMetricKind) {
+  MetricsRegistry reg;
+  reg.counter("acp.request.accepted").add(3);
+  reg.gauge("acp.sim.queue_depth").set(4.0);
+  reg.histogram("acp.request.setup_time_s", {0.1, 1.0}).observe(0.2);
+
+  std::ostringstream os;
+  write_report(os, reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== counters =="), std::string::npos);
+  EXPECT_NE(text.find("== gauges =="), std::string::npos);
+  EXPECT_NE(text.find("== histograms =="), std::string::npos);
+  EXPECT_NE(text.find("acp.request.accepted"), std::string::npos);
+  EXPECT_EQ(text.find("(no metrics recorded)"), std::string::npos);
+}
+
+TEST(Report, MetaRendersAsRunHeader) {
+  MetricsRegistry reg;
+  reg.set_meta("seed", "42");
+  reg.set_meta("git_sha", "abc123");
+
+  std::ostringstream os;
+  write_report(os, reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== run =="), std::string::npos);
+  EXPECT_NE(text.find("seed: 42"), std::string::npos);
+  EXPECT_NE(text.find("git_sha: abc123"), std::string::npos);
+  // Meta alone counts as content.
+  EXPECT_EQ(text.find("(no metrics recorded)"), std::string::npos);
+}
+
+TEST(BenchReport, CollectsProfScopesAndCounterTotals) {
+  MetricsRegistry reg;
+  Profiler prof(&reg);
+  const ProfSlot slot = prof.scope("probing.process_probe");
+  for (int i = 0; i < 3; ++i) {
+    ProfScope s(slot);
+  }
+  reg.counter("acp.probe.spawned").add(7);
+  reg.counter("acp.probe.deaths", {{"reason", "timeout"}}).add(2);
+  reg.counter("acp.probe.deaths", {{"reason", "qos_violation"}}).add(1);
+
+  BenchReport rep;
+  rep.collect_from(reg);
+
+  ASSERT_EQ(rep.scopes.size(), 1u);
+  EXPECT_EQ(rep.scopes[0].scope, "probing.process_probe");
+  EXPECT_EQ(rep.scopes[0].count, 3u);
+  EXPECT_GE(rep.scopes[0].max_s, rep.scopes[0].p50_s);
+
+  bool spawned_ok = false, deaths_ok = false;
+  for (const auto& [name, total] : rep.counters) {
+    if (name == "acp.probe.spawned") spawned_ok = total == 7;
+    if (name == "acp.probe.deaths") deaths_ok = total == 3;  // family total over labels
+  }
+  EXPECT_TRUE(spawned_ok);
+  EXPECT_TRUE(deaths_ok);
+}
+
+TEST(BenchReport, WritesSchemaVersionedJson) {
+  BenchReport rep;
+  rep.name = "fig6";
+  rep.git_sha = "abc";
+  rep.seed = 42;
+  rep.quick = true;
+  rep.wall_s = 1.5;
+  rep.add_config("duration_min", "20");
+  rep.runs = 12;
+  rep.success_rate = 0.64;
+  rep.overhead_per_minute = 32000.0;
+  rep.mean_phi = 1.11;
+  rep.scopes.push_back({"sim.dispatch", 10, 0.1, 0.01, 0.01, 0.02, 0.03, 0.04});
+  rep.counters.emplace_back("acp.probe.spawned", 400);
+
+  std::ostringstream os;
+  rep.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"acp-bench/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"fig6\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"headline\""), std::string::npos);
+  EXPECT_NE(json.find("\"success_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_min\": \"20\""), std::string::npos);
+  EXPECT_NE(json.find("\"acp.probe.spawned\": 400"), std::string::npos);
+}
+
+TEST(BenchReport, GitShaIsNonEmpty) {
+  // Either a real sha, the ACP_GIT_SHA override, or the "unknown" fallback —
+  // never empty, so artifact headers always carry something greppable.
+  EXPECT_FALSE(current_git_sha().empty());
+}
+
+}  // namespace
+}  // namespace acp::obs

@@ -2,6 +2,8 @@
 // and the parse round-trip used by offline trace analysis.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -107,6 +109,63 @@ TEST(Tracer, CloseDisablesEmission) {
   t.close();
   EXPECT_FALSE(t.enabled());
   t.event("two");
+  EXPECT_EQ(lines_of(os.str()).size(), 1u);
+}
+
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(TracerTruncation, DestructionWithoutCloseAppendsMarker) {
+  const std::string path = ::testing::TempDir() + "trace_truncated_test.jsonl";
+  {
+    Tracer t;
+    t.open(path);
+    t.event("run_started").field("label", "ACP");
+    // No close(): simulates the writer dying mid-run.
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  const ParsedTraceEvent marker = parse_trace_line(lines.back());
+  EXPECT_EQ(marker.str("type"), "trace_truncated");
+  EXPECT_EQ(marker.str("why"), "tracer_destroyed_without_close");
+  EXPECT_DOUBLE_EQ(marker.num("events_before"), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTruncation, CleanCloseLeavesNoMarker) {
+  const std::string path = ::testing::TempDir() + "trace_clean_close_test.jsonl";
+  {
+    Tracer t;
+    t.open(path);
+    t.event("run_started").field("label", "ACP");
+    t.close();
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(parse_trace_line(lines[0]).str("type"), "run_started");
+  std::remove(path.c_str());
+}
+
+TEST(TracerTruncation, CallerOwnedStreamIsNeverMarked) {
+  std::ostringstream os;
+  {
+    Tracer t;
+    t.set_stream(&os);
+    t.event("one");
+    // Destroyed without close: caller-owned sinks must stay untouched —
+    // tests pointing at a dead ostringstream would crash otherwise.
+  }
   EXPECT_EQ(lines_of(os.str()).size(), 1u);
 }
 

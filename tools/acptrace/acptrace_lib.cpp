@@ -1,0 +1,626 @@
+#include "acptrace/acptrace_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace acp::tracecli {
+
+// ---- JSON parser -------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw PreconditionError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_literal_bool();
+      case 'n': return parse_literal_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // The writers in this repo never emit \u escapes for anything the
+          // analyzer compares; decode to '?' rather than carry ICU here.
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          pos_ += 4;
+          out += '?';
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  JsonValue parse_literal_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_literal_null() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::num_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+}
+
+std::string JsonValue::str_or(const std::string& key, const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->string : fallback;
+}
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse_document(); }
+
+// ---- Trace loading -------------------------------------------------------------
+
+TraceData load_trace(std::istream& in) {
+  TraceData data;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    data.events.push_back(obs::parse_trace_line(line));
+    ++data.lines;
+    if (data.events.back().str("type") == "trace_truncated") data.truncated = true;
+  }
+  return data;
+}
+
+TraceData load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open trace file: " + path);
+  return load_trace(in);
+}
+
+// ---- Shared per-request reconstruction ----------------------------------------
+
+namespace {
+
+/// (run, req) — probe and request ids restart across runs in one file.
+using ReqKey = std::pair<std::uint64_t, std::uint64_t>;
+
+ReqKey req_key(const obs::ParsedTraceEvent& ev) {
+  return {static_cast<std::uint64_t>(ev.num("run")), static_cast<std::uint64_t>(ev.num("req"))};
+}
+
+struct ProbeInfo {
+  std::uint64_t parent = 0;
+  std::uint64_t node = 0;
+  std::uint64_t hop = 0;
+  double spawn_t = 0.0;
+  double end_t = 0.0;       ///< last hop/terminal event time
+  bool returned = false;
+  // Disposition: what ended this probe's life.
+  enum class End { kNone, kFork, kReturned, kRejected } end = End::kNone;
+};
+
+struct ReqInfo {
+  bool accepted = false;
+  bool terminal = false;    ///< composition_confirmed/failed seen
+  bool confirmed = false;
+  bool timed_out = false;
+  double accepted_t = 0.0;
+  double end_t = 0.0;
+  double setup_s = 0.0;
+  std::uint64_t spawns = 0, forks = 0, returns = 0, rejects = 0;
+  std::uint64_t terminals = 0;
+  double timeout_outstanding = 0.0;
+  std::map<std::uint64_t, ProbeInfo> probes;
+};
+
+const char* disposition_name(ProbeInfo::End e) {
+  switch (e) {
+    case ProbeInfo::End::kFork: return "forked";
+    case ProbeInfo::End::kReturned: return "returned";
+    case ProbeInfo::End::kRejected: return "rejected";
+    case ProbeInfo::End::kNone: break;
+  }
+  return "none";
+}
+
+/// Walks the stream once, building per-request state and (optionally)
+/// collecting invariant violations. analyze() and validate() share this so
+/// they can never disagree about what a trace means.
+std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violation>* out) {
+  std::map<ReqKey, ReqInfo> reqs;
+  // Probe ids are unique per run (per tracer/protocol instance).
+  std::map<std::uint64_t, std::map<std::uint64_t, ReqKey>> probe_owner;  // run → probe → req
+
+  const auto violation = [&](const std::string& what) {
+    if (out != nullptr) out->push_back({what});
+  };
+
+  for (const auto& ev : trace.events) {
+    const std::string& type = ev.str("type");
+    const auto run = static_cast<std::uint64_t>(ev.num("run"));
+
+    if (type == "request_accepted") {
+      ReqInfo& r = reqs[req_key(ev)];
+      if (r.accepted) {
+        violation("run " + std::to_string(run) + " req " + std::to_string(ev.num("req")) +
+                  ": duplicate request_accepted");
+      }
+      r.accepted = true;
+      r.accepted_t = ev.num("t");
+      continue;
+    }
+
+    if (type == "probe_spawned") {
+      const auto id = static_cast<std::uint64_t>(ev.num("probe"));
+      const auto parent = static_cast<std::uint64_t>(ev.num("parent"));
+      auto& owners = probe_owner[run];
+      if (owners.count(id) != 0) {
+        violation("run " + std::to_string(run) + ": probe " + std::to_string(id) +
+                  " spawned twice");
+        continue;
+      }
+      if (parent != 0 && owners.count(parent) == 0) {
+        violation("run " + std::to_string(run) + ": probe " + std::to_string(id) +
+                  " spawned by unknown parent " + std::to_string(parent));
+      }
+      owners[id] = req_key(ev);
+      ReqInfo& r = reqs[req_key(ev)];
+      ++r.spawns;
+      ProbeInfo& p = r.probes[id];
+      p.parent = parent;
+      p.node = static_cast<std::uint64_t>(ev.num("node"));
+      p.hop = static_cast<std::uint64_t>(ev.num("hop"));
+      p.spawn_t = ev.num("t");
+      p.end_t = p.spawn_t;
+      continue;
+    }
+
+    if (type == "probe_hop" || type == "probe_rejected" || type == "probe_returned") {
+      const auto id = static_cast<std::uint64_t>(ev.num("probe"));
+      auto& owners = probe_owner[run];
+      const auto owner = owners.find(id);
+      if (owner == owners.end()) {
+        violation("run " + std::to_string(run) + ": " + type + " references never-spawned probe " +
+                  std::to_string(id));
+        continue;
+      }
+      ReqInfo& r = reqs[owner->second];
+      ProbeInfo& p = r.probes[id];
+      p.end_t = ev.num("t");
+
+      ProbeInfo::End end = ProbeInfo::End::kNone;
+      if (type == "probe_hop" && ev.num("spawned") > 0.0) end = ProbeInfo::End::kFork;
+      if (type == "probe_returned") end = ProbeInfo::End::kReturned;
+      if (type == "probe_rejected") end = ProbeInfo::End::kRejected;
+      if (end == ProbeInfo::End::kNone) continue;  // hop that died childless; reject follows
+
+      if (p.end != ProbeInfo::End::kNone) {
+        violation("run " + std::to_string(run) + ": probe " + std::to_string(id) +
+                  " already " + disposition_name(p.end) + ", then " + type);
+        continue;
+      }
+      p.end = end;
+      switch (end) {
+        case ProbeInfo::End::kFork: ++r.forks; break;
+        case ProbeInfo::End::kReturned:
+          ++r.returns;
+          p.returned = true;
+          break;
+        case ProbeInfo::End::kRejected: ++r.rejects; break;
+        case ProbeInfo::End::kNone: break;
+      }
+      continue;
+    }
+
+    if (type == "probe_timeout") {
+      ReqInfo& r = reqs[req_key(ev)];
+      r.timed_out = true;
+      r.timeout_outstanding += ev.num("outstanding");
+      continue;
+    }
+
+    if (type == "composition_confirmed" || type == "composition_failed") {
+      ReqInfo& r = reqs[req_key(ev)];
+      if (!r.accepted) {
+        violation("run " + std::to_string(run) + " req " + std::to_string(ev.num("req")) +
+                  ": " + type + " without request_accepted");
+      }
+      ++r.terminals;
+      if (r.terminals > 1) {
+        violation("run " + std::to_string(run) + " req " + std::to_string(ev.num("req")) +
+                  ": second terminal event (" + type + ")");
+      }
+      r.terminal = true;
+      r.confirmed = type == "composition_confirmed";
+      r.end_t = ev.num("t");
+      r.setup_s = ev.has("setup_s") ? ev.num("setup_s") : r.end_t - r.accepted_t;
+      continue;
+    }
+
+    // run_started, trace_header, trace_truncated, transients_cancelled,
+    // component_migrated: no per-probe accounting.
+  }
+
+  if (out != nullptr) {
+    for (const auto& [key, r] : reqs) {
+      const std::string who =
+          "run " + std::to_string(key.first) + " req " + std::to_string(key.second);
+      // A truncated trace legitimately cuts terminals/balance short; the
+      // reference checks above still apply in full.
+      if (trace.truncated) continue;
+      if (r.accepted && !r.terminal) violation(who + ": no composition_confirmed/failed");
+      const std::uint64_t settled =
+          r.forks + r.returns + r.rejects + static_cast<std::uint64_t>(r.timeout_outstanding);
+      if (r.spawns != settled) {
+        violation(who + ": probe accounting imbalance: spawned " + std::to_string(r.spawns) +
+                  " != forked " + std::to_string(r.forks) + " + returned " +
+                  std::to_string(r.returns) + " + rejected " + std::to_string(r.rejects) +
+                  " + outstanding-at-timeout " +
+                  std::to_string(static_cast<std::uint64_t>(r.timeout_outstanding)));
+      }
+    }
+  }
+  return reqs;
+}
+
+}  // namespace
+
+// ---- analyze -------------------------------------------------------------------
+
+Analysis analyze(const TraceData& trace, std::size_t top_k) {
+  const std::map<ReqKey, ReqInfo> reqs = reconstruct(trace, nullptr);
+
+  Analysis a;
+  a.truncated = trace.truncated;
+  double setup_sum = 0.0;
+  std::vector<RequestPath> paths;
+  for (const auto& [key, r] : reqs) {
+    if (!r.accepted || !r.terminal) continue;
+    ++a.requests;
+    if (r.confirmed) ++a.confirmed;
+    else ++a.failed;
+    if (r.timed_out) ++a.timeouts;
+    a.probes_spawned += r.spawns;
+    setup_sum += r.setup_s;
+    a.max_setup_s = std::max(a.max_setup_s, r.setup_s);
+
+    RequestPath rp;
+    rp.run = key.first;
+    rp.req = key.second;
+    rp.confirmed = r.confirmed;
+    rp.timed_out = r.timed_out;
+    rp.accepted_t = r.accepted_t;
+    rp.end_t = r.end_t;
+    rp.setup_s = r.setup_s;
+    rp.probes_spawned = r.spawns;
+
+    // Critical path: the latest-completing returned probe is the one the
+    // deputy's deadline/merge actually waited on; fall back to the
+    // latest-ending probe when nothing returned.
+    std::uint64_t leaf = 0;
+    bool leaf_returned = false;
+    double leaf_t = -1.0;
+    for (const auto& [id, p] : r.probes) {
+      const bool better = (p.returned && !leaf_returned) ||
+                          (p.returned == leaf_returned && p.end_t > leaf_t);
+      if (leaf == 0 || better) {
+        leaf = id;
+        leaf_returned = p.returned;
+        leaf_t = p.end_t;
+      }
+    }
+    // Walk leaf → root; guard against cycles from corrupt input.
+    std::uint64_t cursor = leaf;
+    while (cursor != 0 && rp.critical_path.size() <= r.probes.size()) {
+      const auto it = r.probes.find(cursor);
+      if (it == r.probes.end()) break;
+      const ProbeInfo& p = it->second;
+      rp.critical_path.push_back(
+          {cursor, p.node, p.hop, p.spawn_t, p.end_t, p.end_t - p.spawn_t});
+      cursor = p.parent;
+    }
+    std::reverse(rp.critical_path.begin(), rp.critical_path.end());
+    paths.push_back(std::move(rp));
+  }
+  a.mean_setup_s = a.requests > 0 ? setup_sum / static_cast<double>(a.requests) : 0.0;
+
+  std::sort(paths.begin(), paths.end(),
+            [](const RequestPath& x, const RequestPath& y) { return x.setup_s > y.setup_s; });
+  if (paths.size() > top_k) paths.resize(top_k);
+  a.slowest = std::move(paths);
+  return a;
+}
+
+void write_analysis(std::ostream& os, const Analysis& a) {
+  os << "requests: " << a.requests << " (confirmed " << a.confirmed << ", failed " << a.failed
+     << ", timeouts " << a.timeouts << ")\n";
+  os << "probes spawned: " << a.probes_spawned << "\n";
+  os << "setup time: mean " << a.mean_setup_s << " s, max " << a.max_setup_s << " s\n";
+  if (a.truncated) os << "NOTE: trace is truncated (abnormal writer exit)\n";
+  for (const RequestPath& rp : a.slowest) {
+    os << "\nrun " << rp.run << " req " << rp.req << ": " << rp.setup_s << " s, "
+       << (rp.confirmed ? "confirmed" : "failed") << (rp.timed_out ? " (timeout)" : "") << ", "
+       << rp.probes_spawned << " probes\n";
+    os << "  critical path (" << rp.critical_path.size() << " hops):\n";
+    for (const HopTiming& h : rp.critical_path) {
+      os << "    hop " << h.hop << "  node " << h.node << "  probe " << h.probe << "  +"
+         << h.latency_s << " s (t=" << h.spawn_t << " → " << h.end_t << ")\n";
+    }
+  }
+}
+
+// ---- validate -------------------------------------------------------------------
+
+std::vector<Violation> validate(const TraceData& trace) {
+  std::vector<Violation> violations;
+  reconstruct(trace, &violations);
+  return violations;
+}
+
+// ---- diff ------------------------------------------------------------------------
+
+BenchDoc decode_bench(const JsonValue& doc) {
+  const std::string schema = doc.str_or("schema", "");
+  if (schema != "acp-bench/1") {
+    throw PreconditionError("not an acp-bench/1 document (schema: \"" + schema + "\")");
+  }
+  BenchDoc b;
+  b.name = doc.str_or("name", "");
+  b.git_sha = doc.str_or("git_sha", "");
+  b.wall_s = doc.num_or("wall_s", 0.0);
+  if (const JsonValue* h = doc.find("headline")) {
+    b.runs = static_cast<std::uint64_t>(h->num_or("runs", 0.0));
+    b.success_rate = h->num_or("success_rate", 0.0);
+    b.overhead_per_minute = h->num_or("overhead_per_minute", 0.0);
+    b.mean_phi = h->num_or("mean_phi", 0.0);
+  }
+  if (const JsonValue* scopes = doc.find("scopes")) {
+    for (const JsonValue& s : scopes->array) {
+      BenchDoc::Scope sc;
+      sc.total_s = s.num_or("total_s", 0.0);
+      sc.mean_s = s.num_or("mean_s", 0.0);
+      sc.p99_s = s.num_or("p99_s", 0.0);
+      b.scopes[s.str_or("scope", "?")] = sc;
+    }
+  }
+  return b;
+}
+
+BenchDoc load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open bench report: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode_bench(parse_json(buf.str()));
+}
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresholds& th) {
+  DiffResult res;
+  if (base.name != current.name) {
+    res.notes.push_back("comparing different benches: " + base.name + " vs " + current.name);
+  }
+
+  // Deterministic sim metrics: same seed ⇒ same numbers, so any drift is a
+  // code-behavior change, not noise.
+  const double drop = base.success_rate - current.success_rate;
+  if (drop > th.max_success_drop) {
+    res.regressions.push_back("success_rate dropped " + fmt(drop) + " (" +
+                              fmt(base.success_rate) + " → " + fmt(current.success_rate) +
+                              ", allowed drop " + fmt(th.max_success_drop) + ")");
+  }
+  if (base.overhead_per_minute > 0.0 &&
+      current.overhead_per_minute > base.overhead_per_minute * th.max_overhead_ratio) {
+    res.regressions.push_back(
+        "overhead_per_minute grew " + fmt(current.overhead_per_minute / base.overhead_per_minute) +
+        "x (" + fmt(base.overhead_per_minute) + " → " + fmt(current.overhead_per_minute) +
+        ", allowed " + fmt(th.max_overhead_ratio) + "x)");
+  }
+  if (base.mean_phi > 0.0 && current.mean_phi > base.mean_phi * th.max_phi_ratio) {
+    res.regressions.push_back("mean_phi grew " + fmt(current.mean_phi / base.mean_phi) + "x (" +
+                              fmt(base.mean_phi) + " → " + fmt(current.mean_phi) + ", allowed " +
+                              fmt(th.max_phi_ratio) + "x)");
+  }
+
+  // Wall-clock: noisy across machines; thresholds are the caller's problem
+  // (CI passes very loose ones).
+  if (base.wall_s > 0.0 && current.wall_s > base.wall_s * th.max_wall_ratio) {
+    res.regressions.push_back("wall_s grew " + fmt(current.wall_s / base.wall_s) + "x (" +
+                              fmt(base.wall_s) + " → " + fmt(current.wall_s) + " s, allowed " +
+                              fmt(th.max_wall_ratio) + "x)");
+  }
+  for (const auto& [name, b] : base.scopes) {
+    const auto it = current.scopes.find(name);
+    if (it == current.scopes.end()) {
+      res.notes.push_back("scope disappeared: " + name);
+      continue;
+    }
+    if (b.total_s < th.min_scope_total_s || b.mean_s <= 0.0) continue;  // below noise floor
+    const double ratio = it->second.mean_s / b.mean_s;
+    if (ratio > th.max_scope_ratio) {
+      res.regressions.push_back("scope " + name + " mean_s grew " + fmt(ratio) + "x (" +
+                                fmt(b.mean_s) + " → " + fmt(it->second.mean_s) +
+                                " s, allowed " + fmt(th.max_scope_ratio) + "x)");
+    }
+  }
+  for (const auto& [name, c] : current.scopes) {
+    (void)c;
+    if (base.scopes.count(name) == 0) res.notes.push_back("new scope: " + name);
+  }
+  return res;
+}
+
+void write_diff(std::ostream& os, const BenchDoc& base, const BenchDoc& current,
+                const DiffResult& result) {
+  os << "bench: " << current.name << "  (base " << base.git_sha << " → current "
+     << current.git_sha << ")\n";
+  os << "wall_s: " << base.wall_s << " → " << current.wall_s << "\n";
+  os << "success_rate: " << base.success_rate << " → " << current.success_rate << "\n";
+  os << "overhead_per_minute: " << base.overhead_per_minute << " → "
+     << current.overhead_per_minute << "\n";
+  os << "mean_phi: " << base.mean_phi << " → " << current.mean_phi << "\n";
+  for (const std::string& n : result.notes) os << "note: " << n << "\n";
+  if (result.ok()) {
+    os << "OK: no regression beyond thresholds\n";
+  } else {
+    for (const std::string& r : result.regressions) os << "REGRESSION: " << r << "\n";
+  }
+}
+
+}  // namespace acp::tracecli

@@ -1,0 +1,168 @@
+// acptrace — offline analyzer for the repo's perf/trace artifacts.
+//
+// Consumes the two artifact kinds the observability layer produces:
+//
+//   * probe-lifecycle JSONL traces (obs/trace.h, --trace-out) — re-assembles
+//     per-request span trees, computes critical-path / per-hop latency
+//     breakdowns (`analyze`), and checks span invariants (`validate`):
+//     every hop/reject/return must reference an earlier spawn, each probe
+//     gets exactly one disposition (fork, return, reject, or outstanding at
+//     timeout), and per-request accounting must balance.
+//
+//   * BENCH_<name>.json perf reports (obs/bench_report.h, --bench-out) —
+//     `diff` compares a current report against a baseline and flags
+//     regressions against configurable thresholds; CI runs it as the
+//     perf-smoke gate with baselines from bench/baselines/.
+//
+// The library is UI-free (no printing, no exit codes) so tests can drive it
+// directly; tools/acptrace/main.cpp adds the CLI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace acp::tracecli {
+
+// ---- Minimal JSON document parser (for BENCH_*.json) ------------------------
+
+/// Recursive JSON value. Small and allocation-happy — these documents are a
+/// few KB; clarity beats speed here (the hot-path format is JSONL, parsed
+/// by obs::parse_trace_line instead).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Convenience accessors returning a fallback when absent/mistyped.
+  double num_or(const std::string& key, double fallback) const;
+  std::string str_or(const std::string& key, const std::string& fallback) const;
+};
+
+/// Parses one complete JSON document. Throws PreconditionError on malformed
+/// input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+// ---- Trace loading ----------------------------------------------------------
+
+struct TraceData {
+  std::vector<obs::ParsedTraceEvent> events;  ///< in file order
+  bool truncated = false;   ///< a trace_truncated marker was present
+  std::uint64_t lines = 0;  ///< total non-empty lines parsed
+};
+
+/// Reads a JSONL trace stream. Throws PreconditionError on a malformed line.
+TraceData load_trace(std::istream& in);
+TraceData load_trace_file(const std::string& path);
+
+// ---- analyze: critical paths & hop latencies --------------------------------
+
+struct HopTiming {
+  std::uint64_t probe = 0;
+  std::uint64_t node = 0;
+  std::uint64_t hop = 0;       ///< depth along the path (0 = deputy root)
+  double spawn_t = 0.0;        ///< sim time the probe was spawned
+  double end_t = 0.0;          ///< sim time of its hop/terminal event
+  double latency_s = 0.0;      ///< end_t - spawn_t (transit + processing)
+};
+
+/// One request's reconstructed composition timeline: the chain of probes
+/// from the deputy to the probe whose return completed latest (the
+/// critical path — the chain the setup time waited on).
+struct RequestPath {
+  std::uint64_t run = 0;
+  std::uint64_t req = 0;
+  bool confirmed = false;
+  bool timed_out = false;
+  double accepted_t = 0.0;
+  double end_t = 0.0;          ///< confirmed/failed event time
+  double setup_s = 0.0;        ///< end_t - accepted_t
+  std::uint64_t probes_spawned = 0;
+  std::vector<HopTiming> critical_path;  ///< root → leaf order
+};
+
+struct Analysis {
+  std::uint64_t requests = 0;
+  std::uint64_t confirmed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t probes_spawned = 0;
+  double mean_setup_s = 0.0;
+  double max_setup_s = 0.0;
+  bool truncated = false;
+  std::vector<RequestPath> slowest;  ///< top-K by setup time, descending
+};
+
+Analysis analyze(const TraceData& trace, std::size_t top_k = 5);
+void write_analysis(std::ostream& os, const Analysis& a);
+
+// ---- validate: span invariants -----------------------------------------------
+
+struct Violation {
+  std::string what;  ///< human-readable, one line
+};
+
+/// Checks the span invariants described in the file header. A truncated
+/// trace (trace_truncated marker) downgrades end-of-stream *balance*
+/// violations — the cut can legitimately hide terminals — but referencing
+/// a never-spawned probe is a violation regardless.
+std::vector<Violation> validate(const TraceData& trace);
+
+// ---- diff: bench-report regression gate ---------------------------------------
+
+/// One BENCH_<name>.json, decoded into the fields diff compares.
+struct BenchDoc {
+  std::string name;
+  std::string git_sha;
+  double wall_s = 0.0;
+  double success_rate = 0.0;
+  double overhead_per_minute = 0.0;
+  double mean_phi = 0.0;
+  std::uint64_t runs = 0;
+  struct Scope {
+    double total_s = 0.0;
+    double mean_s = 0.0;
+    double p99_s = 0.0;
+  };
+  std::map<std::string, Scope> scopes;
+};
+
+/// Decodes a parsed acp-bench/1 document; throws PreconditionError when the
+/// schema marker is missing or wrong.
+BenchDoc decode_bench(const JsonValue& doc);
+BenchDoc load_bench_file(const std::string& path);
+
+struct DiffThresholds {
+  // Wall-clock gates are ratio-based and should be loose in CI (shared
+  // runners jitter); the defaults suit a quiet local machine.
+  double max_wall_ratio = 1.5;    ///< current.wall_s / base.wall_s
+  double max_scope_ratio = 1.8;   ///< per-scope mean_s ratio (2× slowdown flags)
+  double min_scope_total_s = 0.005;  ///< ignore scopes cheaper than this in base
+  // Sim-metric gates compare deterministic outputs: same seed ⇒ identical,
+  // so these stay tight everywhere.
+  double max_success_drop = 0.02;    ///< absolute drop in success_rate
+  double max_overhead_ratio = 1.10;  ///< probing overhead growth
+  double max_phi_ratio = 1.10;       ///< mean φ(λ) growth
+};
+
+struct DiffResult {
+  std::vector<std::string> regressions;  ///< threshold breaches (fail)
+  std::vector<std::string> notes;        ///< informational deltas
+  bool ok() const { return regressions.empty(); }
+};
+
+DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresholds& th);
+void write_diff(std::ostream& os, const BenchDoc& base, const BenchDoc& current,
+                const DiffResult& result);
+
+}  // namespace acp::tracecli

@@ -1,0 +1,100 @@
+// acptrace — CLI over acptrace_lib. Subcommands:
+//
+//   acptrace analyze <trace.jsonl> [--top=N]
+//       Per-request critical-path and hop-latency breakdowns.
+//
+//   acptrace validate <trace.jsonl>
+//       Span-invariant check; exit 1 when any violation is found.
+//
+//   acptrace diff <baseline.json> <current.json> [threshold flags]
+//       Perf-regression gate over two BENCH_<name>.json reports.
+//       Threshold flags (defaults in acptrace_lib.h):
+//         --max-wall-ratio=R --max-scope-ratio=R --min-scope-total-s=S
+//         --max-success-drop=D --max-overhead-ratio=R --max-phi-ratio=R
+//       Exit 1 when any threshold is breached.
+//
+// Exit codes: 0 ok, 1 violations/regressions found, 2 usage or I/O error.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "acptrace/acptrace_lib.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace acp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: acptrace analyze <trace.jsonl> [--top=N]\n"
+               "       acptrace validate <trace.jsonl>\n"
+               "       acptrace diff <baseline.json> <current.json>\n"
+               "           [--max-wall-ratio=R] [--max-scope-ratio=R]\n"
+               "           [--min-scope-total-s=S] [--max-success-drop=D]\n"
+               "           [--max-overhead-ratio=R] [--max-phi-ratio=R]\n");
+  return 2;
+}
+
+int cmd_analyze(const std::vector<std::string>& paths, util::Flags& flags) {
+  if (paths.size() != 1) return usage();
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 5));
+  const auto analysis = tracecli::analyze(tracecli::load_trace_file(paths[0]), top);
+  tracecli::write_analysis(std::cout, analysis);
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& paths) {
+  if (paths.size() != 1) return usage();
+  const auto trace = tracecli::load_trace_file(paths[0]);
+  const auto violations = tracecli::validate(trace);
+  if (violations.empty()) {
+    std::printf("OK: %llu events, all span invariants hold%s\n",
+                static_cast<unsigned long long>(trace.lines),
+                trace.truncated ? " (trace truncated; balance checks skipped)" : "");
+    return 0;
+  }
+  for (const auto& v : violations) std::printf("VIOLATION: %s\n", v.what.c_str());
+  std::printf("%zu violation(s) in %llu events\n", violations.size(),
+              static_cast<unsigned long long>(trace.lines));
+  return 1;
+}
+
+int cmd_diff(const std::vector<std::string>& paths, util::Flags& flags) {
+  if (paths.size() != 2) return usage();
+  tracecli::DiffThresholds th;
+  th.max_wall_ratio = flags.get_double("max-wall-ratio", th.max_wall_ratio);
+  th.max_scope_ratio = flags.get_double("max-scope-ratio", th.max_scope_ratio);
+  th.min_scope_total_s = flags.get_double("min-scope-total-s", th.min_scope_total_s);
+  th.max_success_drop = flags.get_double("max-success-drop", th.max_success_drop);
+  th.max_overhead_ratio = flags.get_double("max-overhead-ratio", th.max_overhead_ratio);
+  th.max_phi_ratio = flags.get_double("max-phi-ratio", th.max_phi_ratio);
+
+  const auto base = tracecli::load_bench_file(paths[0]);
+  const auto current = tracecli::load_bench_file(paths[1]);
+  const auto result = tracecli::diff(base, current, th);
+  tracecli::write_diff(std::cout, base, current, result);
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  // Flags and positional paths, after the subcommand.
+  util::Flags flags(argc - 1, argv + 1);
+  const std::vector<std::string> paths = flags.positional();
+
+  try {
+    if (cmd == "analyze") return cmd_analyze(paths, flags);
+    if (cmd == "validate") return cmd_validate(paths);
+    if (cmd == "diff") return cmd_diff(paths, flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acptrace: %s\n", e.what());
+    return 2;
+  }
+}
