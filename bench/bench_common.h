@@ -66,8 +66,10 @@ struct BenchOptions {
   }
 };
 
-inline BenchOptions parse_options(int argc, char** argv) {
-  util::Flags flags(argc, argv);
+/// Parses the shared flags from an existing Flags instance — benches with
+/// extra flags (e.g. chaos_suite) read their own first, then delegate here;
+/// unknown-flag warnings fire once, covering both sets.
+inline BenchOptions parse_options(util::Flags& flags) {
   BenchOptions opt;
   opt.quick = flags.get_bool("quick", false);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
@@ -92,6 +94,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", f.c_str());
   }
   return opt;
+}
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  return parse_options(flags);
 }
 
 /// Owns the bench's Observability instance for the duration of a binary.

@@ -1,0 +1,173 @@
+// Chaos suite — composition + session survival under injected faults.
+//
+// Sweeps a fault-intensity level F and, at each level, runs ACP twice over
+// the identical seeded fault sequence: once with every recovery mechanism
+// disabled (no probe retries, no deputy re-election, no session repair, no
+// reclamation) and once with recovery on. Reported per arm:
+//
+//   * composition success rate (the paper's u(t) aggregate),
+//   * session survival rate (sessions reaching their planned end vs killed
+//     by node crashes), and
+//   * their product — the end-to-end rate a client actually experiences —
+//   * plus mean φ of committed compositions (quality under degradation).
+//
+// With --gate, exits nonzero unless the recovered end-to-end rate at F=1
+// holds at least min-recovery (default 90%) of the fault-free baseline —
+// the CI chaos-smoke invariant: faults at this intensity are survivable
+// through retry + repair, and deterministically so for a fixed seed.
+//
+// A --plan=faults.jsonl file replaces the synthetic sweep with one scripted
+// run (recovery on), for replaying a specific fault scenario.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+/// Synthetic fault plan at intensity level F (linear scaling of every
+/// stochastic process; F=0 disables faults entirely).
+acp::fault::FaultPlan plan_for_level(double level, double start_s) {
+  acp::fault::FaultPlan plan;
+  plan.node_crash_rate_per_min = 0.5 * level;
+  plan.node_downtime_s = 60.0;
+  plan.link_fail_rate_per_min = 1.0 * level;
+  plan.link_downtime_s = 45.0;
+  plan.probe_loss_prob = 0.01 * level;
+  plan.probe_delay_prob = 0.05 * level;
+  plan.probe_delay_mean_s = 0.05;
+  plan.start_s = start_s;
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  util::Flags flags(argc, argv);
+  const bool gate = flags.get_bool("gate", false);
+  const double min_recovery = flags.get_double("min-recovery", 0.90);
+  const std::string plan_path = flags.get_string("plan", "");
+  if (!plan_path.empty() && flags.get_string("plan", "") == "true") {
+    std::fprintf(stderr, "--plan requires a path\n");
+    return 2;
+  }
+  const auto opt = benchx::parse_options(flags);
+
+  const std::size_t overlay_nodes = opt.quick ? 200 : 400;
+  const double duration_min = opt.quick ? 8.0 : 40.0;
+  const double rate = 60.0;
+
+  exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
+                                        : benchx::default_system_config(overlay_nodes, opt.seed);
+  const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+
+  std::printf("Chaos suite: %zu nodes, ACP alpha=0.3, %.0f req/min, %.0f min%s\n", overlay_nodes,
+              rate, duration_min, gate ? " [gated]" : "");
+  benchx::BenchObservability bobs("chaos_suite", opt);
+  bobs.add_config("rate_per_min", std::to_string(rate));
+  bobs.add_config("duration_min", std::to_string(duration_min));
+  bobs.add_config("min_recovery", std::to_string(min_recovery));
+
+  const auto run_arm = [&](const fault::FaultPlan& plan, bool recovery) {
+    exp::ExperimentConfig cfg;
+    cfg.algorithm = exp::Algorithm::kAcp;
+    cfg.alpha = 0.3;
+    cfg.duration_minutes = duration_min;
+    cfg.schedule = {{0.0, rate}};
+    cfg.faults = plan;
+    cfg.run_seed = opt.seed + 900;
+    cfg.obs = bobs.get();
+    if (recovery) {
+      cfg.enable_repair = true;
+      cfg.repair.detection_delay_s = 5.0;
+    } else {
+      // Every recovery mechanism off: lost transmissions die, the dead
+      // deputy's requests time out, broken sessions are detected (so the
+      // survival metric sees them — max_candidates=0 is detection-only) but
+      // never repaired, crashed nodes' transients leak until their TTL.
+      cfg.probing.max_retries = 0;
+      cfg.probing.enable_reelection = false;
+      cfg.enable_repair = true;
+      cfg.repair.max_candidates = 0;
+      cfg.recovery.reclaim_delay_s = 1e9;
+      cfg.recovery.sweep_interval_s = 0.0;
+    }
+    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
+    bobs.record(res);
+    return res;
+  };
+
+  // --- Scripted-plan replay mode -------------------------------------------
+  if (!plan_path.empty()) {
+    const auto plan = fault::FaultPlan::load_jsonl_file(plan_path);
+    const auto res = run_arm(plan, /*recovery=*/true);
+    std::printf("plan %s: success=%5.1f%% survival=%5.1f%% repaired=%llu lost=%llu "
+                "retries=%llu reelections=%llu reclaimed=%llu faults=%llu\n",
+                plan_path.c_str(), res.success_rate * 100.0, res.session_survival_rate * 100.0,
+                static_cast<unsigned long long>(res.sessions_repaired),
+                static_cast<unsigned long long>(res.sessions_lost),
+                static_cast<unsigned long long>(res.probe_retries),
+                static_cast<unsigned long long>(res.deputy_reelections),
+                static_cast<unsigned long long>(res.transients_reclaimed),
+                static_cast<unsigned long long>(res.faults_injected));
+    bobs.finish();
+    return 0;
+  }
+
+  // --- Fault-intensity sweep -------------------------------------------------
+  const std::vector<double> levels = opt.quick ? std::vector<double>{0.0, 1.0, 2.0}
+                                               : std::vector<double>{0.0, 1.0, 2.0, 4.0};
+
+  util::Table table({"fault level", "faults", "bare: success %", "bare: e2e %",
+                     "recovered: success %", "recovered: e2e %", "phi", "retries", "repairs"});
+  double baseline_e2e = 0.0;
+  double gated_e2e = -1.0;
+  for (double level : levels) {
+    const auto plan = plan_for_level(level, 0.0);
+
+    // F=0: both arms are identical (no faults to recover from); run once.
+    const auto bare = run_arm(plan, /*recovery=*/level > 0.0 ? false : true);
+    const auto rec = level > 0.0 ? run_arm(plan, /*recovery=*/true) : bare;
+
+    const double bare_e2e = bare.success_rate * bare.session_survival_rate;
+    const double rec_e2e = rec.success_rate * rec.session_survival_rate;
+    if (level == 0.0) baseline_e2e = rec_e2e;
+    if (level == 1.0) gated_e2e = rec_e2e;
+
+    std::printf("  F=%.0f faults=%-4llu bare: success=%5.1f%% e2e=%5.1f%% | recovered: "
+                "success=%5.1f%% e2e=%5.1f%% retries=%llu repairs=%llu reelections=%llu\n",
+                level, static_cast<unsigned long long>(rec.faults_injected),
+                bare.success_rate * 100.0, bare_e2e * 100.0, rec.success_rate * 100.0,
+                rec_e2e * 100.0, static_cast<unsigned long long>(rec.probe_retries),
+                static_cast<unsigned long long>(rec.sessions_repaired),
+                static_cast<unsigned long long>(rec.deputy_reelections));
+
+    table.add_row({level, static_cast<std::int64_t>(rec.faults_injected),
+                   bare.success_rate * 100.0, bare_e2e * 100.0, rec.success_rate * 100.0,
+                   rec_e2e * 100.0, rec.mean_phi,
+                   static_cast<std::int64_t>(rec.probe_retries),
+                   static_cast<std::int64_t>(rec.sessions_repaired)});
+  }
+  benchx::emit(table, "Chaos suite: success & survival vs fault intensity", opt, "chaos_suite");
+  bobs.finish();
+
+  if (gate) {
+    if (gated_e2e < 0.0) {
+      std::fprintf(stderr, "GATE: no F=1 level in the sweep, nothing to gate\n");
+      return 2;
+    }
+    const double floor = min_recovery * baseline_e2e;
+    if (gated_e2e + 1e-12 < floor) {
+      std::fprintf(stderr,
+                   "GATE FAILED: recovered end-to-end at F=1 is %.1f%%, below %.0f%% of the "
+                   "fault-free baseline (%.1f%% of %.1f%%)\n",
+                   gated_e2e * 100.0, min_recovery * 100.0, floor * 100.0,
+                   baseline_e2e * 100.0);
+      return 1;
+    }
+    std::printf("GATE OK: recovered end-to-end at F=1 is %.1f%% >= %.0f%% of baseline %.1f%%\n",
+                gated_e2e * 100.0, min_recovery * 100.0, baseline_e2e * 100.0);
+  }
+  return 0;
+}

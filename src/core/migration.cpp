@@ -100,4 +100,119 @@ std::size_t MigrationManager::run_round() {
   return moves;
 }
 
+// ---- SessionRepairManager ---------------------------------------------------
+
+SessionRepairManager::SessionRepairManager(stream::StreamSystem& sys,
+                                           stream::SessionTable& sessions, sim::Engine& engine,
+                                           sim::CounterSet& counters, fault::FaultInjector& faults,
+                                           RepairConfig config, obs::Observability* obs)
+    : sys_(&sys),
+      sessions_(&sessions),
+      engine_(&engine),
+      counters_(&counters),
+      faults_(&faults),
+      config_(config),
+      obs_(obs) {
+  ACP_REQUIRE(config_.detection_delay_s >= 0.0);
+}
+
+void SessionRepairManager::start() {
+  ACP_REQUIRE_MSG(!started_, "start() may only be called once");
+  started_ = true;
+  faults_->on_node_change([this](stream::NodeId node, bool up) {
+    if (up) return;
+    engine_->schedule_after(config_.detection_delay_s,
+                            [this, node] { repair_node_failure(node); });
+  });
+}
+
+std::vector<stream::ComponentId> SessionRepairManager::ranked_candidates(
+    stream::FunctionId function, stream::NodeId failed, double now) const {
+  struct Ranked {
+    stream::ComponentId component;
+    double utilization;
+  };
+  std::vector<Ranked> ranked;
+  for (stream::ComponentId c : sys_->components_providing(function)) {
+    const stream::NodeId host = sys_->component(c).node;
+    if (host == failed || !faults_->node_up(host)) continue;
+    const auto& pool = sys_->node_pool(host);
+    const auto avail = pool.available(now);
+    const auto& cap = pool.capacity();
+    double worst = 0.0;
+    for (std::size_t k = 0; k < stream::kResourceDims; ++k) {
+      if (cap.dim(k) <= 0.0) continue;
+      worst = std::max(worst, 1.0 - avail.dim(k) / cap.dim(k));
+    }
+    ranked.push_back({c, worst});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    return a.utilization != b.utilization ? a.utilization < b.utilization
+                                          : a.component < b.component;
+  });
+  if (ranked.size() > config_.max_candidates) ranked.resize(config_.max_candidates);
+  std::vector<stream::ComponentId> out;
+  out.reserve(ranked.size());
+  for (const Ranked& r : ranked) out.push_back(r.component);
+  return out;
+}
+
+std::size_t SessionRepairManager::repair_node_failure(stream::NodeId node) {
+  const double now = engine_->now();
+  // Snapshot the broken placements first: repairs mutate the session table.
+  struct Broken {
+    stream::SessionId session;
+    stream::FnNodeIndex fn;
+    stream::ComponentId component;
+    bool probed;
+  };
+  std::vector<Broken> broken;
+  for (const auto& [id, rec] : sessions_->records()) {
+    for (const auto& p : rec.placements) {
+      if (p.node == node) broken.push_back({id, p.fn, p.component, rec.probed});
+    }
+  }
+
+  std::size_t repaired = 0;
+  for (const Broken& b : broken) {
+    if (sessions_->find(b.session) == nullptr) continue;  // lost via an earlier placement
+    bool fixed = false;
+    if (b.probed) {
+      const stream::FunctionId function = sys_->component(b.component).function;
+      for (stream::ComponentId cand : ranked_candidates(function, node, now)) {
+        if (sessions_->repair_component(b.session, b.fn, cand, now)) {
+          ++repaired;
+          ++sessions_repaired_;
+          counters_->add(sim::counter::kSessionRepair);
+          if (obs_ != nullptr) {
+            obs_->metrics.counter(obs::metric::kSessionsRepaired).add();
+            obs_->tracer.event("session_repaired")
+                .field("session", b.session)
+                .field("fn", static_cast<std::uint64_t>(b.fn))
+                .field("failed_node", static_cast<std::uint64_t>(node))
+                .field("component", static_cast<std::uint64_t>(cand))
+                .field("node", static_cast<std::uint64_t>(sys_->component(cand).node));
+          }
+          fixed = true;
+          break;
+        }
+      }
+    }
+    if (!fixed) {
+      // No live replacement fits (or the session was committed directly and
+      // its aggregated records cannot be rebound): the session is lost.
+      sessions_->close(b.session);
+      ++sessions_lost_;
+      if (obs_ != nullptr) {
+        obs_->metrics.counter(obs::metric::kSessionsLost).add();
+        obs_->tracer.event("session_lost")
+            .field("session", b.session)
+            .field("failed_node", static_cast<std::uint64_t>(node))
+            .field("probed", b.probed);
+      }
+    }
+  }
+  return repaired;
+}
+
 }  // namespace acp::core

@@ -68,7 +68,86 @@ ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable
 }
 
 stream::NodeId ProbingProtocol::deputy_for(net::NodeIndex client_ip) const {
+  if (faults_ != nullptr) {
+    return sys_->mesh().closest_member_where(
+        client_ip, [this](stream::NodeId o) { return faults_->node_up(o); });
+  }
   return sys_->mesh().closest_member(client_ip);
+}
+
+void ProbingProtocol::set_fault_injector(fault::FaultInjector* faults) {
+  faults_ = faults;
+  if (faults_ != nullptr) {
+    faults_->on_node_change([this](stream::NodeId n, bool up) { on_node_change(n, up); });
+  }
+}
+
+void ProbingProtocol::on_node_change(stream::NodeId node, bool up) {
+  if (up || !config_.enable_reelection) return;
+  bool any_live = false;
+  for (auto& weak : active_) {
+    const auto coord = weak.lock();
+    if (coord == nullptr || coord->finalized) continue;
+    any_live = true;
+    if (coord->deputy != node) continue;
+    // The deputy died mid-request: the overlay member now closest to the
+    // client takes over coordination. Returning probes re-read coord->deputy
+    // on every (re)transmission, so they find the successor.
+    const stream::NodeId successor = deputy_for(coord->req->client_ip);
+    coord->deputy = successor;
+    ++deputy_reelections_;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(obs::metric::kDeputyReelections).add();
+      obs_->tracer.event("deputy_reelected")
+          .field("req", coord->req->id)
+          .field("failed", static_cast<std::uint64_t>(node))
+          .field("deputy", static_cast<std::uint64_t>(successor));
+    }
+  }
+  if (!any_live) active_.clear();
+}
+
+void ProbingProtocol::send_probe(const std::shared_ptr<Coordinator>& coord, Probe probe,
+                                 stream::NodeId from, bool returning, std::size_t attempt) {
+  if (coord->finalized) return;
+  // Returning probes chase the *current* deputy (re-election may move it).
+  const stream::NodeId to = returning ? coord->deputy : probe.at;
+  double delay_s = config_.hop_processing_s + sys_->mesh().virtual_link_delay(from, to) / 1000.0;
+  if (faults_ != nullptr) {
+    const fault::FaultInjector::MessageFate fate = faults_->message_fate(from, to);
+    if (fate.lost) {
+      if (attempt >= config_.max_retries) {
+        probe_died(probe, coord->req->id, obs::reason::kMessageLost);
+        probe_ended(coord);
+        return;
+      }
+      const double backoff = config_.retry_backoff_s * static_cast<double>(1ULL << attempt);
+      ++retries_sent_;
+      counters_->add(sim::counter::kProbeRetry);
+      counters_->add(sim::counter::kProbe);  // the retransmission is a message too
+      if (obs_ != nullptr) {
+        obs_->metrics.counter(obs::metric::kProbeRetries).add();
+        obs_->tracer.event("probe_retry")
+            .field("req", coord->req->id)
+            .field("probe", probe.id)
+            .field("path", probe.path_index)
+            .field("attempt", attempt + 1)
+            .field("from", static_cast<std::uint64_t>(from))
+            .field("to", static_cast<std::uint64_t>(to))
+            .field("backoff_s", backoff);
+      }
+      engine_->schedule_after(backoff, [this, coord, probe, from, returning, attempt] {
+        send_probe(coord, probe, from, returning, attempt + 1);
+      });
+      return;
+    }
+    delay_s += fate.extra_delay_s;
+  }
+  if (returning) {
+    engine_->schedule_after(delay_s, [this, coord, probe] { probe_returned(coord, probe); });
+  } else {
+    engine_->schedule_after(delay_s, [this, coord, probe] { process_probe(coord, probe); });
+  }
 }
 
 void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHopPolicy hop_policy,
@@ -89,6 +168,14 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
   // Budget is split across source→sink paths so one branch's probe tree
   // cannot starve the other branch of a DAG.
   coord->path_budget = std::max<std::size_t>(1, config_.max_probes_per_request / coord->paths.size());
+
+  if (faults_ != nullptr) {
+    // Track for deputy re-election; prune dead entries while we're here.
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [](const std::weak_ptr<Coordinator>& w) { return w.expired(); }),
+                  active_.end());
+    active_.push_back(coord);
+  }
 
   if (obs_ != nullptr) {
     obs_->metrics.counter(obs::metric::kRequestAccepted).add();
@@ -187,9 +274,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
   // --- Path complete: return to the deputy.
   if (level == path.size()) {
     counters_->add(sim::counter::kProbe);  // return message
-    const double delay_s = sys_->mesh().virtual_link_delay(probe.at, coord->deputy) / 1000.0;
-    engine_->schedule_after(config_.hop_processing_s + delay_s,
-                            [this, coord, probe] { probe_returned(coord, probe); });
+    send_probe(coord, probe, probe.at, /*returning=*/true, /*attempt=*/0);
     return;
   }
 
@@ -274,9 +359,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
           .field("node", static_cast<std::uint64_t>(cand.node))
           .field("component", static_cast<std::uint64_t>(c));
     }
-    const double delay_s = sys_->mesh().virtual_link_delay(probe.at, cand.node) / 1000.0;
-    engine_->schedule_after(config_.hop_processing_s + delay_s,
-                            [this, coord, child] { process_probe(coord, child); });
+    send_probe(coord, child, probe.at, /*returning=*/false, /*attempt=*/0);
   }
 
   if (obs_ != nullptr) {

@@ -30,6 +30,7 @@
 #include "core/composer.h"
 #include "core/search.h"
 #include "discovery/registry.h"
+#include "fault/fault.h"
 #include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
@@ -67,6 +68,15 @@ struct ProbingConfig {
   std::size_t max_probes_per_request = 2048;
   /// Cap on merged candidate compositions at the deputy.
   std::size_t merge_cap = 512;
+  /// Lost probe transmissions (fault injection) are retransmitted up to this
+  /// many times with exponential backoff before the probe is abandoned.
+  /// 0 = no retries (chaos-suite no-recovery arm).
+  std::size_t max_retries = 3;
+  /// Backoff before the first retransmission; doubles per attempt.
+  double retry_backoff_s = 0.05;
+  /// Re-elect the deputy of in-flight requests when it crashes (off = the
+  /// request silently times out — no-recovery arm).
+  bool enable_reelection = true;
 };
 
 class ProbingProtocol {
@@ -89,8 +99,18 @@ class ProbingProtocol {
 
   const ProbingConfig& config() const { return config_; }
 
-  /// Deputy for a client host — the overlay member closest by IP delay.
+  /// Deputy for a client host — the overlay member closest by IP delay;
+  /// crashed members are skipped when a fault injector is attached.
   stream::NodeId deputy_for(net::NodeIndex client_ip) const;
+
+  /// Attaches fault injection: probe transmissions consult message_fate
+  /// (loss → retry with backoff, delay → added latency) and deputy death
+  /// triggers re-election for the affected in-flight requests. Call before
+  /// the first execute(); pass nullptr for the fault-free happy path.
+  void set_fault_injector(fault::FaultInjector* faults);
+
+  std::uint64_t retries_sent() const { return retries_sent_; }
+  std::uint64_t deputy_reelections() const { return deputy_reelections_; }
 
  private:
   struct Coordinator;
@@ -100,6 +120,20 @@ class ProbingProtocol {
   void probe_returned(const std::shared_ptr<Coordinator>& coord, const Probe& probe);
   void probe_ended(const std::shared_ptr<Coordinator>& coord);
   void finalize(const std::shared_ptr<Coordinator>& coord);
+
+  /// Sends `probe` from `from` over the virtual link, consulting the fault
+  /// injector (when attached) for loss/extra delay. Lost transmissions are
+  /// retransmitted after retry_backoff_s·2^attempt, re-evaluating delivery
+  /// fate each attempt (a healed link genuinely rescues the probe); after
+  /// max_retries the probe dies with reason message_lost. `returning` probes
+  /// are re-addressed to the coordinator's *current* deputy on every attempt
+  /// so deputy re-election rescues in-flight returns.
+  void send_probe(const std::shared_ptr<Coordinator>& coord, Probe probe, stream::NodeId from,
+                  bool returning, std::size_t attempt);
+
+  /// Fault hook: re-elects the deputy for in-flight requests whose deputy
+  /// crashed (the overlay member closest to the client among live nodes).
+  void on_node_change(stream::NodeId node, bool up);
 
   /// Records one probe death: acp.probe.deaths{reason} + probe_rejected span.
   void probe_died(const Probe& probe, stream::RequestId req, const char* reason);
@@ -113,7 +147,13 @@ class ProbingProtocol {
   util::Rng rng_;
   ProbingConfig config_;
   obs::Observability* obs_;
+  fault::FaultInjector* faults_ = nullptr;
   std::uint64_t next_probe_id_ = 0;
+  std::uint64_t retries_sent_ = 0;
+  std::uint64_t deputy_reelections_ = 0;
+  /// In-flight coordinators, scanned on node-crash for deputy re-election
+  /// (pruned lazily; finalized entries are skipped).
+  std::vector<std::weak_ptr<Coordinator>> active_;
 
   // Wall-clock profiling scopes (inert without obs_): the per-hop hot path,
   // its candidate-ranking section, and the deputy's finalize step.

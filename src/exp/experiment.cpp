@@ -82,6 +82,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   util::Rng workload_rng = run_rng.split(1);
   util::Rng probe_rng = run_rng.split(2);
   util::Rng baseline_rng = run_rng.split(3);
+  util::Rng fault_rng = run_rng.split(4);
 
   // --- State management ----------------------------------------------------
   state::GlobalStateManager global_state(sys, engine, counters, config.global_state, obs);
@@ -103,6 +104,22 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   core::ProbingProtocol protocol(sys, sessions, engine, counters, registry, guidance, probe_rng,
                                  config.probing, obs);
   core::ProbingRatioTuner tuner(sys, engine, config.tuner);
+
+  // --- Fault injection + recovery ------------------------------------------
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<core::SessionRepairManager> repair_mgr;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sys, engine, fault_rng, config.faults,
+                                                      config.recovery, &counters, obs);
+    protocol.set_fault_injector(injector.get());
+    global_state.set_fault_injector(injector.get());
+    if (config.enable_repair) {
+      repair_mgr = std::make_unique<core::SessionRepairManager>(sys, sessions, engine, counters,
+                                                                *injector, config.repair, obs);
+      repair_mgr->start();
+    }
+    injector->start();
+  }
 
   std::unique_ptr<core::Composer> composer;
   switch (config.algorithm) {
@@ -180,8 +197,18 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
           const stream::SessionId sid = out.session;
           const auto* rec = sessions.find(sid);
           ACP_ASSERT(rec != nullptr);
+          // close() returning false at the planned end means the session was
+          // torn down early — a fault killed it and repair couldn't save it.
           engine.schedule_at(std::max(rec->planned_end_time, engine.now()),
-                             [&, sid] { sessions.close(sid); });
+                             [&, sid, measured] {
+                               const bool survived = sessions.close(sid);
+                               if (!measured) return;
+                               if (survived) {
+                                 ++result.sessions_completed;
+                               } else {
+                                 ++result.sessions_lost;
+                               }
+                             });
           result.peak_active_sessions =
               std::max<std::uint64_t>(result.peak_active_sessions, sessions.active_count());
         }
@@ -228,6 +255,18 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   result.mean_phi = phi_stat.mean();
   result.mean_candidates_qualified = qualified_stat.mean();
   result.component_migrations = migration.total_moves();
+  const std::uint64_t finished = result.sessions_completed + result.sessions_lost;
+  result.session_survival_rate =
+      finished == 0 ? 1.0
+                    : static_cast<double>(result.sessions_completed) /
+                          static_cast<double>(finished);
+  result.probe_retries = protocol.retries_sent();
+  result.deputy_reelections = protocol.deputy_reelections();
+  if (injector != nullptr) {
+    result.faults_injected = injector->faults_injected();
+    result.transients_reclaimed = injector->transients_reclaimed();
+  }
+  if (repair_mgr != nullptr) result.sessions_repaired = repair_mgr->sessions_repaired();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "core/probing.h"
 #include "core/tuner.h"
 #include "exp/system_builder.h"
+#include "fault/fault.h"
 #include "obs/observability.h"
 #include "state/global_state.h"
 #include "state/local_state.h"
@@ -42,6 +43,17 @@ struct ExperimentConfig {
   /// Enable the dynamic component migration extension during the run.
   bool enable_migration = false;
   core::MigrationConfig migration;
+  /// Fault injection: a non-empty plan attaches a FaultInjector (seeded from
+  /// run_seed split 4) to the run — probing consults message fates, the
+  /// global state honors freeze/tear faults, and crashed nodes shed their
+  /// transient allocations.
+  fault::FaultPlan faults;
+  fault::RecoveryConfig recovery;
+  /// Session failure detection + repair via the migration path (only
+  /// meaningful with a non-empty fault plan). Off = crashed placements kill
+  /// their sessions — the chaos suite's no-recovery ablation arm.
+  bool enable_repair = true;
+  core::RepairConfig repair;
   double sample_period_minutes = 5.0;  ///< u(t) sampling period
   std::uint64_t run_seed = 7;          ///< workload/probing randomness
   /// Optional observability sink. When set, the run streams probe-lifecycle
@@ -70,6 +82,19 @@ struct ExperimentResult {
 
   std::uint64_t peak_active_sessions = 0;
   std::uint64_t component_migrations = 0;  ///< when enable_migration
+
+  // Fault/recovery accounting (all zero on a fault-free run). Completed and
+  // lost count sessions from measured (post-warmup) arrivals; repaired /
+  // reclaimed / retries / re-elections are whole-run totals.
+  std::uint64_t sessions_completed = 0;  ///< ran to their planned end
+  std::uint64_t sessions_lost = 0;       ///< killed by faults before their end
+  /// completed / (completed + lost); 1.0 when nothing finished either way.
+  double session_survival_rate = 1.0;
+  std::uint64_t sessions_repaired = 0;
+  std::uint64_t probe_retries = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t deputy_reelections = 0;
+  std::uint64_t transients_reclaimed = 0;
 };
 
 /// Runs one experiment on a fresh deployment over `fabric`. Deterministic

@@ -135,4 +135,21 @@ OverlayNodeIndex OverlayMesh::closest_member(NodeIndex ip_node) const {
   return best_member;
 }
 
+OverlayNodeIndex OverlayMesh::closest_member_where(
+    NodeIndex ip_node, const std::function<bool(OverlayNodeIndex)>& eligible) const {
+  double best = kUnreachable;
+  OverlayNodeIndex best_member = kNoOverlayLink;
+  for (OverlayNodeIndex o = 0; o < members_.size(); ++o) {
+    if (!eligible(o)) continue;
+    const double d = ip_routes_->distance(members_[o], ip_node);
+    if (d < best) {
+      best = d;
+      best_member = o;
+    }
+  }
+  // Nothing eligible (total outage): fall back so callers always get a node.
+  if (best_member == kNoOverlayLink) return closest_member(ip_node);
+  return best_member;
+}
+
 }  // namespace acp::net

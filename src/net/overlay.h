@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -82,6 +83,12 @@ class OverlayMesh {
   /// Overlay member closest (by IP delay) to an arbitrary IP host — the
   /// paper's deputy-node selection by proximity.
   OverlayNodeIndex closest_member(NodeIndex ip_node) const;
+
+  /// Like closest_member, but restricted to members satisfying `eligible`
+  /// (deputy re-election skips crashed nodes). Falls back to the absolute
+  /// closest member when no member qualifies.
+  OverlayNodeIndex closest_member_where(
+      NodeIndex ip_node, const std::function<bool(OverlayNodeIndex)>& eligible) const;
 
   /// Underlying overlay graph (for tests / diagnostics).
   const Graph& mesh_graph() const { return mesh_; }

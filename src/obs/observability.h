@@ -33,6 +33,7 @@ inline constexpr const char* kRequestSetupTime = "acp.request.setup_time_s";
 // Probe lifecycle.
 inline constexpr const char* kProbeSpawned = "acp.probe.spawned";
 inline constexpr const char* kProbeReturned = "acp.probe.returned";
+inline constexpr const char* kProbeRetries = "acp.probe.retries";  ///< lost-hop retransmissions
 inline constexpr const char* kProbeDeaths = "acp.probe.deaths";  ///< label: reason
 inline constexpr const char* kProbeHopDepth = "acp.probe.hop_depth";
 inline constexpr const char* kCandidatesEvaluated = "acp.probe.candidates_evaluated";
@@ -49,6 +50,16 @@ inline constexpr const char* kSimQueueDepth = "acp.sim.queue_depth";
 
 // Extensions.
 inline constexpr const char* kMigrationMoves = "acp.migration.moves";
+
+// Fault injection (acp::fault) and the recovery mechanisms answering it.
+inline constexpr const char* kFaultInjected = "acp.fault.injected";  ///< label: kind
+inline constexpr const char* kFaultNodesDown = "acp.fault.nodes_down";  ///< gauge
+inline constexpr const char* kFaultLinksDown = "acp.fault.links_down";  ///< gauge
+inline constexpr const char* kTransientsReclaimed =
+    "acp.recovery.transients_reclaimed";  ///< label: scope (crash|sweep)
+inline constexpr const char* kSessionsRepaired = "acp.recovery.sessions_repaired";
+inline constexpr const char* kSessionsLost = "acp.recovery.sessions_lost";
+inline constexpr const char* kDeputyReelections = "acp.recovery.deputy_reelections";
 }  // namespace metric
 
 /// Probe-death reasons (`acp.probe.deaths{reason=...}`, `probe_rejected`
@@ -60,6 +71,7 @@ inline constexpr const char* kLinkReservation = "link_reservation";  ///< link t
 inline constexpr const char* kComponentMoved = "component_moved";    ///< migrated mid-flight
 inline constexpr const char* kTimeout = "timeout";                   ///< outstanding at deadline
 inline constexpr const char* kNoChildren = "no_children";            ///< dead end: nothing to spawn
+inline constexpr const char* kMessageLost = "message_lost";          ///< retries exhausted (faults)
 }  // namespace reason
 
 /// Per-hop candidate rejection reasons (`acp.probe.candidates_rejected`).

@@ -10,6 +10,10 @@ std::string canonical_metric_name(const std::string& counter_name) {
   if (counter_name == counter::kDiscovery) return "acp.discovery.lookups";
   if (counter_name == counter::kLocalRefresh) return "acp.state.local_refresh";
   if (counter_name == "component_migrations") return "acp.migration.moves";
+  if (counter_name == counter::kFaultEvent) return "acp.fault.events";
+  if (counter_name == counter::kTransientReclaim) return "acp.recovery.transient_reclaims";
+  if (counter_name == counter::kProbeRetry) return "acp.probe.retry_messages";
+  if (counter_name == counter::kSessionRepair) return "acp.recovery.session_repair_moves";
   return "acp.sim.counter." + counter_name;
 }
 

@@ -78,6 +78,11 @@ inline constexpr const char* kAggregationUpdate = "aggregation_updates";
 inline constexpr const char* kConfirmation = "confirmation_messages";
 inline constexpr const char* kDiscovery = "discovery_lookups";
 inline constexpr const char* kLocalRefresh = "local_state_refresh";
+// Fault-injection subsystem (acp::fault) and its recovery machinery.
+inline constexpr const char* kFaultEvent = "fault_events";
+inline constexpr const char* kTransientReclaim = "transients_reclaimed";
+inline constexpr const char* kProbeRetry = "probe_retries";
+inline constexpr const char* kSessionRepair = "session_repairs";
 }  // namespace counter
 
 }  // namespace acp::sim

@@ -104,6 +104,15 @@ void GlobalStateManager::schedule_publish() {
 
 void GlobalStateManager::run_check_sweep() {
   const obs::ProfScope prof(prof_check_);
+  // Frozen (fault injection): nodes keep measuring but no update reaches the
+  // global state — exactly how a partitioned reporting path looks from the
+  // queriers' side. The published copies silently age.
+  if (faults_ != nullptr && faults_->state_updates_suppressed()) {
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "suppressed"}}).add();
+    }
+    return;
+  }
   const double now = engine_->now();
 
   // Node resource states: push to global state when any dimension moved by
@@ -147,9 +156,26 @@ void GlobalStateManager::run_check_sweep() {
 
 void GlobalStateManager::run_publish() {
   const obs::ProfScope prof(prof_publish_);
+  if (faults_ != nullptr && faults_->state_updates_suppressed()) {
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "suppressed"}}).add();
+    }
+    return;
+  }
   // The aggregation node folds its collected link states into the global
   // state (one bulk update message) and the role rotates for load sharing.
-  link_avail_ = agg_link_avail_;
+  if (faults_ != nullptr && faults_->consume_state_tear()) {
+    // Torn publish (fault injection): the bulk update is cut off halfway —
+    // only even-indexed link states land, the rest keep their stale values.
+    for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); l += 2) {
+      link_avail_[l] = agg_link_avail_[l];
+    }
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "torn_publish"}}).add();
+    }
+  } else {
+    link_avail_ = agg_link_avail_;
+  }
   links_published_at_ = engine_->now();
   counters_->add(sim::counter::kGlobalStateUpdate);
   if (obs_ != nullptr) {

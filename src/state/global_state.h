@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
@@ -74,6 +75,12 @@ class GlobalStateManager {
   /// Forces an aggregation publish right now. Exposed for tests.
   void run_publish();
 
+  /// Attaches fault injection: while a state freeze is active, check sweeps
+  /// and publishes are suppressed (the coarse state silently goes stale);
+  /// a pending state tear makes the next publish apply only half of the
+  /// collected link states. nullptr detaches.
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
+
  private:
   class CoarseView;
 
@@ -87,6 +94,7 @@ class GlobalStateManager {
   sim::CounterSet* counters_;
   GlobalStateConfig config_;
   obs::Observability* obs_;
+  fault::FaultInjector* faults_ = nullptr;
   obs::ProfSlot prof_check_;    ///< "state.check_sweep" wall time
   obs::ProfSlot prof_publish_;  ///< "state.publish" wall time
 

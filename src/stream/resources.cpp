@@ -42,7 +42,7 @@ bool ReservationPool<Q>::reserve_transient(RequestId request, std::uint32_t tag,
     }
   }
   if (!pool_fits(amount, available(now))) return false;
-  transients_.push_back(Transient{request, tag, amount, expires_at});
+  transients_.push_back(Transient{request, tag, amount, expires_at, now});
   return true;
 }
 
@@ -112,6 +112,27 @@ std::size_t ReservationPool<Q>::prune_expired(double now) {
   const std::size_t before = transients_.size();
   transients_.erase(std::remove_if(transients_.begin(), transients_.end(),
                                    [&](const Transient& r) { return r.expires_at <= now; }),
+                    transients_.end());
+  return before - transients_.size();
+}
+
+template <typename Q>
+std::size_t ReservationPool<Q>::cancel_all_transients(double now) {
+  std::size_t live = 0;
+  for (const auto& r : transients_) {
+    if (r.expires_at > now) ++live;
+  }
+  transients_.clear();
+  return live;
+}
+
+template <typename Q>
+std::size_t ReservationPool<Q>::cancel_transients_older_than(double age_s, double now) {
+  const std::size_t before = transients_.size();
+  transients_.erase(std::remove_if(transients_.begin(), transients_.end(),
+                                   [&](const Transient& r) {
+                                     return r.expires_at > now && now - r.created_at > age_s;
+                                   }),
                     transients_.end());
   return before - transients_.size();
 }

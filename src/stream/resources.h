@@ -82,6 +82,19 @@ double congestion_terms(const ResourceVector& req, const ResourceVector& residua
 /// Scalar version for bandwidth: b / (rb + b); 0 when b == 0.
 double congestion_term(double required, double residual);
 
+// --- Helpers so ReservationPool works for both Q types -------------------
+
+inline bool pool_fits(const ResourceVector& amount, const ResourceVector& avail) {
+  return amount.fits_within(avail);
+}
+inline bool pool_fits(double amount, double avail) { return amount <= avail; }
+
+inline ResourceVector pool_scale(const ResourceVector& q, double factor) {
+  if (factor == 1.0) return q;
+  return ResourceVector(q.cpu() * factor, q.memory_mb() * factor);
+}
+inline double pool_scale(double q, double factor) { return q * factor; }
+
 /// A reservation pool over an additive quantity Q (ResourceVector for nodes,
 /// double for link bandwidth). Tracks committed allocations per session and
 /// transient (probe-time) reservations that expire unless confirmed.
@@ -92,9 +105,19 @@ class ReservationPool {
 
   const Q& capacity() const { return capacity_; }
 
-  /// Available quantity at time `now`: capacity - committed - live transients.
+  /// Degrades (or restores, factor = 1) the usable fraction of capacity —
+  /// fault injection's bandwidth-degradation knob. Committed allocations are
+  /// untouched; only future admission sees the reduced headroom.
+  void set_capacity_factor(double factor) {
+    ACP_REQUIRE(factor > 0.0 && factor <= 1.0);
+    capacity_factor_ = factor;
+  }
+  double capacity_factor() const { return capacity_factor_; }
+
+  /// Available quantity at time `now`: capacity·factor - committed - live
+  /// transients.
   Q available(double now) const {
-    Q avail = capacity_;
+    Q avail = effective_capacity();
     avail -= committed_;
     for (const auto& r : transients_) {
       if (r.expires_at > now) avail -= r.amount;
@@ -106,7 +129,7 @@ class ReservationPool {
   /// resources a request has itself reserved are available *to it* when its
   /// deputy evaluates candidate compositions.
   Q available_excluding(double now, RequestId request) const {
-    Q avail = capacity_;
+    Q avail = effective_capacity();
     avail -= committed_;
     for (const auto& r : transients_) {
       if (r.expires_at > now && r.request != request) avail -= r.amount;
@@ -153,6 +176,17 @@ class ReservationPool {
   /// it only reclaims memory. Returns the number pruned.
   std::size_t prune_expired(double now);
 
+  /// Force-cancels every live transient reservation (crash reclamation: the
+  /// holding node died, its probe-time holds are void). Returns the number
+  /// of live records dropped (already-expired records are pruned silently).
+  std::size_t cancel_all_transients(double now);
+
+  /// Force-cancels live transients placed more than `age_s` ago — the leak
+  /// reclamation sweep. A legitimate probe-time hold is confirmed or
+  /// cancelled within seconds; anything older is an orphan. Returns the
+  /// number reclaimed.
+  std::size_t cancel_transients_older_than(double age_s, double now);
+
   std::size_t live_transient_count(double now) const;
   std::size_t committed_count() const { return commits_.size(); }
 
@@ -162,24 +196,21 @@ class ReservationPool {
     std::uint32_t tag;
     Q amount;
     double expires_at;
+    double created_at;
   };
   struct Commit {
     SessionId session;
     Q amount;
   };
 
+  Q effective_capacity() const { return pool_scale(capacity_, capacity_factor_); }
+
   Q capacity_;
   Q committed_;
+  double capacity_factor_ = 1.0;
   std::vector<Transient> transients_;
   std::vector<Commit> commits_;
 };
-
-// --- Helpers so ReservationPool works for both Q types -------------------
-
-inline bool pool_fits(const ResourceVector& amount, const ResourceVector& avail) {
-  return amount.fits_within(avail);
-}
-inline bool pool_fits(double amount, double avail) { return amount <= avail; }
 
 extern template class ReservationPool<ResourceVector>;
 extern template class ReservationPool<double>;

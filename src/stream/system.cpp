@@ -218,4 +218,28 @@ void StreamSystem::prune_expired(double now) {
   for (auto& p : link_pools_) p.prune_expired(now);
 }
 
+std::size_t StreamSystem::reclaim_node_transients(NodeId node, double now) {
+  std::size_t reclaimed = node_pool(node).cancel_all_transients(now);
+  for (net::OverlayLinkIndex l : mesh_->links_of(node)) {
+    reclaimed += link_pools_[l].cancel_all_transients(now);
+  }
+  return reclaimed;
+}
+
+std::size_t StreamSystem::reclaim_transients_older_than(double age_s, double now) {
+  std::size_t reclaimed = 0;
+  for (auto& p : node_pools_) reclaimed += p.cancel_transients_older_than(age_s, now);
+  for (auto& p : link_pools_) reclaimed += p.cancel_transients_older_than(age_s, now);
+  return reclaimed;
+}
+
+bool StreamSystem::release_virtual_link_direct(SessionId session, NodeId a, NodeId b, double kbps) {
+  if (a == b) return true;
+  bool all = true;
+  for (net::OverlayLinkIndex l : mesh_->virtual_link_path(a, b)) {
+    all = link_pools_[l].release_session_one(session, kbps) && all;
+  }
+  return all;
+}
+
 }  // namespace acp::stream

@@ -113,6 +113,27 @@ class StreamSystem {
   /// Drops expired transient records everywhere (housekeeping).
   void prune_expired(double now);
 
+  // ---- Failure recovery (used by acp::fault) ------------------------------
+
+  /// Crash reclamation: force-cancels every live transient reservation on
+  /// `node`'s pool and on all overlay links incident to it — the crashed
+  /// node's probe-time holds are void and its in-flight reservations on
+  /// adjacent links can never be confirmed. Committed session allocations
+  /// are untouched (session repair handles those). Returns the number of
+  /// live transients dropped.
+  std::size_t reclaim_node_transients(NodeId node, double now);
+
+  /// Leak sweep: drops live transients older than `age_s` on every pool. A
+  /// legitimate probe hold is confirmed or cancelled within seconds; older
+  /// records are orphans (e.g. from a node that crashed mid-probe). Returns
+  /// the number reclaimed.
+  std::size_t reclaim_transients_older_than(double age_s, double now);
+
+  /// Releases one direct-committed `kbps` record of `session` on every link
+  /// of the virtual link a→b (session-repair path rerouting). a == b is a
+  /// no-op. Returns false if any link had no matching record.
+  bool release_virtual_link_direct(SessionId session, NodeId a, NodeId b, double kbps);
+
  private:
   class TrueView;
 

@@ -185,6 +185,57 @@ TEST(Validate, TruncatedTraceSkipsBalanceButNotReferenceChecks) {
   EXPECT_NE(violations[0].what.find("never-spawned probe 99"), std::string::npos);
 }
 
+TEST(Validate, RetriedHopIsNotASecondDisposition) {
+  // Probe 1's first transmission is lost and retried twice before it
+  // returns: still one spawn, one disposition — accounting balances.
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.05, "type": "probe_retry", "run": 1, "req": 1, "probe": 1, "attempt": 0, "from": 5, "to": 7}
+{"t": 0.15, "type": "probe_retry", "run": 1, "req": 1, "probe": 1, "attempt": 1, "from": 5, "to": 7}
+{"t": 0.3, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.4, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.4}
+)"));
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Validate, RetryAfterDispositionIsFlagged) {
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.02, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.05, "type": "probe_retry", "run": 1, "req": 1, "probe": 1, "attempt": 0, "from": 5, "to": 7}
+{"t": 0.06, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.06}
+)"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("already returned, then probe_retry"), std::string::npos);
+}
+
+TEST(Validate, RetryOfNeverSpawnedProbeIsFlagged) {
+  const auto violations = validate(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.05, "type": "probe_retry", "run": 1, "req": 1, "probe": 42, "attempt": 0, "from": 5, "to": 7}
+{"t": 0.3, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.4, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.4}
+)"));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("probe_retry references never-spawned probe 42"),
+            std::string::npos);
+}
+
+TEST(Analyze, CountsRetries) {
+  const auto a = analyze(trace_from(R"(
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "paths": 1}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "hop": 0, "node": 5}
+{"t": 0.05, "type": "probe_retry", "run": 1, "req": 1, "probe": 1, "attempt": 0, "from": 5, "to": 7}
+{"t": 0.3, "type": "probe_returned", "run": 1, "req": 1, "probe": 1, "hops": 1}
+{"t": 0.4, "type": "composition_confirmed", "run": 1, "req": 1, "setup_s": 0.4}
+)"));
+  EXPECT_EQ(a.probe_retries, 1u);
+  EXPECT_EQ(a.confirmed, 1u);
+}
+
 // ---- diff --------------------------------------------------------------------
 
 BenchDoc make_bench() {

@@ -255,6 +255,7 @@ struct ReqInfo {
   double end_t = 0.0;
   double setup_s = 0.0;
   std::uint64_t spawns = 0, forks = 0, returns = 0, rejects = 0;
+  std::uint64_t retries = 0;  ///< probe_retry spans (retransmissions, not dispositions)
   std::uint64_t terminals = 0;
   double timeout_outstanding = 0.0;
   std::map<std::uint64_t, ProbeInfo> probes;
@@ -359,6 +360,31 @@ std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violat
       continue;
     }
 
+    if (type == "probe_retry") {
+      // A lost transmission being retransmitted: the probe is still the SAME
+      // in-flight probe, so a retry never counts as a second disposition —
+      // it only extends the probe's lifetime. It must reference a live
+      // (spawned, undisposed) probe.
+      const auto id = static_cast<std::uint64_t>(ev.num("probe"));
+      auto& owners = probe_owner[run];
+      const auto owner = owners.find(id);
+      if (owner == owners.end()) {
+        violation("run " + std::to_string(run) + ": probe_retry references never-spawned probe " +
+                  std::to_string(id));
+        continue;
+      }
+      ReqInfo& r = reqs[owner->second];
+      ProbeInfo& p = r.probes[id];
+      if (p.end != ProbeInfo::End::kNone) {
+        violation("run " + std::to_string(run) + ": probe " + std::to_string(id) + " already " +
+                  disposition_name(p.end) + ", then probe_retry");
+        continue;
+      }
+      p.end_t = ev.num("t");
+      ++r.retries;
+      continue;
+    }
+
     if (type == "probe_timeout") {
       ReqInfo& r = reqs[req_key(ev)];
       r.timed_out = true;
@@ -428,6 +454,7 @@ Analysis analyze(const TraceData& trace, std::size_t top_k) {
     else ++a.failed;
     if (r.timed_out) ++a.timeouts;
     a.probes_spawned += r.spawns;
+    a.probe_retries += r.retries;
     setup_sum += r.setup_s;
     a.max_setup_s = std::max(a.max_setup_s, r.setup_s);
 
@@ -482,6 +509,7 @@ void write_analysis(std::ostream& os, const Analysis& a) {
   os << "requests: " << a.requests << " (confirmed " << a.confirmed << ", failed " << a.failed
      << ", timeouts " << a.timeouts << ")\n";
   os << "probes spawned: " << a.probes_spawned << "\n";
+  if (a.probe_retries > 0) os << "probe retries: " << a.probe_retries << "\n";
   os << "setup time: mean " << a.mean_setup_s << " s, max " << a.max_setup_s << " s\n";
   if (a.truncated) os << "NOTE: trace is truncated (abnormal writer exit)\n";
   for (const RequestPath& rp : a.slowest) {

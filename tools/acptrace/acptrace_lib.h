@@ -5,9 +5,11 @@
 //   * probe-lifecycle JSONL traces (obs/trace.h, --trace-out) — re-assembles
 //     per-request span trees, computes critical-path / per-hop latency
 //     breakdowns (`analyze`), and checks span invariants (`validate`):
-//     every hop/reject/return must reference an earlier spawn, each probe
-//     gets exactly one disposition (fork, return, reject, or outstanding at
-//     timeout), and per-request accounting must balance.
+//     every hop/reject/return/retry must reference an earlier spawn, each
+//     probe gets exactly one disposition (fork, return, reject, or
+//     outstanding at timeout) — a probe_retry span is a retransmission of
+//     the SAME in-flight probe, never a second disposition — and per-request
+//     accounting must balance.
 //
 //   * BENCH_<name>.json perf reports (obs/bench_report.h, --bench-out) —
 //     `diff` compares a current report against a baseline and flags
@@ -97,6 +99,7 @@ struct Analysis {
   std::uint64_t failed = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t probes_spawned = 0;
+  std::uint64_t probe_retries = 0;  ///< retransmissions of lost hops (fault runs)
   double mean_setup_s = 0.0;
   double max_setup_s = 0.0;
   bool truncated = false;
