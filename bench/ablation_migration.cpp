@@ -25,18 +25,21 @@ int main(int argc, char** argv) {
   bobs.add_config("rate_per_min", std::to_string(rate));
   bobs.add_config("duration_min", std::to_string(duration_min));
 
-  util::Table table(
-      {"placement skew", "no migration: success %", "migration: success %", "moves"});
-  for (double skew : {0.0, 0.5, 0.9}) {
+  const std::vector<double> skews = {0.0, 0.5, 0.9};
+  std::vector<exp::SystemConfig> sys_cfgs;
+  std::vector<exp::Fabric> fabrics;
+  sys_cfgs.reserve(skews.size());
+  fabrics.reserve(skews.size());
+  std::vector<exp::Trial> trials;
+  for (double skew : skews) {
     exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
                                           : benchx::default_system_config(overlay_nodes, opt.seed);
     sys_cfg.placement_skew = skew;
-    const exp::Fabric fabric = exp::build_fabric(sys_cfg);
-
-    double success_off = 0, success_on = 0;
-    std::uint64_t moves = 0;
+    sys_cfgs.push_back(sys_cfg);
+    fabrics.push_back(exp::build_fabric(sys_cfgs.back()));
     for (bool migrate : {false, true}) {
-      exp::ExperimentConfig cfg;
+      exp::Trial t{&fabrics.back(), &sys_cfgs.back(), {}};
+      exp::ExperimentConfig& cfg = t.config;
       cfg.algorithm = exp::Algorithm::kAcp;
       cfg.alpha = 0.3;
       cfg.duration_minutes = duration_min;
@@ -48,8 +51,19 @@ int main(int argc, char** argv) {
       cfg.migration.max_moves_per_round = 8;
       cfg.run_seed = opt.seed + 600;
       cfg.obs = bobs.get();
-      const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-      bobs.record(res);
+      trials.push_back(std::move(t));
+    }
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
+  util::Table table(
+      {"placement skew", "no migration: success %", "migration: success %", "moves"});
+  for (double skew : skews) {
+    double success_off = 0, success_on = 0;
+    std::uint64_t moves = 0;
+    for (bool migrate : {false, true}) {
+      const auto& res = runs[next++].result;
       if (migrate) {
         success_on = res.success_rate * 100.0;
         moves = res.component_migrations;

@@ -22,11 +22,15 @@ int main(int argc, char** argv) {
   const auto opt = benchx::parse_options(argc, argv);
 
   const std::size_t overlay_nodes = 400;
-  exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
-                                        : benchx::default_system_config(overlay_nodes, opt.seed);
+  const exp::SystemConfig sys_cfg = opt.quick ? benchx::quick_system_config(overlay_nodes, opt.seed)
+                                              : benchx::default_system_config(overlay_nodes, opt.seed);
   const double duration_min = opt.quick ? 10.0 : 40.0;
   const double rate = 60.0;
   const exp::Fabric fabric = exp::build_fabric(sys_cfg);
+  // Part 2's world: same topology seed, randomized security/license attrs.
+  exp::SystemConfig sys_cfg2 = sys_cfg;
+  sys_cfg2.randomize_attributes = true;
+  const exp::Fabric fabric2 = exp::build_fabric(sys_cfg2);
   benchx::BenchObservability bobs("ablation_selection", opt);
   bobs.add_config("rate_per_min", std::to_string(rate));
   bobs.add_config("duration_min", std::to_string(duration_min));
@@ -44,11 +48,11 @@ int main(int argc, char** argv) {
       {"random (RP)", exp::Algorithm::kRp, core::RankingPolicy::kRiskThenCongestion},
   };
 
-  util::Table rank_table({"ranking", "success %", "mean phi"});
-  std::printf("Ranking ablation: %zu nodes, alpha=0.3, %.0f req/min, %.0f min\n", overlay_nodes,
-              rate, duration_min);
+  const std::vector<double> fracs = {0.0, 0.25, 0.5};
+  std::vector<exp::Trial> trials;
   for (const auto& c : cases) {
-    exp::ExperimentConfig cfg;
+    exp::Trial t{&fabric, &sys_cfg, {}};
+    exp::ExperimentConfig& cfg = t.config;
     cfg.algorithm = c.algo;
     cfg.alpha = 0.3;
     cfg.probing.ranking = c.ranking;
@@ -56,23 +60,12 @@ int main(int argc, char** argv) {
     cfg.schedule = {{0.0, rate}};
     cfg.run_seed = opt.seed + 300;
     cfg.obs = bobs.get();
-    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-    bobs.record(res);
-    rank_table.add_row({std::string(c.name), res.success_rate * 100.0, res.mean_phi});
-    std::printf("  %-18s success=%5.1f%%  mean_phi=%.3f\n", c.name, res.success_rate * 100.0,
-                res.mean_phi);
+    trials.push_back(std::move(t));
   }
-  benchx::emit(rank_table, "Ablation: per-hop ranking rule", opt, "ablation_ranking");
-
-  // ---- Part 2: constraint selectivity ----------------------------------------
-  sys_cfg.randomize_attributes = true;
-  const exp::Fabric fabric2 = exp::build_fabric(sys_cfg);  // same topology seed
-  util::Table policy_table({"strict-policy fraction", "ACP success %", "Optimal success %"});
-  std::printf("\nConstraint selectivity (strict policy admits ~25%% of candidates):\n");
-  for (double frac : {0.0, 0.25, 0.5}) {
-    double acp_s = 0, opt_s = 0;
+  for (double frac : fracs) {
     for (exp::Algorithm algo : {exp::Algorithm::kAcp, exp::Algorithm::kOptimal}) {
-      exp::ExperimentConfig cfg;
+      exp::Trial t{&fabric2, &sys_cfg2, {}};
+      exp::ExperimentConfig& cfg = t.config;
       cfg.algorithm = algo;
       cfg.alpha = 0.3;
       cfg.duration_minutes = duration_min;
@@ -80,8 +73,30 @@ int main(int argc, char** argv) {
       cfg.workload.strict_policy_fraction = frac;
       cfg.run_seed = opt.seed + 301;
       cfg.obs = bobs.get();
-      const auto res = exp::run_experiment(fabric2, sys_cfg, cfg);
-      bobs.record(res);
+      trials.push_back(std::move(t));
+    }
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
+  util::Table rank_table({"ranking", "success %", "mean phi"});
+  std::printf("Ranking ablation: %zu nodes, alpha=0.3, %.0f req/min, %.0f min\n", overlay_nodes,
+              rate, duration_min);
+  for (const auto& c : cases) {
+    const auto& res = runs[next++].result;
+    rank_table.add_row({std::string(c.name), res.success_rate * 100.0, res.mean_phi});
+    std::printf("  %-18s success=%5.1f%%  mean_phi=%.3f\n", c.name, res.success_rate * 100.0,
+                res.mean_phi);
+  }
+  benchx::emit(rank_table, "Ablation: per-hop ranking rule", opt, "ablation_ranking");
+
+  // ---- Part 2: constraint selectivity ----------------------------------------
+  util::Table policy_table({"strict-policy fraction", "ACP success %", "Optimal success %"});
+  std::printf("\nConstraint selectivity (strict policy admits ~25%% of candidates):\n");
+  for (double frac : fracs) {
+    double acp_s = 0, opt_s = 0;
+    for (exp::Algorithm algo : {exp::Algorithm::kAcp, exp::Algorithm::kOptimal}) {
+      const auto& res = runs[next++].result;
       (algo == exp::Algorithm::kAcp ? acp_s : opt_s) = res.success_rate * 100.0;
       std::printf("  frac=%.2f %-8s success=%5.1f%%\n", frac, exp::algorithm_name(algo).c_str(),
                   res.success_rate * 100.0);

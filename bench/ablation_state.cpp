@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   bobs.add_config("rate_per_min", std::to_string(rate));
   bobs.add_config("duration_min", std::to_string(duration_min));
 
-  auto run_point = [&](double threshold, double publish_s) {
-    exp::ExperimentConfig cfg;
+  auto make_point = [&](double threshold, double publish_s) {
+    exp::Trial t{&fabric, &sys_cfg, {}};
+    exp::ExperimentConfig& cfg = t.config;
     cfg.algorithm = exp::Algorithm::kAcp;
     cfg.alpha = 0.3;
     cfg.duration_minutes = duration_min;
@@ -38,18 +39,24 @@ int main(int argc, char** argv) {
     cfg.global_state.aggregation_publish_interval_s = publish_s;
     cfg.run_seed = opt.seed + 400;
     cfg.obs = bobs.get();
-    auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-    bobs.record(res);
-    return res;
+    return t;
   };
 
   std::printf("State-staleness ablation: %zu nodes, alpha=0.3, %.0f req/min, %.0f min\n",
               overlay_nodes, rate, duration_min);
 
+  const std::vector<double> thresholds = {0.02, 0.05, 0.10, 0.20, 0.50};
+  const std::vector<double> publishes = {30.0, 120.0, 600.0};
+  std::vector<exp::Trial> trials;
+  for (double th : thresholds) trials.push_back(make_point(th, 120.0));
+  for (double pub : publishes) trials.push_back(make_point(0.10, pub));
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
   util::Table threshold_table(
       {"threshold %", "success %", "state updates/min", "probes/min"});
-  for (double th : {0.02, 0.05, 0.10, 0.20, 0.50}) {
-    const auto res = run_point(th, 120.0);
+  for (double th : thresholds) {
+    const auto& res = runs[next++].result;
     threshold_table.add_row({th * 100.0, res.success_rate * 100.0,
                              res.state_update_rate_per_minute, res.probe_rate_per_minute});
     std::printf("  threshold=%4.0f%%  success=%5.1f%%  updates=%7.1f/min  probes=%7.1f/min\n",
@@ -60,8 +67,8 @@ int main(int argc, char** argv) {
                "ablation_threshold");
 
   util::Table publish_table({"publish interval s", "success %", "state updates/min"});
-  for (double pub : {30.0, 120.0, 600.0}) {
-    const auto res = run_point(0.10, pub);
+  for (double pub : publishes) {
+    const auto& res = runs[next++].result;
     publish_table.add_row({pub, res.success_rate * 100.0, res.state_update_rate_per_minute});
     std::printf("  publish=%5.0fs  success=%5.1f%%  updates=%7.1f/min\n", pub,
                 res.success_rate * 100.0, res.state_update_rate_per_minute);

@@ -42,9 +42,10 @@ int main(int argc, char** argv) {
   std::printf("Tuning ablation: dynamic load 40→80→60 req/min, target %.0f%%, %.0f min\n",
               target * 100.0, duration_min);
 
-  util::Table table({"strategy", "success %", "mean |err to target| %", "probes/min"});
+  std::vector<exp::Trial> trials;
   for (const auto& c : cases) {
-    exp::ExperimentConfig cfg;
+    exp::Trial t{&fabric, &sys_cfg, {}};
+    exp::ExperimentConfig& cfg = t.config;
     cfg.algorithm = exp::Algorithm::kAcp;
     cfg.alpha = c.fixed_alpha;
     cfg.adaptive_alpha = c.adaptive;
@@ -61,8 +62,14 @@ int main(int argc, char** argv) {
     cfg.sample_period_minutes = 5.0 * scale;
     cfg.run_seed = opt.seed + 500;
     cfg.obs = bobs.get();
-    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-    bobs.record(res);
+    trials.push_back(std::move(t));
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
+  util::Table table({"strategy", "success %", "mean |err to target| %", "probes/min"});
+  for (const auto& c : cases) {
+    const auto& res = runs[next++].result;
 
     double abs_err = 0.0;
     for (std::size_t i = 0; i < res.success_series.size(); ++i) {

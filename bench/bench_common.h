@@ -19,6 +19,7 @@
 #include <string>
 
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "obs/bench_report.h"
 #include "obs/guard.h"
 #include "obs/observability.h"
@@ -47,6 +48,10 @@ inline exp::SystemConfig quick_system_config(std::size_t overlay_nodes, std::uin
 struct BenchOptions {
   bool quick = false;        ///< shrink durations/system for a fast pass
   std::uint64_t seed = 42;
+  /// --jobs N: worker-pool width for independent trials (exp/parallel.h).
+  /// 0 (the default) means one worker per hardware thread; 1 forces the
+  /// serial inline path. Never changes sim results — only wall-clock.
+  std::size_t jobs = 0;
   std::string csv_prefix;    ///< when set, save each table as <prefix><name>.csv
   std::string trace_out;     ///< --trace-out: probe-lifecycle JSONL stream
   std::string metrics_out;   ///< --metrics-out: end-of-run metrics snapshot (JSON)
@@ -73,6 +78,7 @@ inline BenchOptions parse_options(util::Flags& flags) {
   BenchOptions opt;
   opt.quick = flags.get_bool("quick", false);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  opt.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   opt.csv_prefix = flags.get_string("csv", "");
   opt.trace_out = flags.get_string("trace-out", "");
   opt.metrics_out = flags.get_string("metrics-out", "");
@@ -155,6 +161,19 @@ class BenchObservability {
     phi_.add(res.mean_phi);
   }
 
+  /// Runs `trials` through the worker pool (width = the bench's --jobs),
+  /// records every result's headline metrics and per-trial wall-clock into
+  /// the bench report, and returns the results in submission order. Do not
+  /// also call record() for these results.
+  std::vector<exp::TrialRun> run_trials(const std::vector<exp::Trial>& trials) {
+    auto trial_runs = exp::run_trials(trials, opt_.jobs);
+    for (const exp::TrialRun& tr : trial_runs) {
+      record(tr.result);
+      trial_wall_.add(tr.wall_s);
+    }
+    return trial_runs;
+  }
+
   /// Bench-level configuration recorded in the BENCH json (durations,
   /// rates, sweep ranges — whatever makes the run comparable).
   void add_config(const std::string& key, const std::string& value) {
@@ -164,6 +183,11 @@ class BenchObservability {
   /// Flushes every sink: metrics JSON snapshot, human-readable report,
   /// trace stream, BENCH_<name>.json. Idempotent enough for end-of-main use.
   void finish() {
+    if (trial_wall_.count() > 0) {
+      std::printf("(jobs=%zu: %zu trials, wall mean %.3fs min %.3fs max %.3fs)\n",
+                  exp::resolve_jobs(opt_.jobs), trial_wall_.count(), trial_wall_.mean(),
+                  trial_wall_.min(), trial_wall_.max());
+    }
     if (!opt_.observing()) return;
     if (guard_token_ != 0) {
       obs::cancel_abnormal_exit(guard_token_);
@@ -198,6 +222,11 @@ class BenchObservability {
     rep.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
                      .count();
     rep.config = report_config_;
+    rep.jobs = exp::resolve_jobs(opt_.jobs);
+    rep.trial_count = trial_wall_.count();
+    rep.trial_wall_mean_s = trial_wall_.mean();
+    rep.trial_wall_min_s = trial_wall_.min();
+    rep.trial_wall_max_s = trial_wall_.max();
     rep.runs = runs_;
     rep.success_rate = success_.mean();
     rep.overhead_per_minute = overhead_.mean();
@@ -212,7 +241,7 @@ class BenchObservability {
   obs::Observability obs_;
   std::chrono::steady_clock::time_point wall_start_;
   std::vector<std::pair<std::string, std::string>> report_config_;
-  util::RunningStat success_, overhead_, phi_;
+  util::RunningStat success_, overhead_, phi_, trial_wall_;
   std::uint64_t runs_ = 0;
   obs::GuardToken guard_token_ = 0;
 };

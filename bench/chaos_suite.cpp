@@ -69,8 +69,9 @@ int main(int argc, char** argv) {
   bobs.add_config("duration_min", std::to_string(duration_min));
   bobs.add_config("min_recovery", std::to_string(min_recovery));
 
-  const auto run_arm = [&](const fault::FaultPlan& plan, bool recovery) {
-    exp::ExperimentConfig cfg;
+  const auto make_arm = [&](const fault::FaultPlan& plan, bool recovery) {
+    exp::Trial t{&fabric, &sys_cfg, {}};
+    exp::ExperimentConfig& cfg = t.config;
     cfg.algorithm = exp::Algorithm::kAcp;
     cfg.alpha = 0.3;
     cfg.duration_minutes = duration_min;
@@ -93,15 +94,13 @@ int main(int argc, char** argv) {
       cfg.recovery.reclaim_delay_s = 1e9;
       cfg.recovery.sweep_interval_s = 0.0;
     }
-    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-    bobs.record(res);
-    return res;
+    return t;
   };
 
   // --- Scripted-plan replay mode -------------------------------------------
   if (!plan_path.empty()) {
     const auto plan = fault::FaultPlan::load_jsonl_file(plan_path);
-    const auto res = run_arm(plan, /*recovery=*/true);
+    const auto res = bobs.run_trials({make_arm(plan, /*recovery=*/true)})[0].result;
     std::printf("plan %s: success=%5.1f%% survival=%5.1f%% repaired=%llu lost=%llu "
                 "retries=%llu reelections=%llu reclaimed=%llu faults=%llu\n",
                 plan_path.c_str(), res.success_rate * 100.0, res.session_survival_rate * 100.0,
@@ -119,16 +118,24 @@ int main(int argc, char** argv) {
   const std::vector<double> levels = opt.quick ? std::vector<double>{0.0, 1.0, 2.0}
                                                : std::vector<double>{0.0, 1.0, 2.0, 4.0};
 
+  // F=0: both arms are identical (no faults to recover from); run once and
+  // reuse. Every other level contributes two independent trials.
+  std::vector<exp::Trial> trials;
+  for (double level : levels) {
+    const auto plan = plan_for_level(level, 0.0);
+    trials.push_back(make_arm(plan, /*recovery=*/level > 0.0 ? false : true));
+    if (level > 0.0) trials.push_back(make_arm(plan, /*recovery=*/true));
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
   util::Table table({"fault level", "faults", "bare: success %", "bare: e2e %",
                      "recovered: success %", "recovered: e2e %", "phi", "retries", "repairs"});
   double baseline_e2e = 0.0;
   double gated_e2e = -1.0;
   for (double level : levels) {
-    const auto plan = plan_for_level(level, 0.0);
-
-    // F=0: both arms are identical (no faults to recover from); run once.
-    const auto bare = run_arm(plan, /*recovery=*/level > 0.0 ? false : true);
-    const auto rec = level > 0.0 ? run_arm(plan, /*recovery=*/true) : bare;
+    const auto& bare = runs[next++].result;
+    const auto& rec = level > 0.0 ? runs[next++].result : bare;
 
     const double bare_e2e = bare.success_rate * bare.session_survival_rate;
     const double rec_e2e = rec.success_rate * rec.session_survival_rate;

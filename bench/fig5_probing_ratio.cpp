@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   bobs.add_config("overlay_nodes", std::to_string(overlay_nodes));
   bobs.add_config("duration_min", std::to_string(duration_min));
 
-  auto run_point = [&](double alpha, double rate, double qos_scale) {
-    exp::ExperimentConfig cfg;
+  auto make_trial = [&](double alpha, double rate, double qos_scale) {
+    exp::Trial t{&fabric, &sys_cfg, {}};
+    exp::ExperimentConfig& cfg = t.config;
     cfg.algorithm = exp::Algorithm::kAcp;
     cfg.alpha = alpha;
     cfg.duration_minutes = duration_min;
@@ -39,18 +40,32 @@ int main(int argc, char** argv) {
     cfg.workload.qos_scale = qos_scale;
     cfg.run_seed = opt.seed + 500;
     cfg.obs = bobs.get();
-    const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-    bobs.record(res);
-    return res.success_rate * 100.0;
+    return t;
   };
 
-  // ---- Fig 5(a): request-rate sweep ----------------------------------------
+  // Sweep points are independent trials: submit them all (in print order, so
+  // the merged observability output matches the serial path), fan across the
+  // worker pool, then consume results in the same order.
   const std::vector<double> rates = {10.0, 50.0, 100.0};
+  const std::vector<std::pair<const char*, double>> strictness = {
+      {"low QoS", 1.0}, {"high QoS", 0.6}, {"very high QoS", 0.4}};
+
+  std::vector<exp::Trial> trials;
+  for (double alpha : alphas) {
+    for (double rate : rates) trials.push_back(make_trial(alpha, rate, 1.0));
+  }
+  for (double alpha : alphas) {
+    for (const auto& [label, scale] : strictness) trials.push_back(make_trial(alpha, 50.0, scale));
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
+  // ---- Fig 5(a): request-rate sweep ----------------------------------------
   util::Table a_table({"probing_ratio", "10 reqs/min", "50 reqs/min", "100 reqs/min"});
   for (double alpha : alphas) {
     std::vector<util::Table::Cell> row{alpha};
     for (double rate : rates) {
-      const double s = run_point(alpha, rate, 1.0);
+      const double s = runs[next++].result.success_rate * 100.0;
       row.push_back(s);
       std::printf("  alpha=%.1f rate=%3.0f  success=%5.1f%%\n", alpha, rate, s);
     }
@@ -60,13 +75,11 @@ int main(int argc, char** argv) {
                "fig5a");
 
   // ---- Fig 5(b): QoS-strictness sweep --------------------------------------
-  const std::vector<std::pair<const char*, double>> strictness = {
-      {"low QoS", 1.0}, {"high QoS", 0.6}, {"very high QoS", 0.4}};
   util::Table b_table({"probing_ratio", "low QoS", "high QoS", "very high QoS"});
   for (double alpha : alphas) {
     std::vector<util::Table::Cell> row{alpha};
     for (const auto& [label, scale] : strictness) {
-      const double s = run_point(alpha, 50.0, scale);
+      const double s = runs[next++].result.success_rate * 100.0;
       row.push_back(s);
       std::printf("  alpha=%.1f %-14s success=%5.1f%%\n", alpha, label, s);
     }

@@ -41,19 +41,28 @@ int main(int argc, char** argv) {
   util::Table overhead({"request_rate", "Optimal", "ACP", "RP", "Centralized(N^2)"});
   overhead.set_precision(0);
 
+  std::vector<exp::Trial> trials;
   for (double rate : rates) {
-    std::vector<util::Table::Cell> srow{rate};
-    double oh_optimal = 0, oh_acp = 0, oh_rp = 0;
     for (exp::Algorithm algo : algos) {
-      exp::ExperimentConfig cfg;
+      exp::Trial t{&fabric, &sys_cfg, {}};
+      exp::ExperimentConfig& cfg = t.config;
       cfg.algorithm = algo;
       cfg.alpha = 0.3;
       cfg.duration_minutes = duration_min;
       cfg.schedule = {{0.0, rate}};
       cfg.run_seed = opt.seed + 100;
       cfg.obs = bobs.get();
-      const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-      bobs.record(res);
+      trials.push_back(std::move(t));
+    }
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
+  for (double rate : rates) {
+    std::vector<util::Table::Cell> srow{rate};
+    double oh_optimal = 0, oh_acp = 0, oh_rp = 0;
+    for (exp::Algorithm algo : algos) {
+      const auto& res = runs[next++].result;
       srow.push_back(res.success_rate * 100.0);
       if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
       if (algo == exp::Algorithm::kAcp) oh_acp = res.overhead_per_minute;

@@ -34,23 +34,37 @@ int main(int argc, char** argv) {
   bobs.add_config("rate_per_min", std::to_string(rate));
   bobs.add_config("duration_min", std::to_string(duration_min));
 
+  // Every (N, algo) point is an independent trial; each N shares one fabric.
+  // Fabrics live in a reserved vector so Trial pointers stay stable.
+  std::vector<exp::SystemConfig> sys_cfgs;
+  std::vector<exp::Fabric> fabrics;
+  sys_cfgs.reserve(node_counts.size());
+  fabrics.reserve(node_counts.size());
+  std::vector<exp::Trial> trials;
   for (std::size_t n : node_counts) {
-    const exp::SystemConfig sys_cfg =
-        opt.quick ? benchx::quick_system_config(n, opt.seed) : benchx::default_system_config(n, opt.seed);
-    const exp::Fabric fabric = exp::build_fabric(sys_cfg);
-
-    std::vector<util::Table::Cell> srow{static_cast<std::int64_t>(n)};
-    double oh_optimal = 0, oh_acp = 0, oh_rp = 0;
+    sys_cfgs.push_back(opt.quick ? benchx::quick_system_config(n, opt.seed)
+                                 : benchx::default_system_config(n, opt.seed));
+    fabrics.push_back(exp::build_fabric(sys_cfgs.back()));
     for (exp::Algorithm algo : algos) {
-      exp::ExperimentConfig cfg;
+      exp::Trial t{&fabrics.back(), &sys_cfgs.back(), {}};
+      exp::ExperimentConfig& cfg = t.config;
       cfg.algorithm = algo;
       cfg.alpha = 0.3;
       cfg.duration_minutes = duration_min;
       cfg.schedule = {{0.0, rate}};
       cfg.run_seed = opt.seed + 700;
       cfg.obs = bobs.get();
-      const auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-      bobs.record(res);
+      trials.push_back(std::move(t));
+    }
+  }
+  const auto runs = bobs.run_trials(trials);
+  std::size_t next = 0;
+
+  for (std::size_t n : node_counts) {
+    std::vector<util::Table::Cell> srow{static_cast<std::int64_t>(n)};
+    double oh_optimal = 0, oh_acp = 0, oh_rp = 0;
+    for (exp::Algorithm algo : algos) {
+      const auto& res = runs[next++].result;
       srow.push_back(res.success_rate * 100.0);
       if (algo == exp::Algorithm::kOptimal) oh_optimal = res.overhead_per_minute;
       if (algo == exp::Algorithm::kAcp) oh_acp = res.overhead_per_minute;

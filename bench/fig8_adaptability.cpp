@@ -32,8 +32,9 @@ int main(int argc, char** argv) {
   bobs.add_config("overlay_nodes", std::to_string(overlay_nodes));
   bobs.add_config("duration_min", std::to_string(duration_min));
 
-  auto run_case = [&](bool adaptive) {
-    exp::ExperimentConfig cfg;
+  auto make_case = [&](bool adaptive) {
+    exp::Trial t{&fabric, &sys_cfg, {}};
+    exp::ExperimentConfig& cfg = t.config;
     cfg.algorithm = exp::Algorithm::kAcp;
     cfg.alpha = 0.3;
     // Fig 8's operating point is lighter than Fig 6's: the 90% target must
@@ -52,13 +53,12 @@ int main(int argc, char** argv) {
     cfg.sample_period_minutes = 5.0 * scale;
     cfg.run_seed = opt.seed + 900;
     cfg.obs = bobs.get();
-    auto res = exp::run_experiment(fabric, sys_cfg, cfg);
-    bobs.record(res);
-    return res;
+    return t;
   };
 
-  const auto fixed = run_case(false);
-  const auto adaptive = run_case(true);
+  const auto runs = bobs.run_trials({make_case(false), make_case(true)});
+  const auto& fixed = runs[0].result;
+  const auto& adaptive = runs[1].result;
 
   util::Table table({"minute", "fixed: success %", "adaptive: success %", "adaptive: alpha"});
   for (std::size_t i = 0; i < fixed.success_series.size(); ++i) {

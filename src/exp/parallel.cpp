@@ -1,0 +1,84 @@
+#include "exp/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "obs/context.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace acp::exp {
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<TrialRun> run_trials(const std::vector<Trial>& trials, std::size_t jobs) {
+  jobs = resolve_jobs(jobs);
+  ACP_REQUIRE_MSG(!util::Logger::is_worker_thread(),
+                  "run_trials must not be called from a pool worker");
+  const std::size_t n = trials.size();
+  std::vector<TrialRun> out(n);
+  if (n == 0) return out;
+
+  // Contexts are built up front on the submitting thread so each obs-enabled
+  // trial's trace run base reflects submission order, not completion order.
+  std::vector<std::unique_ptr<obs::ObsContext>> contexts;
+  contexts.reserve(n);
+  std::uint64_t obs_trials = 0;
+  for (const Trial& t : trials) {
+    ACP_REQUIRE_MSG(t.fabric != nullptr && t.system != nullptr,
+                    "Trial needs a fabric and a system config");
+    auto ctx = std::make_unique<obs::ObsContext>(t.config.obs);
+    if (t.config.obs != nullptr) ctx->set_trace_run_base(obs_trials++);
+    contexts.push_back(std::move(ctx));
+  }
+
+  const auto run_one = [&](std::size_t i) {
+    obs::ObsContextScope scope(*contexts[i]);
+    ExperimentConfig config = trials[i].config;
+    config.obs = contexts[i]->observability();
+    const auto start = std::chrono::steady_clock::now();
+    out[i].result = run_experiment(*trials[i].fabric, *trials[i].system, config);
+    out[i].wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    const auto worker = [&] {
+      util::Logger::set_worker_thread(true);
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          run_one(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(std::min(jobs, n));
+    for (std::size_t w = 0; w < std::min(jobs, n); ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  // Deterministic merge: submission order, on the submitting thread.
+  for (std::size_t i = 0; i < n; ++i) contexts[i]->merge_into(trials[i].config.obs);
+  return out;
+}
+
+}  // namespace acp::exp

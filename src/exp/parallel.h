@@ -1,0 +1,59 @@
+// Parallel trial runner — fans independent experiment trials across a
+// fixed-size worker pool with deterministic, submission-order output.
+//
+// The unit of parallelism is one run_experiment call (a "trial"): trials
+// never share mutable state — each builds its own Deployment/Engine over an
+// immutable, shared Fabric, and observability is isolated per trial via
+// obs::ObsContext (see obs/context.h). After all trials finish, each
+// context merges into the trial's original ExperimentConfig::obs target in
+// submission order, so aggregate metrics, BENCH_*.json scope quantiles, and
+// concatenated JSONL traces are byte-identical for any --jobs value at a
+// fixed seed (only host wall-clock observables differ).
+//
+// Scheduling is a plain shared atomic index — no work stealing, no task
+// graph: trials are coarse (seconds each), so the cheapest possible
+// dispatcher is also the fairest. jobs == 1 runs every trial inline on the
+// calling thread, spawning nothing — today's serial code path, still routed
+// through capture-and-merge so its output matches jobs == N exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace acp::exp {
+
+/// One unit of work: an experiment over a fabric. `fabric` and `system`
+/// must outlive run_trials and are treated as read-only shared state
+/// (Fabric is immutable after build_fabric). `config.obs`, when set, is the
+/// shared sink the trial's observability output merges into — it is NOT
+/// touched during the run, only during the final submission-order merge.
+struct Trial {
+  const Fabric* fabric = nullptr;
+  const SystemConfig* system = nullptr;
+  ExperimentConfig config;
+};
+
+/// One trial's outcome plus its host wall-clock cost (measured around the
+/// run_experiment call alone; non-deterministic, never merged into obs).
+struct TrialRun {
+  ExperimentResult result;
+  double wall_s = 0.0;
+};
+
+/// Resolves a --jobs request: 0 means "one worker per hardware thread"
+/// (std::thread::hardware_concurrency, floored at 1), anything else is
+/// taken literally.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// Runs every trial and returns results in submission order. Worker count
+/// is min(resolve_jobs(jobs), trials.size()); jobs == 1 executes inline on
+/// the calling thread. If any trial throws, the first exception in
+/// submission order is rethrown after the pool drains, and no observability
+/// output is merged. Must be called from a thread that is not itself a
+/// pool worker (the merge writes to shared sinks).
+std::vector<TrialRun> run_trials(const std::vector<Trial>& trials, std::size_t jobs = 1);
+
+}  // namespace acp::exp

@@ -1,5 +1,9 @@
 #include "exp/repeated.h"
 
+#include <vector>
+
+#include "exp/parallel.h"
+
 namespace acp::exp {
 
 namespace {
@@ -15,21 +19,27 @@ AggregateMetric aggregate(const util::RunningStat& s) {
 
 RepeatedResult run_repeated(const Fabric& fabric, const SystemConfig& system_config,
                             ExperimentConfig config, std::size_t runs,
-                            std::uint64_t base_run_seed) {
+                            std::uint64_t base_run_seed, std::size_t jobs) {
   ACP_REQUIRE(runs >= 1);
   RepeatedResult out;
   out.algorithm = config.algorithm;
   out.runs = runs;
 
-  util::RunningStat success, overhead, phi;
-  out.individual.reserve(runs);
+  std::vector<Trial> trials;
+  trials.reserve(runs);
   for (std::size_t i = 0; i < runs; ++i) {
     config.run_seed = base_run_seed + i;
-    auto res = run_experiment(fabric, system_config, config);
-    success.add(res.success_rate);
-    overhead.add(res.overhead_per_minute);
-    phi.add(res.mean_phi);
-    out.individual.push_back(std::move(res));
+    trials.push_back(Trial{&fabric, &system_config, config});
+  }
+  auto trial_runs = run_trials(trials, jobs);
+
+  util::RunningStat success, overhead, phi;
+  out.individual.reserve(runs);
+  for (TrialRun& tr : trial_runs) {
+    success.add(tr.result.success_rate);
+    overhead.add(tr.result.overhead_per_minute);
+    phi.add(tr.result.mean_phi);
+    out.individual.push_back(std::move(tr.result));
   }
   out.success_rate = aggregate(success);
   out.overhead_per_minute = aggregate(overhead);

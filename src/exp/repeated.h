@@ -25,9 +25,13 @@ struct RepeatedResult {
 };
 
 /// Runs `config` `runs` times with run_seed = base_run_seed + i, on fresh
-/// deployments over the shared fabric, and aggregates.
+/// deployments over the shared fabric, and aggregates. `jobs` fans the runs
+/// across a worker pool (exp/parallel.h): 0 means one worker per hardware
+/// thread, 1 (the default) runs inline. Results — aggregates, per-seed
+/// `individual` order, and any config.obs output — are identical for every
+/// jobs value at fixed seeds.
 RepeatedResult run_repeated(const Fabric& fabric, const SystemConfig& system_config,
                             ExperimentConfig config, std::size_t runs,
-                            std::uint64_t base_run_seed = 1000);
+                            std::uint64_t base_run_seed = 1000, std::size_t jobs = 1);
 
 }  // namespace acp::exp

@@ -43,6 +43,11 @@ void BenchReport::write_json(std::ostream& os) const {
   os << "  \"seed\": " << seed << ",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"wall_s\": " << json_number(wall_s) << ",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"trials\": {\"count\": " << trial_count
+     << ", \"wall_mean_s\": " << json_number(trial_wall_mean_s)
+     << ", \"wall_min_s\": " << json_number(trial_wall_min_s)
+     << ", \"wall_max_s\": " << json_number(trial_wall_max_s) << "},\n";
   os << "  \"config\": {";
   for (std::size_t i = 0; i < config.size(); ++i) {
     os << (i == 0 ? "" : ", ") << '"' << json_escape(config[i].first) << "\": \""

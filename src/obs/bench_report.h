@@ -15,6 +15,9 @@
 //     "schema": "acp-bench/1",
 //     "name": "fig6", "git_sha": "...", "seed": 42, "quick": true,
 //     "wall_s": 12.34,
+//     "jobs": 4,                                   // worker pool width
+//     "trials": {"count": N, "wall_mean_s": m,     // per-trial host wall
+//                "wall_min_s": a, "wall_max_s": b}, // (absent before PR 5)
 //     "config": {"key": "value", ...},
 //     "headline": {"runs": N, "success_rate": u, "overhead_per_minute": o,
 //                  "mean_phi": p},
@@ -55,6 +58,17 @@ struct BenchReport {
   std::uint64_t seed = 0;
   bool quick = false;
   double wall_s = 0.0;
+
+  /// Worker-pool width the bench ran with (exp/parallel.h). Purely a cost
+  /// observable: headline sim metrics must be identical for every value —
+  /// `acptrace diff --require-identical-sim` enforces exactly that.
+  std::uint64_t jobs = 1;
+
+  // Per-trial host wall-clock stats (one trial = one run_experiment call).
+  std::uint64_t trial_count = 0;
+  double trial_wall_mean_s = 0.0;
+  double trial_wall_min_s = 0.0;
+  double trial_wall_max_s = 0.0;
 
   /// Free-form bench configuration (duration, rates, …), insertion order.
   std::vector<std::pair<std::string, std::string>> config;

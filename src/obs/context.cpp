@@ -1,0 +1,39 @@
+#include "obs/context.h"
+
+namespace acp::obs {
+
+namespace {
+thread_local ObsContext* t_current = nullptr;
+}  // namespace
+
+ObsContext::ObsContext(const Observability* target) : has_obs_(target != nullptr) {
+  if (has_obs_ && target->tracer.enabled()) obs_.tracer.set_stream(&trace_buf_);
+}
+
+void ObsContext::set_trace_run_base(std::uint64_t base) { obs_.tracer.set_run_base(base); }
+
+void ObsContext::merge_into(Observability* target) {
+  if (target != nullptr && has_obs_) {
+    target->metrics.merge_from(obs_.metrics);
+    target->tracer.append_raw(trace_buf_.str());
+    trace_buf_.str(std::string());
+    // The private tracer's caller-owned stream is gone after this; detach so
+    // late events (there should be none) cannot dangle.
+    obs_.tracer.set_stream(nullptr);
+  }
+  util::Logger::write_raw(log_ctx_.take_buffer());
+}
+
+ObsContext* ObsContext::current() { return t_current; }
+
+ObsContextScope::ObsContextScope(ObsContext& ctx)
+    : prev_log_(util::Logger::enter_context(ctx.log_context())), prev_ctx_(t_current) {
+  t_current = &ctx;
+}
+
+ObsContextScope::~ObsContextScope() {
+  t_current = prev_ctx_;
+  util::Logger::enter_context(prev_log_);
+}
+
+}  // namespace acp::obs

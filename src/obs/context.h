@@ -1,0 +1,88 @@
+// Per-trial observability island for parallel experiment execution.
+//
+// The serial path shares one obs::Observability (and the process-global
+// logger sink) across every run_experiment call. Parallel trials cannot: the
+// registry, tracer stream, and log sink are all mutated mid-run. Instead of
+// locking the hot path, each trial gets an ObsContext — a private
+// Observability (metrics registry + tracer writing into an in-memory buffer
+// + profiler) plus a util::LogContext capturing the trial's log lines. The
+// worker thread enters the context for the duration of the trial
+// (ObsContextScope); afterwards the submitting thread merges every island
+// into the shared target in submission order (merge_into), so aggregate
+// metrics, trace files, and log output are byte-identical for any worker
+// count — including --jobs 1, which runs inline but through the same
+// capture-and-merge path.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+
+#include "obs/observability.h"
+#include "util/logging.h"
+
+namespace acp::obs {
+
+class ObsContext {
+ public:
+  /// `target` is the shared sink this trial's output will later merge into.
+  /// May be nullptr (trial runs observability-off) — a context is still
+  /// needed so worker-thread log lines are captured instead of racing on the
+  /// global sink. Trace events are buffered only when the target's tracer is
+  /// enabled; otherwise the private tracer stays inert, matching the serial
+  /// cost model.
+  explicit ObsContext(const Observability* target);
+
+  ObsContext(const ObsContext&) = delete;
+  ObsContext& operator=(const ObsContext&) = delete;
+
+  /// The trial's private sink: pass as ExperimentConfig::obs. Returns
+  /// nullptr when constructed with a null target, so `config.obs =
+  /// ctx.observability()` preserves "observability off" verbatim.
+  Observability* observability() { return has_obs_ ? &obs_ : nullptr; }
+
+  util::LogContext* log_context() { return &log_ctx_; }
+
+  /// Starts the private tracer's run numbering at `base` — the count of
+  /// obs-enabled trials submitted before this one — so the merged trace
+  /// carries exactly the run indices the serial shared-tracer path stamps.
+  void set_trace_run_base(std::uint64_t base);
+
+  /// Drains this island into the shared target, in three deterministic
+  /// steps: metrics merge (obs/metrics.h merge_from rules), buffered trace
+  /// lines appended verbatim, captured log lines written to the global sink.
+  /// Must run on the submitting (non-worker) thread, once per context, in
+  /// submission order. `target` may be nullptr (log lines still drain).
+  void merge_into(Observability* target);
+
+  /// The context entered on this thread by the innermost live
+  /// ObsContextScope, or nullptr. Lets deep call sites (and tests) assert
+  /// they are running inside a trial's island.
+  static ObsContext* current();
+
+ private:
+  friend class ObsContextScope;
+
+  bool has_obs_ = false;
+  Observability obs_;
+  std::ostringstream trace_buf_;
+  util::LogContext log_ctx_;
+};
+
+/// RAII entry into an ObsContext on the current thread: registers the
+/// context's LogContext with the Logger and publishes the context via
+/// ObsContext::current(). Restores the previous context on destruction, so
+/// scopes nest (inline --jobs 1 execution runs inside the caller's thread).
+class ObsContextScope {
+ public:
+  explicit ObsContextScope(ObsContext& ctx);
+  ~ObsContextScope();
+
+  ObsContextScope(const ObsContextScope&) = delete;
+  ObsContextScope& operator=(const ObsContextScope&) = delete;
+
+ private:
+  util::LogContext* prev_log_;
+  ObsContext* prev_ctx_;
+};
+
+}  // namespace acp::obs

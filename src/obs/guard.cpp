@@ -1,6 +1,7 @@
 #include "obs/guard.h"
 
 #include <exception>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,15 @@ struct Hook {
   GuardToken token;
   std::function<void()> fn;
 };
+
+// Guards the hook table and the token/handler bookkeeping. Registration and
+// cancellation happen on whichever thread owns the sink (parallel workers
+// included); run_abnormal_exit_hooks only holds the lock while stealing the
+// table, so a hook that registers/cancels re-entrantly cannot deadlock.
+std::mutex& hooks_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 std::vector<Hook>& hooks() {
   static std::vector<Hook> h;
@@ -31,6 +41,7 @@ bool g_handler_installed = false;
 }  // namespace
 
 GuardToken on_abnormal_exit(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(hooks_mutex());
   if (!g_handler_installed) {
     g_previous_handler = std::set_terminate(&terminate_with_flush);
     g_handler_installed = true;
@@ -41,6 +52,7 @@ GuardToken on_abnormal_exit(std::function<void()> fn) {
 }
 
 void cancel_abnormal_exit(GuardToken token) {
+  std::lock_guard<std::mutex> lock(hooks_mutex());
   auto& h = hooks();
   for (auto it = h.begin(); it != h.end(); ++it) {
     if (it->token == token) {
@@ -52,9 +64,13 @@ void cancel_abnormal_exit(GuardToken token) {
 
 void run_abnormal_exit_hooks() noexcept {
   // Steal the list first so a hook that itself dies (or re-registers)
-  // cannot loop us.
-  std::vector<Hook> pending = std::move(hooks());
-  hooks().clear();
+  // cannot loop us — and so hooks run without holding the lock.
+  std::vector<Hook> pending;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex());
+    pending = std::move(hooks());
+    hooks().clear();
+  }
   for (Hook& hook : pending) {
     try {
       hook.fn();
@@ -64,6 +80,9 @@ void run_abnormal_exit_hooks() noexcept {
   }
 }
 
-std::size_t abnormal_exit_hook_count() { return hooks().size(); }
+std::size_t abnormal_exit_hook_count() {
+  std::lock_guard<std::mutex> lock(hooks_mutex());
+  return hooks().size();
+}
 
 }  // namespace acp::obs

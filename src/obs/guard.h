@@ -10,7 +10,9 @@
 // clean file from a cut-off one.
 //
 // Hooks capture raw pointers, so owners MUST cancel on normal destruction.
-// Single-threaded, like everything else in the simulator.
+// Thread-safe: the hook table is mutex-guarded so per-trial sinks running on
+// parallel workers (exp/parallel.h) can register/cancel concurrently; hooks
+// themselves still run one at a time on the terminating thread.
 #pragma once
 
 #include <cstdint>

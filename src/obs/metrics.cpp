@@ -54,6 +54,17 @@ void Gauge::set(double v) {
   }
 }
 
+void Gauge::merge_from(const Gauge& o) {
+  if (!o.set_) return;
+  if (!set_) {
+    *this = o;
+    return;
+  }
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  value_ = o.value_;  // src's sets happened "after" ours
+}
+
 // ---- Histogram ------------------------------------------------------------
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -75,6 +86,21 @@ void Histogram::observe(double v) {
   }
   ++count_;
   sum_ += v;
+}
+
+void Histogram::merge_from(const Histogram& o) {
+  ACP_REQUIRE_MSG(bounds_ == o.bounds_, "histogram merge with different bucket bounds");
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += o.buckets_[b];
+  count_ += o.count_;
+  sum_ += o.sum_;
 }
 
 double Histogram::quantile(double q) const {
@@ -177,6 +203,19 @@ void MetricsRegistry::for_each_gauge(
 void MetricsRegistry::for_each_histogram(
     const std::function<void(const std::string&, const Labels&, const Histogram&)>& fn) const {
   for (const auto& [key, h] : hists_) fn(key.first, key.second, *h);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& src) {
+  for (const auto& [key, c] : src.counters_) {
+    counter(key.first, key.second).merge_from(*c);
+  }
+  for (const auto& [key, g] : src.gauges_) {
+    gauge(key.first, key.second).merge_from(*g);
+  }
+  for (const auto& [key, h] : src.hists_) {
+    histogram(key.first, h->bounds(), key.second).merge_from(*h);
+  }
+  for (const auto& [k, v] : src.meta_) meta_[k] = v;
 }
 
 // ---- JSON output ----------------------------------------------------------

@@ -19,8 +19,13 @@
 // {{"b","2"},{"a","1"}} resolve to the same object. Re-requesting a name
 // with a different metric type throws.
 //
-// Single-threaded like the rest of the simulator; references returned by
-// the registry stay valid for its lifetime (metrics are never removed).
+// Concurrency model (docs/ARCHITECTURE.md "Concurrency model"): a registry
+// is single-owner — it is never locked. Parallel trials each write into
+// their own per-context registry (obs/context.h) and the trial runner folds
+// those into the shared registry with merge_from, serially, in submission
+// order, so merged totals are identical for any worker count. References
+// returned by the registry stay valid for its lifetime (metrics are never
+// removed).
 #pragma once
 
 #include <cstdint>
@@ -65,6 +70,8 @@ class Counter {
   void add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
 
+  void merge_from(const Counter& o) { value_ += o.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -77,6 +84,10 @@ class Gauge {
   double max() const { return max_; }
   double min() const { return min_; }
   bool ever_set() const { return set_; }
+
+  /// Folds `o` in as if its sets happened after this gauge's: extremes
+  /// combine, and `o`'s last value (when it was ever set) wins.
+  void merge_from(const Gauge& o);
 
  private:
   double value_ = 0.0;
@@ -107,6 +118,10 @@ class Histogram {
   /// Quantile estimate by linear interpolation within the winning bucket
   /// (the standard Prometheus-style approximation). q in [0, 1].
   double quantile(double q) const;
+
+  /// Adds `o`'s observations bucket-wise; throws PreconditionError when the
+  /// bucket bounds differ.
+  void merge_from(const Histogram& o);
 
  private:
   std::vector<double> bounds_;
@@ -152,6 +167,14 @@ class MetricsRegistry {
       const std::function<void(const std::string&, const Labels&, const Histogram&)>& fn) const;
 
   std::size_t series_count() const { return counters_.size() + gauges_.size() + hists_.size(); }
+
+  /// Folds every series of `src` into this registry (creating series on
+  /// first sight): counters add, gauges combine with src-last-wins,
+  /// histograms add bucket-wise, meta keys overwrite. Deterministic: series
+  /// merge in (name, labels) order, so repeated merges in a fixed submission
+  /// order yield identical registries regardless of how the sources were
+  /// produced. Throws on name/type or histogram-bound conflicts.
+  void merge_from(const MetricsRegistry& src);
 
   /// Run-identity metadata carried into every snapshot and report (seed,
   /// git sha, bench name, …) so an artifact is reproducible from its own

@@ -19,8 +19,10 @@ std::vector<double> alloc_bounds() {
 
 #ifdef ACPSTREAM_PROF_ALLOC
 namespace detail {
-// Plain (non-atomic) like the rest of the single-threaded simulator.
-std::uint64_t g_allocations = 0;
+// Per-thread so a ProfScope's delta counts only allocations made by the
+// scope's own thread — parallel trials (exp/parallel.h) neither race on the
+// counter nor pollute each other's per-scope numbers.
+thread_local std::uint64_t g_allocations = 0;
 }  // namespace detail
 
 std::uint64_t allocations_now() { return detail::g_allocations; }

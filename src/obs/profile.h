@@ -41,8 +41,9 @@ std::vector<double> prof_bounds_s();
 /// Bucket bounds for per-scope allocation-count histograms.
 std::vector<double> alloc_bounds();
 
-/// Number of global operator-new calls so far in this process. Always 0
-/// unless compiled with ACPSTREAM_PROF_ALLOC.
+/// Number of global operator-new calls so far on *this thread* (the counter
+/// is thread-local, so scope deltas stay exact under parallel trials).
+/// Always 0 unless compiled with ACPSTREAM_PROF_ALLOC.
 std::uint64_t allocations_now();
 
 /// True when the build counts allocations (ACPSTREAM_PROF_ALLOC).

@@ -134,6 +134,14 @@ void Tracer::begin_run(const std::string& label) {
 
 TraceEvent Tracer::event(const char* type) { return TraceEvent(enabled() ? this : nullptr, type); }
 
+void Tracer::append_raw(const std::string& chunk) {
+  if (!out_ || chunk.empty()) return;
+  *out_ << chunk;
+  for (const char c : chunk) {
+    if (c == '\n') ++events_;
+  }
+}
+
 void Tracer::write_line(const std::string& line) {
   if (!out_) return;
   *out_ << line << '\n';

@@ -106,6 +106,18 @@ class Tracer {
   /// Lets several experiment runs share one trace file unambiguously.
   void begin_run(const std::string& label);
 
+  /// Starts run numbering at `base`: the next begin_run() stamps base + 1.
+  /// The parallel trial runner gives each trial's private tracer the count
+  /// of obs-enabled trials submitted before it, so the merged trace carries
+  /// the same run indices the serial shared-tracer path would have written
+  /// — for any worker count.
+  void set_run_base(std::uint64_t base) { run_ = base; }
+
+  /// Appends pre-rendered, newline-terminated JSONL lines verbatim (a
+  /// completed trial's buffered trace) and counts them into
+  /// events_emitted(). No-op when disabled or `chunk` is empty.
+  void append_raw(const std::string& chunk);
+
   /// Starts an event of `type`; fields are added fluently and the line is
   /// written when the returned builder goes out of scope.
   TraceEvent event(const char* type);

@@ -1,19 +1,37 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+
+#include "util/error.h"
 
 namespace acp::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 bool g_capture = false;
 std::string g_buffer;
 std::function<double()> g_time_source;
+thread_local LogContext* t_context = nullptr;
+thread_local bool t_worker = false;
+
+std::string time_prefix(const std::function<double()>& source) {
+  if (!source) return {};
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "[t=%.6f] ", source());
+  return buf;
+}
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
-void Logger::set_level(LogLevel lvl) { g_level = lvl; }
+std::string LogContext::take_buffer() {
+  std::string out;
+  out.swap(buffer_);
+  return out;
+}
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+void Logger::set_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 void Logger::capture_to_buffer(bool enable) {
   g_capture = enable;
@@ -26,8 +44,30 @@ std::string Logger::take_buffer() {
   return out;
 }
 
-void Logger::set_time_source(std::function<double()> now) { g_time_source = std::move(now); }
-bool Logger::has_time_source() { return static_cast<bool>(g_time_source); }
+void Logger::set_time_source(std::function<double()> now) {
+  if (t_context != nullptr) {
+    t_context->set_time_source(std::move(now));
+  } else {
+    ACP_ASSERT(!t_worker);  // worker threads must enter a LogContext first
+    g_time_source = std::move(now);
+  }
+}
+
+bool Logger::has_time_source() {
+  if (t_context != nullptr) return t_context->has_time_source();
+  return static_cast<bool>(g_time_source);
+}
+
+LogContext* Logger::enter_context(LogContext* ctx) {
+  LogContext* prev = t_context;
+  t_context = ctx;
+  return prev;
+}
+
+LogContext* Logger::current_context() { return t_context; }
+
+void Logger::set_worker_thread(bool is_worker) { t_worker = is_worker; }
+bool Logger::is_worker_thread() { return t_worker; }
 
 const char* Logger::level_name(LogLevel lvl) {
   switch (lvl) {
@@ -42,18 +82,35 @@ const char* Logger::level_name(LogLevel lvl) {
 }
 
 void Logger::write(LogLevel lvl, const std::string& msg) {
-  std::string prefix;
-  if (g_time_source) {
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "[t=%.6f] ", g_time_source());
-    prefix = buf;
+  if (LogContext* ctx = t_context) {
+    // Per-trial capture: buffer the fully formatted line; the parallel
+    // runner drains it into the global sink in submission order.
+    ctx->buffer_ += time_prefix(ctx->time_source_);
+    ctx->buffer_ += '[';
+    ctx->buffer_ += level_name(lvl);
+    ctx->buffer_ += "] ";
+    ctx->buffer_ += msg;
+    ctx->buffer_ += '\n';
+    return;
   }
+  ACP_ASSERT(!t_worker);  // worker threads must enter a LogContext first
+  const std::string prefix = time_prefix(g_time_source);
   if (g_capture) {
     g_buffer += prefix;
     g_buffer += msg;
     g_buffer += '\n';
   } else {
     std::fprintf(stderr, "%s[%s] %s\n", prefix.c_str(), level_name(lvl), msg.c_str());
+  }
+}
+
+void Logger::write_raw(const std::string& chunk) {
+  if (chunk.empty()) return;
+  ACP_ASSERT(t_context == nullptr && !t_worker);  // merge runs on the submitting thread
+  if (g_capture) {
+    g_buffer += chunk;
+  } else {
+    std::fputs(chunk.c_str(), stderr);
   }
 }
 

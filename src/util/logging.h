@@ -10,24 +10,68 @@ namespace acp::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log configuration (single-threaded simulator; no locking).
+/// Per-trial log routing target. The parallel trial runner (exp/parallel.h)
+/// gives every trial its own LogContext and enters it on the worker thread
+/// executing that trial; while entered, the context captures the trial's
+/// lines (already formatted, with the trial's sim-time prefix) and owns the
+/// trial's sim-clock, so concurrent trials never interleave output or race
+/// on a shared time source. After the trial the runner drains the buffer
+/// into the shared sink in submission order (Logger::write_raw).
+class LogContext {
+ public:
+  /// Registers the trial's sim-clock; lines gain a `[t=<sim s>]` prefix.
+  void set_time_source(std::function<double()> now) { time_source_ = std::move(now); }
+  bool has_time_source() const { return static_cast<bool>(time_source_); }
+
+  /// Formatted lines captured so far; clears the buffer.
+  std::string take_buffer();
+
+ private:
+  friend class Logger;
+  std::function<double()> time_source_;
+  std::string buffer_;
+};
+
+/// Process-wide log configuration. The level is global (set once at startup,
+/// read everywhere — atomic so parallel trials can read it freely); every
+/// other piece of mutable state routes through the current thread's
+/// LogContext when one is entered, falling back to the process-global
+/// sink/time-source on the main thread. Worker threads MUST enter a context
+/// before logging (enforced by an assertion) — there is no silent write to
+/// the global sink from a parallel region.
 class Logger {
  public:
   static LogLevel level();
   static void set_level(LogLevel lvl);
 
-  /// Redirect output to an in-memory buffer (for tests); empty target means
-  /// stderr.
+  /// Redirect the *global* sink to an in-memory buffer (for tests); empty
+  /// target means stderr. Per-trial capture uses LogContext instead.
   static void capture_to_buffer(bool enable);
   static std::string take_buffer();
 
   /// Registers a sim-clock; while set, every line is prefixed with
   /// `[t=<sim seconds>]`. Pass nullptr to clear (e.g. when the engine that
-  /// backs the clock is about to be destroyed).
+  /// backs the clock is about to be destroyed). Routes to the current
+  /// thread's LogContext when one is entered, else to the global source.
   static void set_time_source(std::function<double()> now);
   static bool has_time_source();
 
+  /// Enters `ctx` as this thread's log context (nullptr to leave). Returns
+  /// the previously entered context so scopes can nest/restore.
+  static LogContext* enter_context(LogContext* ctx);
+  static LogContext* current_context();
+
+  /// Marks this thread as a parallel worker. While marked, writing without
+  /// an entered LogContext is an invariant violation instead of a silent
+  /// (racy) write to the global sink.
+  static void set_worker_thread(bool is_worker);
+  static bool is_worker_thread();
+
   static void write(LogLevel lvl, const std::string& msg);
+
+  /// Appends pre-formatted, newline-terminated lines (a drained LogContext
+  /// buffer) verbatim to the global sink — the deterministic merge path.
+  static void write_raw(const std::string& chunk);
 
   static const char* level_name(LogLevel lvl);
 };

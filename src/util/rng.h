@@ -32,6 +32,16 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives an independent 64-bit seed for stream `stream_tag` of `base` —
+/// the stateless counterpart of Rng::split for callers that hand seeds (not
+/// engines) around, e.g. the parallel trial runner deriving per-trial seeds
+/// that are identical no matter which worker thread runs the trial.
+inline std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream_tag) {
+  SplitMix64 sm(base ^ (stream_tag * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, tiny state.
 class Rng {
  public:

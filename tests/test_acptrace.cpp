@@ -303,6 +303,84 @@ TEST(Diff, MissingAndNewScopesAreNotesNotRegressions) {
   EXPECT_EQ(r.notes.size(), 2u);
 }
 
+TEST(Diff, JobsMismatchSkipsWallClockGates) {
+  // Different worker-pool widths make every wall-clock observable
+  // incomparable; only the sim-metric gates stay armed.
+  const BenchDoc base = make_bench();
+  BenchDoc cur = base;
+  cur.jobs = 4;
+  cur.wall_s = base.wall_s * 5.0;                     // would breach max_wall_ratio
+  cur.scopes["probing.process_probe"].mean_s *= 4.0;  // would breach max_scope_ratio
+  const DiffResult r = diff(base, cur, DiffThresholds{});
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+  ASSERT_EQ(r.notes.size(), 1u);
+  EXPECT_NE(r.notes[0].find("jobs differ"), std::string::npos);
+}
+
+TEST(Diff, RequireIdenticalSimPassesWhenOnlyWallClockDiffers) {
+  BenchDoc base = make_bench();
+  base.counters["acp.probe.spawned"] = 100;
+  BenchDoc cur = base;
+  cur.jobs = 8;
+  cur.wall_s *= 3.0;
+  cur.scopes["probing.process_probe"].mean_s *= 8.0;
+  DiffThresholds th;
+  th.require_identical_sim = true;
+  const DiffResult r = diff(base, cur, th);
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+}
+
+TEST(Diff, RequireIdenticalSimFlagsAnySimDrift) {
+  BenchDoc base = make_bench();
+  base.counters["acp.probe.spawned"] = 100;
+  DiffThresholds th;
+  th.require_identical_sim = true;
+  {
+    BenchDoc cur = base;
+    cur.mean_phi += 1e-9;  // far below every ratio threshold, still flagged
+    EXPECT_FALSE(diff(base, cur, th).ok());
+  }
+  {
+    BenchDoc cur = base;
+    cur.counters["acp.probe.spawned"] = 101;
+    EXPECT_FALSE(diff(base, cur, th).ok());
+  }
+  {
+    BenchDoc cur = base;
+    cur.counters.erase("acp.probe.spawned");
+    EXPECT_FALSE(diff(base, cur, th).ok());
+  }
+  {
+    BenchDoc cur = base;
+    cur.counters["acp.request.accepted"] = 7;  // counter only in current
+    EXPECT_FALSE(diff(base, cur, th).ok());
+  }
+  {
+    BenchDoc cur = base;
+    cur.runs += 1;
+    EXPECT_FALSE(diff(base, cur, th).ok());
+  }
+}
+
+TEST(DecodeBench, DecodesJobsAndCounters) {
+  const BenchDoc b = decode_bench(parse_json(R"({
+    "schema": "acp-bench/1", "name": "fig5", "wall_s": 1.0, "jobs": 4,
+    "headline": {"runs": 2, "success_rate": 0.5, "overhead_per_minute": 10.0, "mean_phi": 1.0},
+    "counters": {"acp.probe.spawned": 7, "acp.request.accepted": 3}
+  })"));
+  EXPECT_EQ(b.jobs, 4u);
+  ASSERT_EQ(b.counters.size(), 2u);
+  EXPECT_EQ(b.counters.at("acp.probe.spawned"), 7u);
+  EXPECT_EQ(b.counters.at("acp.request.accepted"), 3u);
+  // Documents from before the field existed decode as serial.
+  const BenchDoc legacy = decode_bench(parse_json(R"({
+    "schema": "acp-bench/1", "name": "fig5",
+    "headline": {"runs": 1, "success_rate": 1.0, "overhead_per_minute": 1.0, "mean_phi": 1.0}
+  })"));
+  EXPECT_EQ(legacy.jobs, 1u);
+  EXPECT_TRUE(legacy.counters.empty());
+}
+
 TEST(DecodeBench, RejectsWrongSchema) {
   EXPECT_THROW(decode_bench(parse_json(R"({"schema": "acp-bench/999", "name": "x"})")),
                PreconditionError);

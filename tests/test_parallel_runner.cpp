@@ -1,0 +1,253 @@
+// Determinism tests for the parallel trial runner (exp/parallel.h).
+//
+// The contract under test: at fixed seeds, every observable output —
+// RepeatedResult aggregates and per-seed order, merged metrics registries,
+// BENCH report sim fields, and the concatenated JSONL trace — is identical
+// for every --jobs value. Wall-clock observables (TrialRun::wall_s, the
+// acp.prof.* histograms) are the only permitted difference.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "acptrace/acptrace_lib.h"
+#include "exp/parallel.h"
+#include "exp/repeated.h"
+#include "obs/bench_report.h"
+
+namespace acp::exp {
+namespace {
+
+SystemConfig tiny_system() {
+  SystemConfig cfg;
+  cfg.seed = 42;
+  cfg.topology.node_count = 500;
+  cfg.overlay.member_count = 60;
+  cfg.components_per_node = 2;
+  return cfg;
+}
+
+ExperimentConfig tiny_run() {
+  ExperimentConfig cfg;
+  cfg.algorithm = Algorithm::kAcp;
+  cfg.duration_minutes = 3.0;
+  cfg.schedule = {{0.0, 40.0}};
+  cfg.sample_period_minutes = 1.5;
+  return cfg;
+}
+
+void expect_same_result(const ExperimentResult& a, const ExperimentResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.requests, b.requests) << what;
+  EXPECT_EQ(a.successes, b.successes) << what;
+  EXPECT_DOUBLE_EQ(a.success_rate, b.success_rate) << what;
+  EXPECT_DOUBLE_EQ(a.overhead_per_minute, b.overhead_per_minute) << what;
+  EXPECT_DOUBLE_EQ(a.probe_rate_per_minute, b.probe_rate_per_minute) << what;
+  EXPECT_DOUBLE_EQ(a.state_update_rate_per_minute, b.state_update_rate_per_minute) << what;
+  EXPECT_DOUBLE_EQ(a.mean_phi, b.mean_phi) << what;
+  EXPECT_EQ(a.peak_active_sessions, b.peak_active_sessions) << what;
+  ASSERT_EQ(a.success_series.size(), b.success_series.size()) << what;
+  for (std::size_t i = 0; i < a.success_series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.success_series.time_at(i), b.success_series.time_at(i)) << what;
+    EXPECT_DOUBLE_EQ(a.success_series.value_at(i), b.success_series.value_at(i)) << what;
+  }
+}
+
+TEST(ParallelRunner, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(5), 5u);
+  EXPECT_GE(resolve_jobs(0), 1u);  // hardware concurrency, floored at 1
+}
+
+TEST(ParallelRunner, RepeatedResultIdenticalAcrossJobs) {
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  const auto cfg = tiny_run();
+
+  const auto serial = run_repeated(fabric, sys_cfg, cfg, 6, 1000, /*jobs=*/1);
+  for (std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    const auto par = run_repeated(fabric, sys_cfg, cfg, 6, 1000, jobs);
+    const std::string what = "jobs=" + std::to_string(jobs);
+    EXPECT_EQ(par.runs, serial.runs) << what;
+    EXPECT_DOUBLE_EQ(par.success_rate.mean, serial.success_rate.mean) << what;
+    EXPECT_DOUBLE_EQ(par.success_rate.stddev, serial.success_rate.stddev) << what;
+    EXPECT_DOUBLE_EQ(par.success_rate.min, serial.success_rate.min) << what;
+    EXPECT_DOUBLE_EQ(par.success_rate.max, serial.success_rate.max) << what;
+    EXPECT_DOUBLE_EQ(par.overhead_per_minute.mean, serial.overhead_per_minute.mean) << what;
+    EXPECT_DOUBLE_EQ(par.overhead_per_minute.stddev, serial.overhead_per_minute.stddev) << what;
+    EXPECT_DOUBLE_EQ(par.mean_phi.mean, serial.mean_phi.mean) << what;
+    // Per-seed results come back in submission (seed) order, not
+    // completion order.
+    ASSERT_EQ(par.individual.size(), serial.individual.size()) << what;
+    for (std::size_t i = 0; i < par.individual.size(); ++i) {
+      expect_same_result(par.individual[i], serial.individual[i],
+                         what + " individual " + std::to_string(i));
+    }
+  }
+}
+
+/// Everything a jobs value could possibly change about one observed run:
+/// the merged trace bytes, every metric series (wall-clock histograms
+/// excluded), and the BENCH report fed by the registry.
+struct ObsDump {
+  std::string trace;
+  std::uint64_t trace_events = 0;
+  std::vector<std::string> counters;
+  std::vector<std::string> gauges;
+  std::vector<std::string> histograms;  // sans acp.prof.* (host wall-clock)
+  std::string bench_json;
+};
+
+ObsDump run_observed(std::size_t jobs) {
+  obs::Observability ob;
+  std::ostringstream trace;
+  ob.tracer.set_stream(&trace);
+
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  std::vector<Trial> trials;
+  for (int i = 0; i < 5; ++i) {
+    Trial t{&fabric, &sys_cfg, tiny_run()};
+    t.config.duration_minutes = 2.0;
+    t.config.run_seed = 100 + i;
+    t.config.obs = &ob;
+    trials.push_back(std::move(t));
+  }
+  const auto runs = run_trials(trials, jobs);
+  ob.tracer.set_stream(nullptr);
+
+  ObsDump d;
+  d.trace = trace.str();
+  d.trace_events = ob.tracer.events_emitted();
+  ob.metrics.for_each_counter(
+      [&](const std::string& name, const obs::Labels& l, const obs::Counter& c) {
+        d.counters.push_back(name + l.render() + "=" + std::to_string(c.value()));
+      });
+  ob.metrics.for_each_gauge([&](const std::string& name, const obs::Labels& l,
+                                const obs::Gauge& g) {
+    d.gauges.push_back(name + l.render() + "=" + obs::json_number(g.value()) + "/" +
+                       obs::json_number(g.min()) + "/" + obs::json_number(g.max()));
+  });
+  ob.metrics.for_each_histogram([&](const std::string& name, const obs::Labels& l,
+                                    const obs::Histogram& h) {
+    if (name.rfind("acp.prof.", 0) == 0) return;  // host wall-clock: not invariant
+    std::string row = name + l.render() + "=" + std::to_string(h.count()) + ":" +
+                      obs::json_number(h.sum());
+    for (std::uint64_t b : h.bucket_counts()) row += "," + std::to_string(b);
+    d.histograms.push_back(std::move(row));
+  });
+
+  obs::BenchReport rep;
+  rep.name = "parallel_runner_test";
+  rep.git_sha = "test";
+  rep.seed = 42;
+  rep.jobs = resolve_jobs(jobs);
+  rep.trial_count = runs.size();
+  for (const TrialRun& tr : runs) {
+    rep.runs += 1;
+    rep.success_rate += tr.result.success_rate / static_cast<double>(trials.size());
+    rep.overhead_per_minute += tr.result.overhead_per_minute / static_cast<double>(trials.size());
+    rep.mean_phi += tr.result.mean_phi / static_cast<double>(trials.size());
+    rep.wall_s += tr.wall_s;
+  }
+  rep.collect_from(ob.metrics);
+  std::ostringstream json;
+  rep.write_json(json);
+  d.bench_json = json.str();
+  return d;
+}
+
+TEST(ParallelRunner, MergedObservabilityIdenticalAcrossJobs) {
+  const ObsDump serial = run_observed(1);
+  const ObsDump parallel = run_observed(4);
+
+  // The concatenated trace is byte-identical: per-trial buffers are
+  // appended in submission order with serial-compatible run indices.
+  EXPECT_GT(serial.trace_events, 0u);
+  EXPECT_EQ(serial.trace_events, parallel.trace_events);
+  EXPECT_TRUE(serial.trace == parallel.trace)
+      << "traces differ: " << serial.trace.size() << " vs " << parallel.trace.size()
+      << " bytes";
+
+  EXPECT_EQ(serial.counters, parallel.counters);
+  EXPECT_EQ(serial.gauges, parallel.gauges);
+  EXPECT_EQ(serial.histograms, parallel.histograms);
+
+  // End to end through the perf-smoke gate: the two BENCH documents must
+  // pass `acptrace diff --require-identical-sim` against each other even
+  // though wall_s / jobs / scope timings differ.
+  const auto base = tracecli::decode_bench(tracecli::parse_json(serial.bench_json));
+  const auto cur = tracecli::decode_bench(tracecli::parse_json(parallel.bench_json));
+  EXPECT_EQ(base.jobs, 1u);
+  EXPECT_EQ(cur.jobs, 4u);
+  tracecli::DiffThresholds th;
+  th.require_identical_sim = true;
+  const auto r = tracecli::diff(base, cur, th);
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+
+  // And the gate actually bites: any sim drift fails it.
+  auto tampered = cur;
+  tampered.counters.begin()->second += 1;
+  EXPECT_FALSE(tracecli::diff(base, tampered, th).ok());
+}
+
+TEST(ParallelRunner, StressManyTrialsFewWorkers) {
+  // Far more trials than workers: every worker loops through many queue
+  // pops, covering handoff/reuse paths a one-trial-per-worker run misses.
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  std::vector<Trial> trials;
+  for (int i = 0; i < 32; ++i) {
+    Trial t{&fabric, &sys_cfg, tiny_run()};
+    t.config.duration_minutes = 1.0;
+    t.config.schedule = {{0.0, 30.0}};
+    t.config.run_seed = 2000 + i;
+    trials.push_back(std::move(t));
+  }
+  const auto serial = run_trials(trials, 1);
+  const auto parallel = run_trials(trials, 8);
+  ASSERT_EQ(serial.size(), trials.size());
+  ASSERT_EQ(parallel.size(), trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    expect_same_result(parallel[i].result, serial[i].result, "trial " + std::to_string(i));
+    EXPECT_GT(parallel[i].wall_s, 0.0);
+  }
+}
+
+TEST(ParallelRunner, RejectsIncompleteTrial) {
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  EXPECT_THROW(run_trials({Trial{nullptr, &sys_cfg, tiny_run()}}, 2), PreconditionError);
+  EXPECT_THROW(run_trials({Trial{&fabric, nullptr, tiny_run()}}, 2), PreconditionError);
+}
+
+TEST(ParallelRunner, WorkerExceptionPropagatesAndSkipsMerge) {
+  obs::Observability ob;
+  std::ostringstream trace;
+  ob.tracer.set_stream(&trace);
+
+  const auto sys_cfg = tiny_system();
+  const auto fabric = build_fabric(sys_cfg);
+  std::vector<Trial> trials;
+  for (int i = 0; i < 4; ++i) {
+    Trial t{&fabric, &sys_cfg, tiny_run()};
+    t.config.duration_minutes = i == 1 ? -1.0 : 1.0;  // trial 1 throws in its worker
+    t.config.run_seed = 3000 + i;
+    t.config.obs = &ob;
+    trials.push_back(std::move(t));
+  }
+  EXPECT_THROW(run_trials(trials, 2), PreconditionError);
+  // A failed batch merges nothing: the shared sinks stay clean.
+  EXPECT_EQ(ob.tracer.events_emitted(), 0u);
+  EXPECT_TRUE(trace.str().empty());
+  EXPECT_EQ(ob.metrics.series_count(), 0u);
+  ob.tracer.set_stream(nullptr);
+}
+
+TEST(ParallelRunner, EmptyTrialListIsANoOp) {
+  EXPECT_TRUE(run_trials({}, 4).empty());
+}
+
+}  // namespace
+}  // namespace acp::exp

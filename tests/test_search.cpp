@@ -253,6 +253,84 @@ TEST_F(SearchFixture, MergeRequiresAgreementOnSharedNodes) {
   EXPECT_EQ(merged[0].component_at(3), f2[0]);
 }
 
+// Differential optimality oracle: on small random instances the guided
+// beam search at alpha = 1.0 (full fan-out, effectively uncapped beam) is
+// EXACTLY as strong as exhaustive enumeration — it finds the same best phi,
+// and it never produces a composition when the exhaustive search proves no
+// qualified one exists. Instances stay small (<= 3 functions, <= 4
+// candidates each) so the exhaustive oracle enumerates the full
+// cross-product without caps.
+TEST(SearchOracle, GuidedFullAlphaMatchesExhaustiveOnRandomInstances) {
+  std::size_t solved = 0;
+  std::size_t infeasible = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(1000 + seed * 7919);
+    net::TopologyConfig tc;
+    tc.node_count = 80 + static_cast<std::size_t>(rng.below(80));
+    const auto ip = net::generate_power_law_topology(tc, rng);
+    net::OverlayConfig oc;
+    oc.member_count = 8 + static_cast<std::size_t>(rng.below(8));
+    const net::OverlayMesh mesh(ip, oc, rng);
+    stream::StreamSystem sys(mesh, stream::FunctionCatalog::generate(6, rng));
+    for (stream::NodeId n = 0; n < sys.node_count(); ++n) {
+      sys.set_node_capacity(
+          n, ResourceVector(rng.uniform(60.0, 140.0), rng.uniform(600.0, 1400.0)));
+    }
+    const std::size_t chain_len = 1 + static_cast<std::size_t>(rng.below(3));
+    const auto chain = acp::testing::compatible_chain(sys.catalog(), chain_len);
+    for (stream::FunctionId f : chain) {
+      const std::size_t cands = 1 + static_cast<std::size_t>(rng.below(4));
+      for (std::size_t i = 0; i < cands; ++i) {
+        sys.add_component(f, static_cast<stream::NodeId>(rng.below(sys.node_count())),
+                          QoSVector::from_metrics(rng.uniform(5.0, 25.0), 0.001));
+      }
+    }
+    // Background load on a few nodes so capacity feasibility is exercised.
+    const std::size_t loaded = static_cast<std::size_t>(rng.below(5));
+    for (std::size_t i = 0; i < loaded; ++i) {
+      sys.commit_node_direct(500 + i, static_cast<stream::NodeId>(rng.below(sys.node_count())),
+                             ResourceVector(rng.uniform(40.0, 90.0), rng.uniform(300.0, 800.0)),
+                             0.0);
+    }
+
+    workload::Request req;
+    req.id = seed;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      req.graph.add_node(chain[i],
+                         ResourceVector(rng.uniform(5.0, 30.0), rng.uniform(50.0, 200.0)));
+      if (i > 0) {
+        req.graph.add_edge(static_cast<FnNodeIndex>(i - 1), static_cast<FnNodeIndex>(i),
+                           rng.uniform(50.0, 150.0));
+      }
+    }
+    // Roughly a third of the instances get a QoS bound tight enough that
+    // usually no composition qualifies, exercising the nullopt branch.
+    const bool tight = rng.below(3) == 0;
+    req.qos_req = tight ? QoSVector::from_metrics(rng.uniform(0.5, 10.0), 0.0001)
+                        : QoSVector::from_metrics(rng.uniform(500.0, 3000.0), 0.5);
+
+    const auto best = exhaustive_best(sys, req, sys.true_state(), 0.0);
+    const auto g = guided_search(sys, req, 1.0, sys.true_state(), sys.true_state(), 0.0, 0.05,
+                                 nullptr, /*beam_cap=*/100000);
+    if (!best.has_value()) {
+      ++infeasible;
+      EXPECT_FALSE(g.has_value())
+          << "seed " << seed
+          << ": guided found a composition where the exhaustive oracle proves none qualifies";
+      continue;
+    }
+    ++solved;
+    ASSERT_TRUE(g.has_value()) << "seed " << seed;
+    const double best_phi = best->congestion_aggregation(sys, sys.true_state(), 0.0);
+    const double g_phi = g->congestion_aggregation(sys, sys.true_state(), 0.0);
+    EXPECT_NEAR(g_phi, best_phi, 1e-9) << "seed " << seed;
+    EXPECT_TRUE(g->qualified(sys, sys.true_state(), req.qos_req, 0.0)) << "seed " << seed;
+  }
+  // The generator must hit both branches or the oracle is vacuous.
+  EXPECT_GE(solved, 10u);
+  EXPECT_GE(infeasible, 5u);
+}
+
 TEST_F(SearchFixture, MergeCapReported) {
   const auto req = path_request();
   const auto paths = req.graph.enumerate_paths();

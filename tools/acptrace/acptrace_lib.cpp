@@ -543,6 +543,7 @@ BenchDoc decode_bench(const JsonValue& doc) {
   b.name = doc.str_or("name", "");
   b.git_sha = doc.str_or("git_sha", "");
   b.wall_s = doc.num_or("wall_s", 0.0);
+  b.jobs = static_cast<std::uint64_t>(doc.num_or("jobs", 1.0));
   if (const JsonValue* h = doc.find("headline")) {
     b.runs = static_cast<std::uint64_t>(h->num_or("runs", 0.0));
     b.success_rate = h->num_or("success_rate", 0.0);
@@ -556,6 +557,11 @@ BenchDoc decode_bench(const JsonValue& doc) {
       sc.mean_s = s.num_or("mean_s", 0.0);
       sc.p99_s = s.num_or("p99_s", 0.0);
       b.scopes[s.str_or("scope", "?")] = sc;
+    }
+  }
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [key, value] : counters->object) {
+      b.counters[key] = static_cast<std::uint64_t>(value.number);
     }
   }
   return b;
@@ -584,6 +590,49 @@ DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresho
   if (base.name != current.name) {
     res.notes.push_back("comparing different benches: " + base.name + " vs " + current.name);
   }
+  // Different worker-pool widths make every wall-clock observable
+  // incomparable (N workers sharing the same cores inflate per-scope means
+  // by up to Nx), so timing gates only apply at equal jobs. Sim metrics are
+  // jobs-invariant by design and stay gated regardless.
+  const bool wall_comparable = base.jobs == current.jobs;
+  if (!wall_comparable) {
+    res.notes.push_back("jobs differ: " + std::to_string(base.jobs) + " vs " +
+                        std::to_string(current.jobs) +
+                        " (wall-clock gates skipped; sim metrics must still agree)");
+  }
+
+  if (th.require_identical_sim) {
+    // Jobs-invariance gate: the two documents describe the same seeded
+    // simulation, so every deterministic observable must match bit-for-bit.
+    if (base.runs != current.runs) {
+      res.regressions.push_back("sim not identical: runs " + std::to_string(base.runs) + " vs " +
+                                std::to_string(current.runs));
+    }
+    const auto require_exact = [&res](const char* what, double b, double c) {
+      if (b != c) {
+        res.regressions.push_back(std::string("sim not identical: ") + what + " " + fmt(b) +
+                                  " vs " + fmt(c));
+      }
+    };
+    require_exact("success_rate", base.success_rate, current.success_rate);
+    require_exact("overhead_per_minute", base.overhead_per_minute, current.overhead_per_minute);
+    require_exact("mean_phi", base.mean_phi, current.mean_phi);
+    for (const auto& [name, b] : base.counters) {
+      const auto it = current.counters.find(name);
+      if (it == current.counters.end()) {
+        res.regressions.push_back("sim not identical: counter " + name + " missing in current");
+      } else if (it->second != b) {
+        res.regressions.push_back("sim not identical: counter " + name + " " +
+                                  std::to_string(b) + " vs " + std::to_string(it->second));
+      }
+    }
+    for (const auto& [name, c] : current.counters) {
+      (void)c;
+      if (base.counters.count(name) == 0) {
+        res.regressions.push_back("sim not identical: counter " + name + " missing in base");
+      }
+    }
+  }
 
   // Deterministic sim metrics: same seed ⇒ same numbers, so any drift is a
   // code-behavior change, not noise.
@@ -608,7 +657,7 @@ DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresho
 
   // Wall-clock: noisy across machines; thresholds are the caller's problem
   // (CI passes very loose ones).
-  if (base.wall_s > 0.0 && current.wall_s > base.wall_s * th.max_wall_ratio) {
+  if (wall_comparable && base.wall_s > 0.0 && current.wall_s > base.wall_s * th.max_wall_ratio) {
     res.regressions.push_back("wall_s grew " + fmt(current.wall_s / base.wall_s) + "x (" +
                               fmt(base.wall_s) + " → " + fmt(current.wall_s) + " s, allowed " +
                               fmt(th.max_wall_ratio) + "x)");
@@ -619,6 +668,7 @@ DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresho
       res.notes.push_back("scope disappeared: " + name);
       continue;
     }
+    if (!wall_comparable) continue;  // scope timings meaningless across jobs widths
     if (b.total_s < th.min_scope_total_s || b.mean_s <= 0.0) continue;  // below noise floor
     const double ratio = it->second.mean_s / b.mean_s;
     if (ratio > th.max_scope_ratio) {

@@ -128,6 +128,7 @@ struct BenchDoc {
   std::string name;
   std::string git_sha;
   double wall_s = 0.0;
+  std::uint64_t jobs = 1;  ///< worker-pool width ("jobs" field; 1 pre-PR-5)
   double success_rate = 0.0;
   double overhead_per_minute = 0.0;
   double mean_phi = 0.0;
@@ -138,6 +139,9 @@ struct BenchDoc {
     double p99_s = 0.0;
   };
   std::map<std::string, Scope> scopes;
+  /// Counter family totals — deterministic sim observables, used by the
+  /// require_identical_sim gate. Empty for documents without the section.
+  std::map<std::string, std::uint64_t> counters;
 };
 
 /// Decodes a parsed acp-bench/1 document; throws PreconditionError when the
@@ -156,6 +160,11 @@ struct DiffThresholds {
   double max_success_drop = 0.02;    ///< absolute drop in success_rate
   double max_overhead_ratio = 1.10;  ///< probing overhead growth
   double max_phi_ratio = 1.10;       ///< mean φ(λ) growth
+  /// Jobs-invariance mode: every deterministic sim observable (headline
+  /// metrics, run count, counter totals) must match the baseline EXACTLY —
+  /// any difference is a regression. Wall-clock fields stay ratio-gated.
+  /// Used by CI to prove --jobs N never changes simulation results.
+  bool require_identical_sim = false;
 };
 
 struct DiffResult {

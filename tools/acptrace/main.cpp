@@ -11,6 +11,9 @@
 //       Threshold flags (defaults in acptrace_lib.h):
 //         --max-wall-ratio=R --max-scope-ratio=R --min-scope-total-s=S
 //         --max-success-drop=D --max-overhead-ratio=R --max-phi-ratio=R
+//       --require-identical-sim additionally demands every deterministic
+//       sim observable (headline metrics, runs, counter totals) match the
+//       baseline exactly — the --jobs invariance gate.
 //       Exit 1 when any threshold is breached.
 //
 // Exit codes: 0 ok, 1 violations/regressions found, 2 usage or I/O error.
@@ -33,7 +36,8 @@ int usage() {
                "       acptrace diff <baseline.json> <current.json>\n"
                "           [--max-wall-ratio=R] [--max-scope-ratio=R]\n"
                "           [--min-scope-total-s=S] [--max-success-drop=D]\n"
-               "           [--max-overhead-ratio=R] [--max-phi-ratio=R]\n");
+               "           [--max-overhead-ratio=R] [--max-phi-ratio=R]\n"
+               "           [--require-identical-sim]\n");
   return 2;
 }
 
@@ -70,6 +74,7 @@ int cmd_diff(const std::vector<std::string>& paths, util::Flags& flags) {
   th.max_success_drop = flags.get_double("max-success-drop", th.max_success_drop);
   th.max_overhead_ratio = flags.get_double("max-overhead-ratio", th.max_overhead_ratio);
   th.max_phi_ratio = flags.get_double("max-phi-ratio", th.max_phi_ratio);
+  th.require_identical_sim = flags.get_bool("require-identical-sim", th.require_identical_sim);
 
   const auto base = tracecli::load_bench_file(paths[0]);
   const auto current = tracecli::load_bench_file(paths[1]);
