@@ -25,6 +25,7 @@
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "util/flags.h"
+#include "util/resource.h"
 #include "util/table.h"
 
 namespace acp::benchx {
@@ -54,6 +55,10 @@ struct BenchOptions {
   std::size_t jobs = 0;
   std::string csv_prefix;    ///< when set, save each table as <prefix><name>.csv
   std::string trace_out;     ///< --trace-out: probe-lifecycle JSONL stream
+  std::string timeline_out;  ///< --timeline-out: sim-time telemetry JSONL stream
+  /// --sample-interval: sim seconds between timeline samples. Only read
+  /// when --timeline-out is given.
+  double sample_interval_s = 30.0;
   std::string metrics_out;   ///< --metrics-out: end-of-run metrics snapshot (JSON)
   bool report = false;       ///< --report: print a human-readable metrics report
 
@@ -67,7 +72,16 @@ struct BenchOptions {
   }
 
   bool observing() const {
-    return !trace_out.empty() || !metrics_out.empty() || report || bench_enabled();
+    return !trace_out.empty() || !timeline_out.empty() || !metrics_out.empty() || report ||
+           bench_enabled();
+  }
+
+  /// The sampling config to put on every trial's ExperimentConfig: enabled
+  /// exactly when a timeline sink was requested.
+  obs::TimelineConfig timeline_config() const {
+    obs::TimelineConfig cfg;
+    if (!timeline_out.empty()) cfg.sample_interval_s = sample_interval_s;
+    return cfg;
   }
 };
 
@@ -81,6 +95,8 @@ inline BenchOptions parse_options(util::Flags& flags) {
   opt.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   opt.csv_prefix = flags.get_string("csv", "");
   opt.trace_out = flags.get_string("trace-out", "");
+  opt.timeline_out = flags.get_string("timeline-out", "");
+  opt.sample_interval_s = flags.get_double("sample-interval", opt.sample_interval_s);
   opt.metrics_out = flags.get_string("metrics-out", "");
   opt.report = flags.get_bool("report", false);
   // --bench-out is tri-state: bare flag ("true"), --no-bench-out ("false"),
@@ -94,6 +110,7 @@ inline BenchOptions parse_options(util::Flags& flags) {
     opt.bench_out = bench_out;
   }
   util::Flags::require_writable_path("trace-out", opt.trace_out);
+  util::Flags::require_writable_path("timeline-out", opt.timeline_out);
   util::Flags::require_writable_path("metrics-out", opt.metrics_out);
   if (!opt.bench_out.empty()) util::Flags::require_writable_path("bench-out", opt.bench_out);
   for (const auto& f : flags.unknown_flags()) {
@@ -127,6 +144,10 @@ class BenchObservability {
           .field("git_sha", obs::current_git_sha())
           .field("seed", opt_.seed)
           .field("quick", opt_.quick);
+    }
+    if (!opt_.timeline_out.empty()) {
+      obs_.timeline.open(opt_.timeline_out);
+      obs_.timeline.header(name_, obs::current_git_sha(), opt_.seed, opt_.quick);
     }
     if (opt_.observing()) {
       obs_.metrics.set_meta("bench", name_);
@@ -204,6 +225,12 @@ class BenchObservability {
       std::printf("(saved %llu trace events to %s)\n", static_cast<unsigned long long>(n),
                   opt_.trace_out.c_str());
     }
+    if (!opt_.timeline_out.empty()) {
+      const std::uint64_t n = obs_.timeline.rows_emitted();
+      obs_.timeline.close();
+      std::printf("(saved %llu timeline rows to %s)\n", static_cast<unsigned long long>(n),
+                  opt_.timeline_out.c_str());
+    }
     if (opt_.bench_enabled()) {
       const std::string path =
           opt_.bench_out.empty() ? "BENCH_" + name_ + ".json" : opt_.bench_out;
@@ -231,6 +258,12 @@ class BenchObservability {
     rep.success_rate = success_.mean();
     rep.overhead_per_minute = overhead_.mean();
     rep.mean_phi = phi_.mean();
+    // Host throughput/footprint headline (ROADMAP item 1): total engine
+    // events over the bench's wall clock, and the process's peak RSS.
+    const std::uint64_t events = obs_.metrics.counter_family_total(obs::metric::kSimEventsExecuted);
+    rep.events_per_sec = rep.wall_s > 0.0 ? static_cast<double>(events) / rep.wall_s : 0.0;
+    rep.peak_rss_bytes = util::peak_rss_bytes();
+    rep.host = util::host_name();
     rep.collect_from(obs_.metrics);
     return rep;
   }

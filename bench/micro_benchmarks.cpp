@@ -217,8 +217,10 @@ int main(int argc, char** argv) {
     rep.git_sha = acp::obs::current_git_sha();
     rep.seed = opt.seed;
     rep.quick = opt.quick;
+    rep.host = acp::util::host_name();
     rep.wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    rep.peak_rss_bytes = acp::util::peak_rss_bytes();  // events_per_sec: no engine here
     rep.runs = static_cast<std::uint64_t>(reporter.scopes.size());
     rep.scopes = std::move(reporter.scopes);
     const std::string path = opt.bench_out.empty() ? "BENCH_micro.json" : opt.bench_out;

@@ -30,8 +30,11 @@
 //   --repeat N         run N workload seeds, report mean±stddev     [1]
 //   --csv PATH         also save the u(t) series as CSV
 //   --trace-out PATH   stream probe-lifecycle trace spans as JSONL
+//   --timeline-out PATH stream sim-time telemetry samples as JSONL
+//   --sample-interval S timeline sample interval in sim seconds       [30]
 //   --metrics-out PATH save end-of-run metrics snapshot as JSON
 //   --report           print a human-readable metrics report
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -42,6 +45,7 @@
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "util/flags.h"
+#include "util/resource.h"
 #include "util/table.h"
 
 using namespace acp;
@@ -95,13 +99,17 @@ int main(int argc, char** argv) {
   const std::string csv = flags.get_string("csv", "");
   const auto repeat = static_cast<std::size_t>(flags.get_int("repeat", 1));
   const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string timeline_out = flags.get_string("timeline-out", "");
+  const double sample_interval_s = flags.get_double("sample-interval", 30.0);
   const std::string metrics_out = flags.get_string("metrics-out", "");
   const bool report = flags.get_bool("report", false);
   util::Flags::require_writable_path("trace-out", trace_out);
+  util::Flags::require_writable_path("timeline-out", timeline_out);
   util::Flags::require_writable_path("metrics-out", metrics_out);
 
   obs::Observability obs;
-  const bool observing = !trace_out.empty() || !metrics_out.empty() || report;
+  const bool observing =
+      !trace_out.empty() || !timeline_out.empty() || !metrics_out.empty() || report;
   if (!trace_out.empty()) {
     obs.tracer.open(trace_out);
     obs.tracer.event("trace_header")
@@ -109,6 +117,11 @@ int main(int argc, char** argv) {
         .field("git_sha", obs::current_git_sha())
         .field("seed", sys_cfg.seed)
         .field("run_seed", cfg.run_seed);
+  }
+  if (!timeline_out.empty()) {
+    obs.timeline.open(timeline_out);
+    obs.timeline.header("acpsim", obs::current_git_sha(), sys_cfg.seed, false);
+    cfg.timeline.sample_interval_s = sample_interval_s;
   }
   if (observing) {
     // Run identity in every snapshot: a metrics file names the commit and
@@ -118,7 +131,16 @@ int main(int argc, char** argv) {
     obs.metrics.set_meta("run_seed", std::to_string(cfg.run_seed));
     cfg.obs = &obs;
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto flush_obs = [&] {
+    if (observing) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+      const auto events = obs.metrics.counter_family_total(obs::metric::kSimEventsExecuted);
+      std::printf("Host: %.0f events/s over %.2fs wall, peak RSS %.1f MB\n",
+                  wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0, wall_s,
+                  static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0));
+    }
     if (!metrics_out.empty()) {
       obs.metrics.save_json(metrics_out);
       std::printf("(saved metrics to %s)\n", metrics_out.c_str());
@@ -128,6 +150,11 @@ int main(int argc, char** argv) {
       const auto n = static_cast<unsigned long long>(obs.tracer.events_emitted());
       obs.tracer.close();
       std::printf("(saved %llu trace events to %s)\n", n, trace_out.c_str());
+    }
+    if (!timeline_out.empty()) {
+      const auto n = static_cast<unsigned long long>(obs.timeline.rows_emitted());
+      obs.timeline.close();
+      std::printf("(saved %llu timeline rows to %s)\n", n, timeline_out.c_str());
     }
   };
 

@@ -200,6 +200,7 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
     probe.at = coord->deputy;
     probe.id = ++next_probe_id_;
     ++coord->outstanding;
+    ++live_probes_;
     ++coord->spawned_per_path[p];
     if (obs_ != nullptr) {
       obs_->metrics.counter(obs::metric::kProbeSpawned).add();
@@ -345,6 +346,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
     child.parent = probe.id;
 
     ++coord->outstanding;
+    ++live_probes_;
     ++coord->spawned_per_path[probe.path_index];
     ++spawned;
     counters_->add(sim::counter::kProbe);  // probe transmission
@@ -433,12 +435,18 @@ void ProbingProtocol::probe_returned(const std::shared_ptr<Coordinator>& coord,
 void ProbingProtocol::probe_ended(const std::shared_ptr<Coordinator>& coord) {
   if (coord->finalized) return;
   ACP_ASSERT(coord->outstanding > 0);
+  ACP_ASSERT(live_probes_ > 0);
+  --live_probes_;
   if (--coord->outstanding == 0) finalize(coord);
 }
 
 void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
   if (coord->finalized) return;
   coord->finalized = true;
+  // Probes still in flight at the deadline die with the coordinator; late
+  // arrivals bail out before any accounting, so settle theirs here.
+  ACP_ASSERT(live_probes_ >= coord->outstanding);
+  live_probes_ -= coord->outstanding;
   if (coord->timeout_event != 0) engine_->cancel(coord->timeout_event);
 
   const workload::Request& req = *coord->req;

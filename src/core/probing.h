@@ -112,6 +112,12 @@ class ProbingProtocol {
   std::uint64_t retries_sent() const { return retries_sent_; }
   std::uint64_t deputy_reelections() const { return deputy_reelections_; }
 
+  /// Probes in flight right now, across every non-finalized request — the
+  /// timeline sampler's instantaneous load observable. A probe counts from
+  /// its spawn until it returns, dies, forks, or its deputy finalizes with
+  /// it still outstanding (timeout).
+  std::uint64_t live_probes() const { return live_probes_; }
+
  private:
   struct Coordinator;
   struct Probe;
@@ -151,6 +157,7 @@ class ProbingProtocol {
   std::uint64_t next_probe_id_ = 0;
   std::uint64_t retries_sent_ = 0;
   std::uint64_t deputy_reelections_ = 0;
+  std::uint64_t live_probes_ = 0;  ///< Σ outstanding over live coordinators
   /// In-flight coordinators, scanned on node-crash for deputy re-election
   /// (pruned lazily; finalized entries are skipped).
   std::vector<std::weak_ptr<Coordinator>> active_;

@@ -230,6 +230,31 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   };
   schedule_sample();
 
+  // --- Timeline telemetry ----------------------------------------------------
+  // Sampler ticks are engine events, so the deterministic sample rows (and
+  // the event/queue counters they read) are identical for any --jobs value.
+  std::unique_ptr<obs::TimelineSampler> timeline_sampler;
+  if (obs != nullptr && obs->timeline.enabled() && config.timeline.enabled()) {
+    obs->timeline.begin_run(algorithm_name(config.algorithm));
+    timeline_sampler = std::make_unique<obs::TimelineSampler>(
+        obs->timeline, config.timeline,
+        [&engine](double delay_s, std::function<void()> fn) {
+          engine.schedule_after(delay_s, std::move(fn));
+        },
+        [&] {
+          obs::TimelineSample s;
+          s.events = engine.events_fired();
+          s.queue_depth = engine.pending();
+          s.live_probes = protocol.live_probes();
+          s.active_sessions = sessions.active_count();
+          s.requests = result.requests;
+          s.successes = result.successes;
+          s.mean_phi = phi_stat.mean();
+          return s;
+        });
+    timeline_sampler->start(horizon_s + 120.0);
+  }
+
   // --- Run -------------------------------------------------------------------
   // A grace period past the horizon lets in-flight probes resolve; no new
   // requests arrive after the horizon.

@@ -62,6 +62,12 @@ struct ExperimentConfig {
   /// via Tracer::begin_run. Must outlive the call; the engine-backed trace
   /// clock and log time source are detached before returning.
   obs::Observability* obs = nullptr;
+  /// Timeline sampling (obs/timeline.h): when `obs` is set, its timeline
+  /// writer has a sink, and this interval is enabled, a sampler on the
+  /// engine's event loop snapshots the run every sample_interval_s of sim
+  /// time. Disabled (the default) registers nothing — zero events, zero
+  /// cost.
+  obs::TimelineConfig timeline;
 };
 
 struct ExperimentResult {

@@ -42,6 +42,7 @@ void BenchReport::write_json(std::ostream& os) const {
   os << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n";
   os << "  \"seed\": " << seed << ",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"host\": \"" << json_escape(host) << "\",\n";
   os << "  \"wall_s\": " << json_number(wall_s) << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"trials\": {\"count\": " << trial_count
@@ -57,7 +58,9 @@ void BenchReport::write_json(std::ostream& os) const {
   os << "  \"headline\": {\"runs\": " << runs
      << ", \"success_rate\": " << json_number(success_rate)
      << ", \"overhead_per_minute\": " << json_number(overhead_per_minute)
-     << ", \"mean_phi\": " << json_number(mean_phi) << "},\n";
+     << ", \"mean_phi\": " << json_number(mean_phi)
+     << ", \"events_per_sec\": " << json_number(events_per_sec)
+     << ", \"peak_rss_bytes\": " << peak_rss_bytes << "},\n";
   os << "  \"scopes\": [";
   for (std::size_t i = 0; i < scopes.size(); ++i) {
     const ScopeStats& s = scopes[i];

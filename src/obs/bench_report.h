@@ -10,22 +10,29 @@
 // regressions against configurable thresholds; CI keeps baselines under
 // bench/baselines/.
 //
-// Schema "acp-bench/1":
+// Schema "acp-bench/2" (v1 lacked host and the two host-headline fields;
+// tools/acptrace decodes both):
 //   {
-//     "schema": "acp-bench/1",
+//     "schema": "acp-bench/2",
 //     "name": "fig6", "git_sha": "...", "seed": 42, "quick": true,
+//     "host": "runner-03",                         // where it ran (v2+)
 //     "wall_s": 12.34,
 //     "jobs": 4,                                   // worker pool width
 //     "trials": {"count": N, "wall_mean_s": m,     // per-trial host wall
 //                "wall_min_s": a, "wall_max_s": b}, // (absent before PR 5)
 //     "config": {"key": "value", ...},
 //     "headline": {"runs": N, "success_rate": u, "overhead_per_minute": o,
-//                  "mean_phi": p},
+//                  "mean_phi": p,
+//                  "events_per_sec": e,            // engine events / wall_s (v2+)
+//                  "peak_rss_bytes": r},           // getrusage peak (v2+)
 //     "scopes": [{"scope": "probing.process_probe", "count": N,
 //                 "total_s": t, "mean_s": m, "p50_s": a, "p90_s": b,
 //                 "p99_s": c, "max_s": d}, ...],
 //     "counters": {"acp.probe.spawned": N, ...}   // family totals
 //   }
+// The two v2 headline fields are HOST observables (they vary with machine
+// and --jobs), so diff ratio-gates them like wall_s and the
+// require-identical-sim gate ignores them.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +45,10 @@
 
 namespace acp::obs {
 
-inline constexpr const char* kBenchSchema = "acp-bench/1";
+inline constexpr const char* kBenchSchema = "acp-bench/2";
+/// Previous schema, still accepted by tools/acptrace's decoder (committed
+/// baselines migrate lazily; v1 documents read with the v2 fields zeroed).
+inline constexpr const char* kBenchSchemaV1 = "acp-bench/1";
 
 /// Wall-time summary of one profiling scope (one acp.prof.wall_s series).
 struct ScopeStats {
@@ -57,6 +67,7 @@ struct BenchReport {
   std::string git_sha;
   std::uint64_t seed = 0;
   bool quick = false;
+  std::string host;  ///< util::host_name(); lets diff skip host gates across machines
   double wall_s = 0.0;
 
   /// Worker-pool width the bench ran with (exp/parallel.h). Purely a cost
@@ -78,6 +89,12 @@ struct BenchReport {
   double success_rate = 0.0;
   double overhead_per_minute = 0.0;
   double mean_phi = 0.0;
+
+  // Headline host metrics (v2): engine events per wall second and process
+  // peak RSS — the ROADMAP scale push's first-class throughput/footprint
+  // observables. Host-dependent; never part of the identical-sim gate.
+  double events_per_sec = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
 
   std::vector<ScopeStats> scopes;
   std::vector<std::pair<std::string, std::uint64_t>> counters;

@@ -8,18 +8,25 @@ thread_local ObsContext* t_current = nullptr;
 
 ObsContext::ObsContext(const Observability* target) : has_obs_(target != nullptr) {
   if (has_obs_ && target->tracer.enabled()) obs_.tracer.set_stream(&trace_buf_);
+  if (has_obs_ && target->timeline.enabled()) obs_.timeline.set_stream(&timeline_buf_);
 }
 
-void ObsContext::set_trace_run_base(std::uint64_t base) { obs_.tracer.set_run_base(base); }
+void ObsContext::set_trace_run_base(std::uint64_t base) {
+  obs_.tracer.set_run_base(base);
+  obs_.timeline.set_run_base(base);
+}
 
 void ObsContext::merge_into(Observability* target) {
   if (target != nullptr && has_obs_) {
     target->metrics.merge_from(obs_.metrics);
     target->tracer.append_raw(trace_buf_.str());
     trace_buf_.str(std::string());
-    // The private tracer's caller-owned stream is gone after this; detach so
+    target->timeline.append_raw(timeline_buf_.str());
+    timeline_buf_.str(std::string());
+    // The private sinks' caller-owned streams are gone after this; detach so
     // late events (there should be none) cannot dangle.
     obs_.tracer.set_stream(nullptr);
+    obs_.timeline.set_stream(nullptr);
   }
   util::Logger::write_raw(log_ctx_.take_buffer());
 }

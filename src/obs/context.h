@@ -42,14 +42,16 @@ class ObsContext {
 
   util::LogContext* log_context() { return &log_ctx_; }
 
-  /// Starts the private tracer's run numbering at `base` — the count of
-  /// obs-enabled trials submitted before this one — so the merged trace
-  /// carries exactly the run indices the serial shared-tracer path stamps.
+  /// Starts the private tracer's and timeline writer's run numbering at
+  /// `base` — the count of obs-enabled trials submitted before this one —
+  /// so the merged trace and timeline carry exactly the run indices the
+  /// serial shared-sink path stamps.
   void set_trace_run_base(std::uint64_t base);
 
-  /// Drains this island into the shared target, in three deterministic
-  /// steps: metrics merge (obs/metrics.h merge_from rules), buffered trace
-  /// lines appended verbatim, captured log lines written to the global sink.
+  /// Drains this island into the shared target, in deterministic steps:
+  /// metrics merge (obs/metrics.h merge_from rules), buffered trace and
+  /// timeline rows appended verbatim, captured log lines written to the
+  /// global sink.
   /// Must run on the submitting (non-worker) thread, once per context, in
   /// submission order. `target` may be nullptr (log lines still drain).
   void merge_into(Observability* target);
@@ -65,6 +67,7 @@ class ObsContext {
   bool has_obs_ = false;
   Observability obs_;
   std::ostringstream trace_buf_;
+  std::ostringstream timeline_buf_;
   util::LogContext log_ctx_;
 };
 

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace acp::obs {
@@ -19,6 +20,10 @@ struct Observability {
   /// Wall-clock profiling scopes, recorded into `metrics` as
   /// acp.prof.wall_s{scope=...} histograms (see obs/profile.h).
   Profiler profiler{&metrics};
+  /// Periodic sim-time snapshots as JSONL (see obs/timeline.h). Disabled
+  /// unless a sink is attached (--timeline-out) AND the experiment config
+  /// sets a sample interval.
+  TimelineWriter timeline;
 };
 
 /// Metric names (convention: acp.request.* / acp.probe.* / acp.state.* /

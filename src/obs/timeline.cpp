@@ -1,0 +1,168 @@
+#include "obs/timeline.h"
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "util/error.h"
+#include "util/resource.h"
+
+namespace acp::obs {
+
+// ---- TimelineWriter -------------------------------------------------------
+
+TimelineWriter::~TimelineWriter() {
+  if (file_) file_->flush();
+}
+
+void TimelineWriter::open(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*f) throw PreconditionError("cannot open timeline output file: " + path);
+  file_ = std::move(f);
+  out_ = file_.get();
+}
+
+void TimelineWriter::set_stream(std::ostream* os) {
+  if (file_) file_->flush();
+  file_.reset();
+  out_ = os;
+}
+
+void TimelineWriter::close() {
+  if (file_) file_->flush();
+  file_.reset();
+  out_ = nullptr;
+}
+
+void TimelineWriter::flush() {
+  if (file_) file_->flush();
+}
+
+void TimelineWriter::header(const std::string& bench, const std::string& git_sha,
+                            std::uint64_t seed, bool quick) {
+  if (!enabled()) return;
+  std::string line = "{\"schema\": \"";
+  line += kTimelineSchema;
+  line += "\", \"type\": \"header\", \"bench\": \"";
+  line += json_escape(bench);
+  line += "\", \"git_sha\": \"";
+  line += json_escape(git_sha);
+  line += "\", \"seed\": ";
+  line += std::to_string(seed);
+  line += ", \"quick\": ";
+  line += quick ? "true" : "false";
+  line += '}';
+  write_line(line);
+}
+
+void TimelineWriter::begin_run(const std::string& label) {
+  ++run_;
+  if (!enabled()) return;
+  std::string line = "{\"type\": \"run_start\", \"run\": ";
+  line += std::to_string(run_);
+  line += ", \"label\": \"";
+  line += json_escape(label);
+  line += "\"}";
+  write_line(line);
+}
+
+void TimelineWriter::sample(double t, const TimelineSample& s, double events_per_s) {
+  if (!enabled()) return;
+  std::string line = "{\"type\": \"sample\", \"run\": ";
+  line += std::to_string(run_);
+  line += ", \"t\": ";
+  line += json_number(t);
+  line += ", \"events\": ";
+  line += std::to_string(s.events);
+  line += ", \"events_per_s\": ";
+  line += json_number(events_per_s);
+  line += ", \"queue_depth\": ";
+  line += std::to_string(s.queue_depth);
+  line += ", \"live_probes\": ";
+  line += std::to_string(s.live_probes);
+  line += ", \"active_sessions\": ";
+  line += std::to_string(s.active_sessions);
+  line += ", \"requests\": ";
+  line += std::to_string(s.requests);
+  line += ", \"successes\": ";
+  line += std::to_string(s.successes);
+  line += ", \"success_rate\": ";
+  line += json_number(s.requests == 0 ? 1.0
+                                      : static_cast<double>(s.successes) /
+                                            static_cast<double>(s.requests));
+  line += ", \"mean_phi\": ";
+  line += json_number(s.mean_phi);
+  line += ", \"allocs\": ";
+  line += std::to_string(s.allocs);
+  line += '}';
+  write_line(line);
+}
+
+void TimelineWriter::host_sample(double t, double wall_s, std::uint64_t peak_rss_bytes) {
+  if (!enabled()) return;
+  std::string line = "{\"type\": \"host_sample\", \"run\": ";
+  line += std::to_string(run_);
+  line += ", \"t\": ";
+  line += json_number(t);
+  line += ", \"wall_s\": ";
+  line += json_number(wall_s);
+  line += ", \"peak_rss_bytes\": ";
+  line += std::to_string(peak_rss_bytes);
+  line += '}';
+  write_line(line);
+}
+
+void TimelineWriter::append_raw(const std::string& chunk) {
+  if (!out_ || chunk.empty()) return;
+  *out_ << chunk;
+  for (const char c : chunk) {
+    if (c == '\n') ++rows_;
+  }
+}
+
+void TimelineWriter::write_line(const std::string& line) {
+  if (!out_) return;
+  *out_ << line << '\n';
+  ++rows_;
+}
+
+// ---- TimelineSampler ------------------------------------------------------
+
+TimelineSampler::TimelineSampler(TimelineWriter& writer, const TimelineConfig& config,
+                                 ScheduleFn schedule, ProbeFn probe)
+    : writer_(&writer), config_(config), schedule_(std::move(schedule)),
+      probe_(std::move(probe)) {
+  ACP_REQUIRE_MSG(config_.enabled(), "TimelineSampler needs sample_interval_s > 0");
+  ACP_REQUIRE(schedule_ != nullptr && probe_ != nullptr);
+}
+
+void TimelineSampler::start(double stop_at_s) {
+  next_t_ = 0.0;
+  last_events_ = 0;
+  alloc_base_ = allocations_now();
+  wall_start_ = std::chrono::steady_clock::now();
+  arm(stop_at_s);
+}
+
+void TimelineSampler::arm(double stop_at_s) {
+  const double t = next_t_ + config_.sample_interval_s;
+  if (t > stop_at_s) return;
+  next_t_ = t;
+  schedule_(config_.sample_interval_s, [this, t, stop_at_s] { tick(t, stop_at_s); });
+}
+
+void TimelineSampler::tick(double t, double stop_at_s) {
+  TimelineSample s = probe_();
+  // The alloc counter is thread-local and a trial runs wholly on one
+  // thread, so the delta since start() is a run observable.
+  s.allocs = allocations_now() - alloc_base_;
+  const double rate =
+      static_cast<double>(s.events - last_events_) / config_.sample_interval_s;
+  last_events_ = s.events;
+  writer_->sample(t, s, rate);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
+  writer_->host_sample(t, wall_s, util::peak_rss_bytes());
+  ++samples_;
+  arm(stop_at_s);
+}
+
+}  // namespace acp::obs

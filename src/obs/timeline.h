@@ -1,0 +1,158 @@
+// Timeline telemetry — periodic sim-time snapshots of a run as JSONL.
+//
+// End-of-run aggregates say *that* φ or the success rate moved; the
+// timeline says *when*. A TimelineSampler registered on the engine's event
+// loop fires every sample_interval_s of sim time and snapshots the
+// deterministic run observables — cumulative engine events, events per sim
+// second since the last sample, event-queue depth, live probes, active
+// sessions, requests/successes so far, mean φ, and the thread's allocation
+// counter — into one "sample" row per tick. Host observables (wall clock,
+// peak RSS) go into separate "host_sample" rows so the sim-time series
+// stays byte-identical for any --jobs value and any machine:
+//
+//   {"schema":"acp-timeline/1","type":"header","bench":"fig5",...}
+//   {"type":"run_start","run":1,"label":"ACP"}
+//   {"type":"sample","run":1,"t":30,"events":51234,"events_per_s":1707.8,...}
+//   {"type":"host_sample","run":1,"t":30,"wall_s":0.41,"peak_rss_bytes":...}
+//
+// Rows reuse the tracer's flat-JSON shape, so obs::parse_trace_line reads
+// them and `tools/acptrace timeline` analyzes them offline. Like the
+// tracer, the writer buffers into a per-trial ObsContext stream under
+// --jobs N and the trial runner appends the buffers in submission order —
+// the merged file is identical to the serial one. Everything is free when
+// disabled: no writer sink ⇒ no sampler ⇒ zero events on the loop.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace acp::obs {
+
+inline constexpr const char* kTimelineSchema = "acp-timeline/1";
+
+/// Sampling knob threaded through ExperimentConfig. Disabled (the default)
+/// means no sampler is registered at all.
+struct TimelineConfig {
+  double sample_interval_s = 0.0;  ///< sim seconds between samples; <= 0 off
+  bool enabled() const { return sample_interval_s > 0.0; }
+};
+
+/// One tick's deterministic observables. Everything here must be a pure
+/// function of the simulation state — never wall clock, RSS, or anything
+/// else the host controls (those ride host_sample rows instead).
+struct TimelineSample {
+  std::uint64_t events = 0;           ///< cumulative engine events fired
+  std::uint64_t queue_depth = 0;      ///< pending events right now
+  std::uint64_t live_probes = 0;      ///< probes in flight
+  std::uint64_t active_sessions = 0;  ///< committed, not yet torn down
+  std::uint64_t requests = 0;         ///< measured-window outcomes so far
+  std::uint64_t successes = 0;
+  double mean_phi = 0.0;              ///< mean φ of commits so far
+  std::uint64_t allocs = 0;  ///< operator-new calls this run (0 unless ACPSTREAM_PROF_ALLOC)
+};
+
+/// JSONL sink for timeline rows. API mirrors obs::Tracer: a file-owned
+/// sink (open), a caller-owned stream (set_stream — how ObsContext buffers
+/// per-trial rows), run numbering with a base for deterministic parallel
+/// merges, and append_raw for the merge itself.
+class TimelineWriter {
+ public:
+  TimelineWriter() = default;
+  TimelineWriter(const TimelineWriter&) = delete;
+  TimelineWriter& operator=(const TimelineWriter&) = delete;
+  ~TimelineWriter();
+
+  /// Opens `path` as the JSONL sink (truncating); throws on I/O failure.
+  void open(const std::string& path);
+
+  /// Uses a caller-owned stream as the sink. Pass nullptr to disable.
+  void set_stream(std::ostream* os);
+
+  /// Flushes and detaches the sink; the writer becomes disabled.
+  void close();
+  void flush();
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Identity row, written once per file before any run (schema, bench
+  /// name, git sha, seed, quick) — the stream is reproducible from its own
+  /// first line.
+  void header(const std::string& bench, const std::string& git_sha, std::uint64_t seed,
+              bool quick);
+
+  /// Stamps every subsequent row with `"run":index` and emits a run_start
+  /// marker carrying `label` (the algorithm name). Same contract as
+  /// Tracer::begin_run.
+  void begin_run(const std::string& label);
+
+  /// Starts run numbering at `base` (count of obs-enabled trials submitted
+  /// before this one) so merged parallel timelines carry serial-identical
+  /// run indices.
+  void set_run_base(std::uint64_t base) { run_ = base; }
+
+  /// One deterministic sample row at sim time `t`. `events_per_s` is the
+  /// sim-rate since the previous sample, computed by the sampler.
+  void sample(double t, const TimelineSample& s, double events_per_s);
+
+  /// One host row at sim time `t`: wall seconds since the run started and
+  /// current peak RSS. Kept out of the deterministic series by type.
+  void host_sample(double t, double wall_s, std::uint64_t peak_rss_bytes);
+
+  /// Appends pre-rendered, newline-terminated rows verbatim (a completed
+  /// trial's buffer) and counts them into rows_emitted().
+  void append_raw(const std::string& chunk);
+
+  std::uint64_t rows_emitted() const { return rows_; }
+  std::uint64_t run_index() const { return run_; }
+
+ private:
+  void write_line(const std::string& line);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+  std::uint64_t rows_ = 0;
+  std::uint64_t run_ = 0;
+};
+
+/// Recurring sampling tick on the simulation's event loop. Decoupled from
+/// sim::Engine through two callbacks (obs must not depend on sim): the
+/// host schedules `delay → fn` on its engine and fills a TimelineSample on
+/// demand. start() arms the first tick; ticks re-arm themselves while the
+/// next one lands at or before `stop_at` sim seconds.
+class TimelineSampler {
+ public:
+  using ScheduleFn = std::function<void(double delay_s, std::function<void()> fn)>;
+  using ProbeFn = std::function<TimelineSample()>;
+
+  /// `writer` must be enabled and outlive the sampler; `config` must be
+  /// enabled. Ticks are no-ops after the sampler is destroyed only if the
+  /// host also drops the scheduled callbacks — in practice the sampler
+  /// outlives the engine run (see run_experiment).
+  TimelineSampler(TimelineWriter& writer, const TimelineConfig& config, ScheduleFn schedule,
+                  ProbeFn probe);
+
+  void start(double stop_at_s);
+
+  std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  void arm(double stop_at_s);
+  void tick(double t, double stop_at_s);
+
+  TimelineWriter* writer_;
+  TimelineConfig config_;
+  ScheduleFn schedule_;
+  ProbeFn probe_;
+  double next_t_ = 0.0;
+  std::uint64_t last_events_ = 0;
+  std::uint64_t alloc_base_ = 0;  ///< thread-local alloc count at start()
+  std::uint64_t samples_ = 0;
+  std::chrono::steady_clock::time_point wall_start_{};
+};
+
+}  // namespace acp::obs

@@ -1,0 +1,44 @@
+#include "util/resource.h"
+
+#include <cstdlib>
+
+#if defined(_WIN32)
+// No getrusage; both probes degrade gracefully.
+#else
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace acp::util {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes
+#endif
+#endif
+}
+
+std::string host_name() {
+  static const std::string cached = [] {
+    if (const char* env = std::getenv("ACP_HOSTNAME"); env != nullptr && *env != '\0') {
+      return std::string(env);
+    }
+#if defined(_WIN32)
+    return std::string("unknown");
+#else
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) != 0 || buf[0] == '\0') return std::string("unknown");
+    return std::string(buf);
+#endif
+  }();
+  return cached;
+}
+
+}  // namespace acp::util

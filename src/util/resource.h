@@ -1,0 +1,24 @@
+// Process resource probes — host observables for perf artifacts.
+//
+// The ROADMAP's scale push (item 1) asks for peak RSS as a first-class
+// headline metric next to events/sec. These values describe the *host*
+// process, not the simulation: they vary across machines and job counts,
+// so artifact writers must keep them out of the deterministic sim series
+// (BENCH trial stats, timeline host rows — never "sample" rows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace acp::util {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss;
+/// KB on Linux, bytes on macOS). 0 when the platform reports nothing.
+std::uint64_t peak_rss_bytes();
+
+/// Host name for artifact headers ("unknown" when unavailable). Cached
+/// after the first call. Honors the ACP_HOSTNAME environment override so
+/// tests and CI can pin it.
+std::string host_name();
+
+}  // namespace acp::util

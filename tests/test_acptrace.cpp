@@ -387,6 +387,69 @@ TEST(DecodeBench, RejectsWrongSchema) {
   EXPECT_THROW(decode_bench(parse_json(R"({"name": "x"})")), PreconditionError);
 }
 
+TEST(DecodeBench, DecodesV2HostHeadline) {
+  const BenchDoc b = decode_bench(parse_json(R"({
+    "schema": "acp-bench/2", "name": "fig7", "host": "runner-03", "wall_s": 2.0, "jobs": 1,
+    "headline": {"runs": 2, "success_rate": 1.0, "overhead_per_minute": 5.0, "mean_phi": 1.0,
+                 "events_per_sec": 120000.5, "peak_rss_bytes": 34230272}
+  })"));
+  EXPECT_EQ(b.schema, "acp-bench/2");
+  EXPECT_EQ(b.host, "runner-03");
+  EXPECT_DOUBLE_EQ(b.events_per_sec, 120000.5);
+  EXPECT_EQ(b.peak_rss_bytes, 34230272u);
+}
+
+TEST(DecodeBench, V1DocumentsDecodeWithV2FieldsZeroed) {
+  // Backward compat: committed v1 baselines keep decoding; the absent v2
+  // fields read as zero/empty, so the host-headline gates auto-skip.
+  const BenchDoc v1 = decode_bench(parse_json(R"({
+    "schema": "acp-bench/1", "name": "fig5",
+    "headline": {"runs": 1, "success_rate": 1.0, "overhead_per_minute": 1.0, "mean_phi": 1.0}
+  })"));
+  EXPECT_EQ(v1.schema, "acp-bench/1");
+  EXPECT_TRUE(v1.host.empty());
+  EXPECT_DOUBLE_EQ(v1.events_per_sec, 0.0);
+  EXPECT_EQ(v1.peak_rss_bytes, 0u);
+  BenchDoc v2 = v1;
+  v2.schema = "acp-bench/2";
+  v2.host = "runner-03";
+  v2.events_per_sec = 5e5;
+  v2.peak_rss_bytes = 64u << 20;
+  EXPECT_TRUE(diff(v1, v2, DiffThresholds{}).ok());
+  EXPECT_TRUE(diff(v2, v1, DiffThresholds{}).ok());
+}
+
+TEST(Diff, EventsRateCollapseFlaggedOnSameHostOnly) {
+  BenchDoc base = make_bench();
+  base.host = "ci";
+  base.events_per_sec = 100000.0;
+  BenchDoc cur = base;
+  cur.events_per_sec = 30000.0;  // 0.3x, below the 0.67 floor
+  const DiffResult r = diff(base, cur, DiffThresholds{});
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].find("events_per_sec"), std::string::npos);
+  // Another machine's throughput is incomparable: gate skipped, noted.
+  cur.host = "laptop";
+  const DiffResult skipped = diff(base, cur, DiffThresholds{});
+  EXPECT_TRUE(skipped.ok());
+  ASSERT_EQ(skipped.notes.size(), 1u);
+  EXPECT_NE(skipped.notes[0].find("hosts differ"), std::string::npos);
+}
+
+TEST(Diff, PeakRssGrowthRespectsRatioJobsAndHost) {
+  BenchDoc base = make_bench();
+  base.host = "ci";
+  base.peak_rss_bytes = 100u << 20;
+  BenchDoc cur = base;
+  cur.peak_rss_bytes = 250u << 20;  // 2.5x > default 2.0
+  EXPECT_FALSE(diff(base, cur, DiffThresholds{}).ok());
+  DiffThresholds loose;
+  loose.max_rss_ratio = 3.0;
+  EXPECT_TRUE(diff(base, cur, loose).ok());
+  cur.jobs = 8;  // different pool width → different footprint, gate skipped
+  EXPECT_TRUE(diff(base, cur, DiffThresholds{}).ok());
+}
+
 TEST(DecodeBench, DecodesFullDocument) {
   const BenchDoc b = decode_bench(parse_json(R"({
     "schema": "acp-bench/1", "name": "fig7", "git_sha": "abc", "seed": 42,
@@ -401,6 +464,150 @@ TEST(DecodeBench, DecodesFullDocument) {
   EXPECT_DOUBLE_EQ(b.success_rate, 0.8);
   ASSERT_EQ(b.scopes.count("sim.dispatch"), 1u);
   EXPECT_DOUBLE_EQ(b.scopes.at("sim.dispatch").mean_s, 0.1);
+}
+
+// ---- timeline ----------------------------------------------------------------
+
+// Golden timeline: ramp-up (100, 500), a six-sample plateau around 1000
+// events/s (t 90..240), then a tail-off (300). Steady-state detection at
+// the default 10% tolerance must find exactly the plateau.
+constexpr const char* kGoldenTimeline =
+    R"({"schema": "acp-timeline/1", "type": "header", "bench": "fig5", "git_sha": "abc", "seed": 42, "quick": true}
+{"type": "run_start", "run": 1, "label": "ACP"}
+{"type": "sample", "run": 1, "t": 30, "events": 3000, "events_per_s": 100, "queue_depth": 5, "live_probes": 1, "active_sessions": 2, "requests": 3, "successes": 2, "success_rate": 0.666666666667, "mean_phi": 0.5, "allocs": 0}
+{"type": "host_sample", "run": 1, "t": 30, "wall_s": 0.1, "peak_rss_bytes": 1000000}
+{"type": "sample", "run": 1, "t": 60, "events": 18000, "events_per_s": 500, "queue_depth": 9, "live_probes": 2, "active_sessions": 5, "requests": 9, "successes": 7, "success_rate": 0.777777777778, "mean_phi": 0.52, "allocs": 0}
+{"type": "sample", "run": 1, "t": 90, "events": 48000, "events_per_s": 1000, "queue_depth": 12, "live_probes": 2, "active_sessions": 9, "requests": 16, "successes": 13, "success_rate": 0.8125, "mean_phi": 0.53, "allocs": 0}
+{"type": "sample", "run": 1, "t": 120, "events": 78300, "events_per_s": 1010, "queue_depth": 12, "live_probes": 1, "active_sessions": 12, "requests": 24, "successes": 20, "success_rate": 0.833333333333, "mean_phi": 0.53, "allocs": 0}
+{"type": "sample", "run": 1, "t": 150, "events": 108000, "events_per_s": 990, "queue_depth": 13, "live_probes": 2, "active_sessions": 15, "requests": 32, "successes": 27, "success_rate": 0.84375, "mean_phi": 0.54, "allocs": 0}
+{"type": "sample", "run": 1, "t": 180, "events": 138000, "events_per_s": 1000, "queue_depth": 12, "live_probes": 1, "active_sessions": 17, "requests": 40, "successes": 34, "success_rate": 0.85, "mean_phi": 0.54, "allocs": 0}
+{"type": "sample", "run": 1, "t": 210, "events": 168150, "events_per_s": 1005, "queue_depth": 12, "live_probes": 2, "active_sessions": 19, "requests": 48, "successes": 41, "success_rate": 0.854166666667, "mean_phi": 0.54, "allocs": 0}
+{"type": "sample", "run": 1, "t": 240, "events": 198000, "events_per_s": 995, "queue_depth": 13, "live_probes": 1, "active_sessions": 21, "requests": 56, "successes": 48, "success_rate": 0.857142857143, "mean_phi": 0.54, "allocs": 0}
+{"type": "sample", "run": 1, "t": 270, "events": 207000, "events_per_s": 300, "queue_depth": 6, "live_probes": 0, "active_sessions": 18, "requests": 60, "successes": 52, "success_rate": 0.866666666667, "mean_phi": 0.54, "allocs": 0}
+{"type": "host_sample", "run": 1, "t": 270, "wall_s": 0.9, "peak_rss_bytes": 2000000}
+)";
+
+TimelineData timeline_from(const std::string& text) {
+  std::istringstream is(text);
+  return load_timeline(is);
+}
+
+std::string replaced(std::string s, const std::string& from, const std::string& to) {
+  const auto pos = s.find(from);
+  if (pos != std::string::npos) s.replace(pos, from.size(), to);
+  return s;
+}
+
+TEST(Timeline, LoadsHeaderRunsAndRows) {
+  const TimelineData d = timeline_from(kGoldenTimeline);
+  EXPECT_EQ(d.schema, "acp-timeline/1");
+  EXPECT_EQ(d.bench, "fig5");
+  EXPECT_EQ(d.git_sha, "abc");
+  EXPECT_EQ(d.seed, 42u);
+  EXPECT_TRUE(d.quick);
+  ASSERT_EQ(d.run_labels.count(1), 1u);
+  EXPECT_EQ(d.run_labels.at(1), "ACP");
+  EXPECT_EQ(d.samples.size(), 9u);
+  EXPECT_EQ(d.host_samples.size(), 2u);
+  // run_start + sample rows participate in the identity gate; host rows
+  // and the (field-compared) header do not.
+  EXPECT_EQ(d.sim_lines.size(), 10u);
+  EXPECT_DOUBLE_EQ(d.samples[0].events_per_s, 100.0);
+  EXPECT_EQ(d.samples[2].queue_depth, 12u);
+  EXPECT_EQ(d.host_samples[1].peak_rss_bytes, 2000000u);
+}
+
+TEST(Timeline, RejectsStreamWithoutHeader) {
+  EXPECT_THROW(timeline_from(R"({"type": "sample", "run": 1, "t": 30})"), PreconditionError);
+  EXPECT_THROW(timeline_from(""), PreconditionError);
+}
+
+TEST(Timeline, DetectsSteadyStateOnGoldenFixture) {
+  const TimelineAnalysis a = analyze_timeline(timeline_from(kGoldenTimeline), 0.1);
+  ASSERT_EQ(a.runs.size(), 1u);
+  const RunTimeline& rt = a.runs[0];
+  EXPECT_EQ(rt.run, 1u);
+  EXPECT_EQ(rt.label, "ACP");
+  EXPECT_EQ(rt.samples, 9u);
+  ASSERT_TRUE(rt.steady.found);
+  EXPECT_DOUBLE_EQ(rt.steady.start_t, 90.0);
+  EXPECT_DOUBLE_EQ(rt.steady.end_t, 240.0);
+  EXPECT_EQ(rt.steady.samples, 6u);
+  EXPECT_NEAR(rt.steady.mean_events_per_s, 1000.0, 0.5);
+}
+
+TEST(Timeline, SeriesStatsTrackExtremesWithTimes) {
+  const TimelineAnalysis a = analyze_timeline(timeline_from(kGoldenTimeline), 0.1);
+  ASSERT_EQ(a.runs.size(), 1u);
+  const SeriesStats* rate = nullptr;
+  for (const SeriesStats& s : a.runs[0].series) {
+    if (s.name == "events_per_s") rate = &s;
+  }
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->min, 100.0);
+  EXPECT_DOUBLE_EQ(rate->min_t, 30.0);
+  EXPECT_DOUBLE_EQ(rate->max, 1010.0);
+  EXPECT_DOUBLE_EQ(rate->max_t, 120.0);
+  EXPECT_GT(rate->stddev, 0.0);
+}
+
+TEST(Timeline, WindowsCoverEverySample) {
+  const TimelineAnalysis a = analyze_timeline(timeline_from(kGoldenTimeline), 0.1, 4);
+  ASSERT_EQ(a.runs.size(), 1u);
+  const auto& windows = a.runs[0].windows;
+  ASSERT_EQ(windows.size(), 3u);  // 9 samples in blocks of 4: 4 + 4 + 1
+  EXPECT_EQ(windows[0].samples, 4u);
+  EXPECT_EQ(windows[2].samples, 1u);
+  EXPECT_DOUBLE_EQ(windows[0].start_t, 30.0);
+  EXPECT_DOUBLE_EQ(windows[2].end_t, 270.0);
+  EXPECT_EQ(windows[1].max_queue_depth, 13u);
+}
+
+TEST(TimelineDiff, IdenticalStreamsPass) {
+  const TimelineData d = timeline_from(kGoldenTimeline);
+  const DiffResult r = diff_timelines(d, d);
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+}
+
+TEST(TimelineDiff, HostRowsAreExempt) {
+  // Wall clock and RSS legitimately differ across jobs widths / machines.
+  const TimelineData base = timeline_from(kGoldenTimeline);
+  const TimelineData cur = timeline_from(
+      replaced(kGoldenTimeline, "\"wall_s\": 0.1, \"peak_rss_bytes\": 1000000",
+               "\"wall_s\": 7.7, \"peak_rss_bytes\": 999000000"));
+  EXPECT_TRUE(diff_timelines(base, cur).ok());
+}
+
+TEST(TimelineDiff, DeterministicRowDivergenceIsFlagged) {
+  const TimelineData base = timeline_from(kGoldenTimeline);
+  const TimelineData cur = timeline_from(
+      replaced(kGoldenTimeline, "\"queue_depth\": 9", "\"queue_depth\": 10"));
+  const DiffResult r = diff_timelines(base, cur);
+  ASSERT_EQ(r.regressions.size(), 1u);
+  EXPECT_NE(r.regressions[0].find("deterministic row"), std::string::npos);
+}
+
+TEST(TimelineDiff, RowCountMismatchIsFlagged) {
+  std::string shorter(kGoldenTimeline);
+  // Drop the final sample + host_sample pair.
+  shorter.resize(shorter.rfind("{\"type\": \"sample\", \"run\": 1, \"t\": 270"));
+  const DiffResult r = diff_timelines(timeline_from(kGoldenTimeline), timeline_from(shorter));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions.back().find("deterministic rows"), std::string::npos);
+}
+
+TEST(TimelineDiff, HeaderComparedFieldWise) {
+  const TimelineData base = timeline_from(kGoldenTimeline);
+  // A different git sha alone is informational (cross-commit comparisons),
+  // but seed disagreement means the files describe different simulations.
+  const TimelineData resha =
+      timeline_from(replaced(kGoldenTimeline, "\"git_sha\": \"abc\"", "\"git_sha\": \"def\""));
+  const DiffResult ok = diff_timelines(base, resha);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.notes.empty());
+  const TimelineData reseed =
+      timeline_from(replaced(kGoldenTimeline, "\"seed\": 42", "\"seed\": 43"));
+  EXPECT_FALSE(diff_timelines(base, reseed).ok());
 }
 
 }  // namespace

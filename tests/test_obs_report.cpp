@@ -84,23 +84,29 @@ TEST(BenchReport, WritesSchemaVersionedJson) {
   rep.git_sha = "abc";
   rep.seed = 42;
   rep.quick = true;
+  rep.host = "runner-03";
   rep.wall_s = 1.5;
   rep.add_config("duration_min", "20");
   rep.runs = 12;
   rep.success_rate = 0.64;
   rep.overhead_per_minute = 32000.0;
   rep.mean_phi = 1.11;
+  rep.events_per_sec = 240000.0;
+  rep.peak_rss_bytes = 28000000;
   rep.scopes.push_back({"sim.dispatch", 10, 0.1, 0.01, 0.01, 0.02, 0.03, 0.04});
   rep.counters.emplace_back("acp.probe.spawned", 400);
 
   std::ostringstream os;
   rep.write_json(os);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"acp-bench/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"acp-bench/2\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"fig6\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"host\": \"runner-03\""), std::string::npos);
   EXPECT_NE(json.find("\"headline\""), std::string::npos);
   EXPECT_NE(json.find("\"success_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_per_sec\": 240000"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_bytes\": 28000000"), std::string::npos);
   EXPECT_NE(json.find("\"sim.dispatch\""), std::string::npos);
   EXPECT_NE(json.find("\"duration_min\": \"20\""), std::string::npos);
   EXPECT_NE(json.find("\"acp.probe.spawned\": 400"), std::string::npos);

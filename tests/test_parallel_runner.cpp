@@ -7,6 +7,7 @@
 // acp.prof.* histograms) are the only permitted difference.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "exp/parallel.h"
 #include "exp/repeated.h"
 #include "obs/bench_report.h"
+#include "obs/context.h"
 
 namespace acp::exp {
 namespace {
@@ -92,6 +94,7 @@ TEST(ParallelRunner, RepeatedResultIdenticalAcrossJobs) {
 /// excluded), and the BENCH report fed by the registry.
 struct ObsDump {
   std::string trace;
+  std::string timeline;  ///< raw timeline rows, host_sample rows included
   std::uint64_t trace_events = 0;
   std::vector<std::string> counters;
   std::vector<std::string> gauges;
@@ -99,10 +102,23 @@ struct ObsDump {
   std::string bench_json;
 };
 
+/// Timeline stream minus its host_sample rows — the deterministic series
+/// that must be byte-identical across jobs widths.
+std::string sim_rows_only(const std::string& timeline) {
+  std::istringstream in(timeline);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("\"host_sample\"") == std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
 ObsDump run_observed(std::size_t jobs) {
   obs::Observability ob;
   std::ostringstream trace;
   ob.tracer.set_stream(&trace);
+  std::ostringstream timeline;
+  ob.timeline.set_stream(&timeline);
 
   const auto sys_cfg = tiny_system();
   const auto fabric = build_fabric(sys_cfg);
@@ -112,13 +128,16 @@ ObsDump run_observed(std::size_t jobs) {
     t.config.duration_minutes = 2.0;
     t.config.run_seed = 100 + i;
     t.config.obs = &ob;
+    t.config.timeline.sample_interval_s = 30.0;
     trials.push_back(std::move(t));
   }
   const auto runs = run_trials(trials, jobs);
   ob.tracer.set_stream(nullptr);
+  ob.timeline.set_stream(nullptr);
 
   ObsDump d;
   d.trace = trace.str();
+  d.timeline = timeline.str();
   d.trace_events = ob.tracer.events_emitted();
   ob.metrics.for_each_counter(
       [&](const std::string& name, const obs::Labels& l, const obs::Counter& c) {
@@ -169,6 +188,14 @@ TEST(ParallelRunner, MergedObservabilityIdenticalAcrossJobs) {
   EXPECT_TRUE(serial.trace == parallel.trace)
       << "traces differ: " << serial.trace.size() << " vs " << parallel.trace.size()
       << " bytes";
+
+  // Same deal for the timeline: deterministic sample rows are merged in
+  // submission order and must be byte-identical; only the host_sample rows
+  // (wall clock, RSS) may differ between jobs widths.
+  const std::string serial_sim = sim_rows_only(serial.timeline);
+  EXPECT_FALSE(serial_sim.empty());
+  EXPECT_TRUE(serial_sim == sim_rows_only(parallel.timeline))
+      << "deterministic timeline rows differ across jobs widths";
 
   EXPECT_EQ(serial.counters, parallel.counters);
   EXPECT_EQ(serial.gauges, parallel.gauges);
@@ -247,6 +274,68 @@ TEST(ParallelRunner, WorkerExceptionPropagatesAndSkipsMerge) {
 
 TEST(ParallelRunner, EmptyTrialListIsANoOp) {
   EXPECT_TRUE(run_trials({}, 4).empty());
+}
+
+// ---- ObsContext histogram merge edge cases ----------------------------------
+
+TEST(ObsContextMerge, EmptyContextMergeIsANoOp) {
+  // An island that observed nothing must leave the target untouched — no
+  // phantom series, no disturbed values.
+  obs::Observability target;
+  target.metrics.counter("acp.test.count").add(3);
+  obs::ObsContext ctx(&target);
+  ctx.merge_into(&target);
+  ASSERT_NE(target.metrics.find_counter("acp.test.count"), nullptr);
+  EXPECT_EQ(target.metrics.find_counter("acp.test.count")->value(), 3u);
+  EXPECT_EQ(target.metrics.series_count(), 1u);
+}
+
+TEST(ObsContextMerge, SingleSampleHistogramReportsItselfThroughMerge) {
+  // docs/PERF.md: quantiles clamp to the observed [min, max], so a single
+  // sample reports itself, not a bucket bound. The clamp must survive the
+  // island merge (the target's series is created empty, then merged into).
+  obs::Observability target;
+  obs::ObsContext ctx(&target);
+  ctx.observability()->metrics.histogram("acp.test.h", {0.001, 1.0, 10.0}).observe(0.37);
+  ctx.merge_into(&target);
+  const obs::Histogram* h = target.metrics.find_histogram("acp.test.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.37);
+  EXPECT_DOUBLE_EQ(h->max(), 0.37);
+  EXPECT_DOUBLE_EQ(h->quantile(0.5), 0.37);
+  EXPECT_DOUBLE_EQ(h->quantile(0.99), 0.37);
+}
+
+TEST(ObsContextMerge, BucketBoundaryValuesMergeExactlyAcrossEightWorkers) {
+  // Observations landing exactly on the inclusive upper bounds must count
+  // into the same buckets whether observed serially or merged from eight
+  // islands — bucket counts, extremes, and quantiles all agree.
+  const std::vector<double> bounds{0.001, 0.01, 0.1};
+  obs::Observability serial;
+  obs::Histogram& sh = serial.metrics.histogram("acp.test.h", bounds);
+  obs::Observability target;
+  std::vector<std::unique_ptr<obs::ObsContext>> islands;
+  for (int w = 0; w < 8; ++w) islands.push_back(std::make_unique<obs::ObsContext>(&target));
+  for (auto& island : islands) {
+    obs::Histogram& ih = island->observability()->metrics.histogram("acp.test.h", bounds);
+    for (const double v : bounds) {  // exactly on every inclusive upper bound
+      sh.observe(v);
+      ih.observe(v);
+    }
+    sh.observe(5.0);  // lands in the implicit +inf bucket
+    ih.observe(5.0);
+  }
+  for (auto& island : islands) island->merge_into(&target);
+  const obs::Histogram* merged = target.metrics.find_histogram("acp.test.h");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), sh.count());
+  EXPECT_EQ(merged->bucket_counts(), sh.bucket_counts());
+  EXPECT_DOUBLE_EQ(merged->sum(), sh.sum());
+  EXPECT_DOUBLE_EQ(merged->min(), sh.min());
+  EXPECT_DOUBLE_EQ(merged->max(), sh.max());
+  EXPECT_DOUBLE_EQ(merged->quantile(0.5), sh.quantile(0.5));
+  EXPECT_DOUBLE_EQ(merged->quantile(0.99), sh.quantile(0.99));
 }
 
 }  // namespace

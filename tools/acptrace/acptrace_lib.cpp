@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <deque>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -536,12 +537,14 @@ std::vector<Violation> validate(const TraceData& trace) {
 
 BenchDoc decode_bench(const JsonValue& doc) {
   const std::string schema = doc.str_or("schema", "");
-  if (schema != "acp-bench/1") {
-    throw PreconditionError("not an acp-bench/1 document (schema: \"" + schema + "\")");
+  if (schema != "acp-bench/1" && schema != "acp-bench/2") {
+    throw PreconditionError("not an acp-bench/1|2 document (schema: \"" + schema + "\")");
   }
   BenchDoc b;
+  b.schema = schema;
   b.name = doc.str_or("name", "");
   b.git_sha = doc.str_or("git_sha", "");
+  b.host = doc.str_or("host", "");  // absent in v1 → empty → host gates skip
   b.wall_s = doc.num_or("wall_s", 0.0);
   b.jobs = static_cast<std::uint64_t>(doc.num_or("jobs", 1.0));
   if (const JsonValue* h = doc.find("headline")) {
@@ -549,6 +552,8 @@ BenchDoc decode_bench(const JsonValue& doc) {
     b.success_rate = h->num_or("success_rate", 0.0);
     b.overhead_per_minute = h->num_or("overhead_per_minute", 0.0);
     b.mean_phi = h->num_or("mean_phi", 0.0);
+    b.events_per_sec = h->num_or("events_per_sec", 0.0);
+    b.peak_rss_bytes = static_cast<std::uint64_t>(h->num_or("peak_rss_bytes", 0.0));
   }
   if (const JsonValue* scopes = doc.find("scopes")) {
     for (const JsonValue& s : scopes->array) {
@@ -662,6 +667,34 @@ DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresho
                               fmt(base.wall_s) + " → " + fmt(current.wall_s) + " s, allowed " +
                               fmt(th.max_wall_ratio) + "x)");
   }
+
+  // Host-headline gates (v2): even same-jobs numbers are incomparable
+  // across machines, so these additionally need matching host names. Zero
+  // on either side means the field predates the v2 schema — skip.
+  const bool host_comparable =
+      wall_comparable && !base.host.empty() && base.host == current.host;
+  if (wall_comparable && !base.host.empty() && !current.host.empty() &&
+      base.host != current.host) {
+    res.notes.push_back("hosts differ: " + base.host + " vs " + current.host +
+                        " (events_per_sec / peak RSS gates skipped)");
+  }
+  if (host_comparable && base.events_per_sec > 0.0 && current.events_per_sec > 0.0 &&
+      current.events_per_sec < base.events_per_sec * th.min_events_rate_ratio) {
+    res.regressions.push_back(
+        "events_per_sec fell to " + fmt(current.events_per_sec / base.events_per_sec) + "x (" +
+        fmt(base.events_per_sec) + " → " + fmt(current.events_per_sec) + ", floor " +
+        fmt(th.min_events_rate_ratio) + "x)");
+  }
+  if (host_comparable && base.peak_rss_bytes > 0 && current.peak_rss_bytes > 0 &&
+      static_cast<double>(current.peak_rss_bytes) >
+          static_cast<double>(base.peak_rss_bytes) * th.max_rss_ratio) {
+    res.regressions.push_back(
+        "peak_rss_bytes grew " +
+        fmt(static_cast<double>(current.peak_rss_bytes) /
+            static_cast<double>(base.peak_rss_bytes)) +
+        "x (" + std::to_string(base.peak_rss_bytes) + " → " +
+        std::to_string(current.peak_rss_bytes) + ", allowed " + fmt(th.max_rss_ratio) + "x)");
+  }
   for (const auto& [name, b] : base.scopes) {
     const auto it = current.scopes.find(name);
     if (it == current.scopes.end()) {
@@ -689,6 +722,12 @@ void write_diff(std::ostream& os, const BenchDoc& base, const BenchDoc& current,
   os << "bench: " << current.name << "  (base " << base.git_sha << " → current "
      << current.git_sha << ")\n";
   os << "wall_s: " << base.wall_s << " → " << current.wall_s << "\n";
+  if (base.events_per_sec > 0.0 || current.events_per_sec > 0.0) {
+    os << "events_per_sec: " << base.events_per_sec << " → " << current.events_per_sec << "\n";
+  }
+  if (base.peak_rss_bytes > 0 || current.peak_rss_bytes > 0) {
+    os << "peak_rss_bytes: " << base.peak_rss_bytes << " → " << current.peak_rss_bytes << "\n";
+  }
   os << "success_rate: " << base.success_rate << " → " << current.success_rate << "\n";
   os << "overhead_per_minute: " << base.overhead_per_minute << " → "
      << current.overhead_per_minute << "\n";
@@ -696,6 +735,322 @@ void write_diff(std::ostream& os, const BenchDoc& base, const BenchDoc& current,
   for (const std::string& n : result.notes) os << "note: " << n << "\n";
   if (result.ok()) {
     os << "OK: no regression beyond thresholds\n";
+  } else {
+    for (const std::string& r : result.regressions) os << "REGRESSION: " << r << "\n";
+  }
+}
+
+// ---- timeline loading -----------------------------------------------------------
+
+TimelineData load_timeline(std::istream& in) {
+  TimelineData data;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++data.lines;
+    const obs::ParsedTraceEvent ev = obs::parse_trace_line(line);
+    const std::string& type = ev.str("type");
+    if (!saw_header) {
+      if (type != "header" || ev.str("schema").rfind("acp-timeline/", 0) != 0) {
+        throw PreconditionError(
+            "not an acp-timeline stream (first row must be the schema header)");
+      }
+      data.schema = ev.str("schema");
+      data.bench = ev.str("bench");
+      data.git_sha = ev.str("git_sha");
+      data.seed = static_cast<std::uint64_t>(ev.num("seed"));
+      data.quick = ev.num("quick") != 0.0;
+      saw_header = true;
+      continue;
+    }
+    if (type == "run_start") {
+      data.run_labels[static_cast<std::uint64_t>(ev.num("run"))] = ev.str("label");
+      data.sim_lines.push_back(line);
+      continue;
+    }
+    if (type == "sample") {
+      TimelineSampleRow r;
+      r.run = static_cast<std::uint64_t>(ev.num("run"));
+      r.t = ev.num("t");
+      r.events = static_cast<std::uint64_t>(ev.num("events"));
+      r.events_per_s = ev.num("events_per_s");
+      r.queue_depth = static_cast<std::uint64_t>(ev.num("queue_depth"));
+      r.live_probes = static_cast<std::uint64_t>(ev.num("live_probes"));
+      r.active_sessions = static_cast<std::uint64_t>(ev.num("active_sessions"));
+      r.requests = static_cast<std::uint64_t>(ev.num("requests"));
+      r.successes = static_cast<std::uint64_t>(ev.num("successes"));
+      r.success_rate = ev.num("success_rate");
+      r.mean_phi = ev.num("mean_phi");
+      r.allocs = static_cast<std::uint64_t>(ev.num("allocs"));
+      data.samples.push_back(r);
+      data.sim_lines.push_back(line);
+      continue;
+    }
+    if (type == "host_sample") {
+      TimelineHostRow h;
+      h.run = static_cast<std::uint64_t>(ev.num("run"));
+      h.t = ev.num("t");
+      h.wall_s = ev.num("wall_s");
+      h.peak_rss_bytes = static_cast<std::uint64_t>(ev.num("peak_rss_bytes"));
+      data.host_samples.push_back(h);
+      continue;
+    }
+    // Forward compatibility: unknown row types are deterministic unless the
+    // writer marked them host-side by the host_ prefix convention.
+    if (type.rfind("host_", 0) != 0) data.sim_lines.push_back(line);
+  }
+  if (!saw_header) throw PreconditionError("empty timeline stream (no header row)");
+  return data;
+}
+
+TimelineData load_timeline_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open timeline file: " + path);
+  return load_timeline(in);
+}
+
+bool is_timeline_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string first;
+  if (!std::getline(in, first)) return false;
+  return first.find("\"acp-timeline/") != std::string::npos;
+}
+
+// ---- timeline analysis ----------------------------------------------------------
+
+namespace {
+
+/// Longest window of >= 3 samples with every events_per_s within
+/// tol*window-mean of the window mean. Sliding two-pointer with monotonic
+/// min/max deques: for each right end the left end only ever advances, so
+/// the scan is linear. (Shrinking re-centres the mean, so this is a greedy
+/// maximal window per right end — exact enough for steady-state reporting.)
+SteadyWindow find_steady(const std::vector<const TimelineSampleRow*>& rows, double tol) {
+  SteadyWindow best;
+  std::vector<double> prefix(rows.size() + 1, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) prefix[i + 1] = prefix[i] + rows[i]->events_per_s;
+  std::deque<std::size_t> minq, maxq;
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    const double v = rows[j]->events_per_s;
+    while (!minq.empty() && rows[minq.back()]->events_per_s >= v) minq.pop_back();
+    minq.push_back(j);
+    while (!maxq.empty() && rows[maxq.back()]->events_per_s <= v) maxq.pop_back();
+    maxq.push_back(j);
+    const auto steady = [&] {
+      const double mean = (prefix[j + 1] - prefix[i]) / static_cast<double>(j - i + 1);
+      const double band = tol * mean + 1e-12;
+      return rows[maxq.front()]->events_per_s - mean <= band &&
+             mean - rows[minq.front()]->events_per_s <= band;
+    };
+    while (i < j && !steady()) {
+      if (minq.front() == i) minq.pop_front();
+      if (maxq.front() == i) maxq.pop_front();
+      ++i;
+    }
+    const std::size_t len = j - i + 1;
+    if (len >= 3 && len > best.samples && steady()) {
+      best.found = true;
+      best.samples = len;
+      best.start_t = rows[i]->t;
+      best.end_t = rows[j]->t;
+      best.mean_events_per_s = (prefix[j + 1] - prefix[i]) / static_cast<double>(len);
+    }
+  }
+  return best;
+}
+
+SeriesStats series_stats(const char* name, const std::vector<const TimelineSampleRow*>& rows,
+                         double (*get)(const TimelineSampleRow&)) {
+  SeriesStats st;
+  st.name = name;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double v = get(*rows[i]);
+    sum += v;
+    if (i == 0 || v < st.min) {
+      st.min = v;
+      st.min_t = rows[i]->t;
+    }
+    if (i == 0 || v > st.max) {
+      st.max = v;
+      st.max_t = rows[i]->t;
+    }
+  }
+  st.mean = rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+  double var = 0.0;
+  for (const TimelineSampleRow* r : rows) {
+    const double d = get(*r) - st.mean;
+    var += d * d;
+  }
+  st.stddev = rows.empty() ? 0.0 : std::sqrt(var / static_cast<double>(rows.size()));
+  if (st.stddev > 0.0) {
+    const double band = 3.0 * st.stddev;
+    std::size_t extra = 0;
+    for (const TimelineSampleRow* r : rows) {
+      const double v = get(*r);
+      if (std::abs(v - st.mean) <= band) continue;
+      if (st.anomalies.size() < 5) {
+        st.anomalies.push_back("t=" + fmt(r->t) + ": " + fmt(v) + " (3-sigma band [" +
+                               fmt(st.mean - band) + ", " + fmt(st.mean + band) + "])");
+      } else {
+        ++extra;
+      }
+    }
+    if (extra > 0) st.anomalies.push_back("… and " + std::to_string(extra) + " more");
+  }
+  return st;
+}
+
+}  // namespace
+
+TimelineAnalysis analyze_timeline(const TimelineData& data, double steady_tol,
+                                  std::size_t window) {
+  TimelineAnalysis a;
+  a.bench = data.bench;
+  a.seed = data.seed;
+  a.quick = data.quick;
+
+  std::map<std::uint64_t, std::vector<const TimelineSampleRow*>> by_run;
+  for (const TimelineSampleRow& s : data.samples) by_run[s.run].push_back(&s);
+
+  for (const auto& [run, rows] : by_run) {
+    RunTimeline rt;
+    rt.run = run;
+    if (const auto it = data.run_labels.find(run); it != data.run_labels.end()) {
+      rt.label = it->second;
+    }
+    rt.samples = rows.size();
+    rt.first_t = rows.front()->t;
+    rt.last_t = rows.back()->t;
+    rt.steady = find_steady(rows, steady_tol);
+
+    using Getter = double (*)(const TimelineSampleRow&);
+    static constexpr std::pair<const char*, Getter> kSeries[] = {
+        {"events_per_s", [](const TimelineSampleRow& s) { return s.events_per_s; }},
+        {"queue_depth",
+         [](const TimelineSampleRow& s) { return static_cast<double>(s.queue_depth); }},
+        {"live_probes",
+         [](const TimelineSampleRow& s) { return static_cast<double>(s.live_probes); }},
+        {"active_sessions",
+         [](const TimelineSampleRow& s) { return static_cast<double>(s.active_sessions); }},
+        {"success_rate", [](const TimelineSampleRow& s) { return s.success_rate; }},
+        {"mean_phi", [](const TimelineSampleRow& s) { return s.mean_phi; }},
+    };
+    for (const auto& [name, get] : kSeries) rt.series.push_back(series_stats(name, rows, get));
+
+    std::size_t w = window;
+    if (w == 0) w = std::max<std::size_t>(1, rows.size() / 12);
+    for (std::size_t start = 0; start < rows.size(); start += w) {
+      const std::size_t end = std::min(start + w, rows.size());
+      WindowRate wr;
+      wr.start_t = rows[start]->t;
+      wr.end_t = rows[end - 1]->t;
+      wr.samples = end - start;
+      for (std::size_t k = start; k < end; ++k) {
+        wr.mean_events_per_s += rows[k]->events_per_s;
+        wr.mean_queue_depth += static_cast<double>(rows[k]->queue_depth);
+        wr.max_queue_depth = std::max(wr.max_queue_depth, rows[k]->queue_depth);
+      }
+      wr.mean_events_per_s /= static_cast<double>(wr.samples);
+      wr.mean_queue_depth /= static_cast<double>(wr.samples);
+      rt.windows.push_back(wr);
+    }
+    a.runs.push_back(std::move(rt));
+  }
+  return a;
+}
+
+void write_timeline_analysis(std::ostream& os, const TimelineAnalysis& a) {
+  os << "timeline: " << a.bench << " (seed " << a.seed << (a.quick ? ", quick" : "") << ")\n";
+  for (const RunTimeline& rt : a.runs) {
+    os << "\nrun " << rt.run;
+    if (!rt.label.empty()) os << " [" << rt.label << "]";
+    os << ": " << rt.samples << " samples, t " << rt.first_t << " → " << rt.last_t << " s\n";
+    if (rt.steady.found) {
+      os << "  steady state: t " << rt.steady.start_t << " → " << rt.steady.end_t << " s ("
+         << rt.steady.samples << " samples, " << rt.steady.mean_events_per_s
+         << " events/s sim)\n";
+    } else {
+      os << "  steady state: none (no window of >= 3 samples within tolerance)\n";
+    }
+    os << "  series (min@t / mean ± stddev / max@t):\n";
+    for (const SeriesStats& st : rt.series) {
+      os << "    " << st.name << ": " << st.min << " @t=" << st.min_t << " / " << st.mean
+         << " ± " << st.stddev << " / " << st.max << " @t=" << st.max_t << "\n";
+    }
+    os << "  windows:\n";
+    for (const WindowRate& wr : rt.windows) {
+      os << "    t " << wr.start_t << " → " << wr.end_t << " s: " << wr.mean_events_per_s
+         << " events/s, queue " << wr.mean_queue_depth << " mean / " << wr.max_queue_depth
+         << " max\n";
+    }
+    bool any_anomaly = false;
+    for (const SeriesStats& st : rt.series) {
+      for (const std::string& an : st.anomalies) {
+        if (!any_anomaly) os << "  anomalies:\n";
+        any_anomaly = true;
+        os << "    " << st.name << " " << an << "\n";
+      }
+    }
+  }
+}
+
+// ---- timeline diff --------------------------------------------------------------
+
+DiffResult diff_timelines(const TimelineData& base, const TimelineData& current) {
+  DiffResult res;
+  if (base.schema != current.schema) {
+    res.regressions.push_back("sim not identical: schema " + base.schema + " vs " +
+                              current.schema);
+  }
+  if (base.bench != current.bench) {
+    res.notes.push_back("comparing different benches: " + base.bench + " vs " + current.bench);
+  }
+  if (base.seed != current.seed) {
+    res.regressions.push_back("sim not identical: seed " + std::to_string(base.seed) + " vs " +
+                              std::to_string(current.seed));
+  }
+  if (base.quick != current.quick) {
+    res.regressions.push_back(std::string("sim not identical: quick ") +
+                              (base.quick ? "true" : "false") + " vs " +
+                              (current.quick ? "true" : "false"));
+  }
+  if (base.git_sha != current.git_sha) {
+    res.notes.push_back("git_sha differs: " + base.git_sha + " vs " + current.git_sha +
+                        " (header identity is field-wise; sha is informational)");
+  }
+  const std::size_t n = std::min(base.sim_lines.size(), current.sim_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base.sim_lines[i] != current.sim_lines[i]) {
+      // Everything after the first divergence is usually offset noise, so
+      // report only where the streams fork.
+      res.regressions.push_back("sim not identical: deterministic row " + std::to_string(i + 1) +
+                                " diverges\n  base:    " + base.sim_lines[i] +
+                                "\n  current: " + current.sim_lines[i]);
+      break;
+    }
+  }
+  if (base.sim_lines.size() != current.sim_lines.size()) {
+    res.regressions.push_back(
+        "sim not identical: " + std::to_string(base.sim_lines.size()) + " vs " +
+        std::to_string(current.sim_lines.size()) + " deterministic rows");
+  }
+  return res;
+}
+
+void write_timeline_diff(std::ostream& os, const TimelineData& base,
+                         const TimelineData& current, const DiffResult& result) {
+  os << "timeline: " << current.bench << "  (base " << base.git_sha << " → current "
+     << current.git_sha << ")\n";
+  os << "deterministic rows: " << base.sim_lines.size() << " vs " << current.sim_lines.size()
+     << ", host rows (exempt): " << base.host_samples.size() << " vs "
+     << current.host_samples.size() << "\n";
+  for (const std::string& n : result.notes) os << "note: " << n << "\n";
+  if (result.ok()) {
+    os << "OK: deterministic timeline rows identical\n";
   } else {
     for (const std::string& r : result.regressions) os << "REGRESSION: " << r << "\n";
   }

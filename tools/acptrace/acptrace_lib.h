@@ -16,6 +16,12 @@
 //     regressions against configurable thresholds; CI runs it as the
 //     perf-smoke gate with baselines from bench/baselines/.
 //
+//   * sim-time timeline telemetry JSONL (obs/timeline.h, --timeline-out) —
+//     `timeline` summarizes each run's series (window rates, per-series
+//     min/max/anomalies, steady-state detection); `diff` on two timeline
+//     files runs the jobs-invariance identity gate over the deterministic
+//     rows (host_sample rows exempt).
+//
 // The library is UI-free (no printing, no exit codes) so tests can drive it
 // directly; tools/acptrace/main.cpp adds the CLI.
 #pragma once
@@ -125,14 +131,19 @@ std::vector<Violation> validate(const TraceData& trace);
 
 /// One BENCH_<name>.json, decoded into the fields diff compares.
 struct BenchDoc {
+  std::string schema;  ///< "acp-bench/1" or "acp-bench/2"
   std::string name;
   std::string git_sha;
+  std::string host;  ///< machine the bench ran on; empty in v1 documents
   double wall_s = 0.0;
   std::uint64_t jobs = 1;  ///< worker-pool width ("jobs" field; 1 pre-PR-5)
   double success_rate = 0.0;
   double overhead_per_minute = 0.0;
   double mean_phi = 0.0;
   std::uint64_t runs = 0;
+  // Host-headline metrics (v2); zero when the document predates them.
+  double events_per_sec = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
   struct Scope {
     double total_s = 0.0;
     double mean_s = 0.0;
@@ -144,8 +155,10 @@ struct BenchDoc {
   std::map<std::string, std::uint64_t> counters;
 };
 
-/// Decodes a parsed acp-bench/1 document; throws PreconditionError when the
-/// schema marker is missing or wrong.
+/// Decodes a parsed acp-bench document — both schema versions (v1 reads
+/// with the v2 fields zeroed/empty, so the new gates auto-skip against old
+/// baselines). Throws PreconditionError when the schema marker is missing
+/// or unknown.
 BenchDoc decode_bench(const JsonValue& doc);
 BenchDoc load_bench_file(const std::string& path);
 
@@ -160,6 +173,11 @@ struct DiffThresholds {
   double max_success_drop = 0.02;    ///< absolute drop in success_rate
   double max_overhead_ratio = 1.10;  ///< probing overhead growth
   double max_phi_ratio = 1.10;       ///< mean φ(λ) growth
+  // Host-headline gates (bench schema v2). Applied only when both sides ran
+  // on the SAME host with the SAME jobs width and both carry the field —
+  // v1 baselines decode as zero, so these auto-skip against old reports.
+  double min_events_rate_ratio = 0.67;  ///< floor on current/base events_per_sec
+  double max_rss_ratio = 2.0;           ///< peak_rss_bytes growth
   /// Jobs-invariance mode: every deterministic sim observable (headline
   /// metrics, run count, counter totals) must match the baseline EXACTLY —
   /// any difference is a regression. Wall-clock fields stay ratio-gated.
@@ -176,5 +194,128 @@ struct DiffResult {
 DiffResult diff(const BenchDoc& base, const BenchDoc& current, const DiffThresholds& th);
 void write_diff(std::ostream& os, const BenchDoc& base, const BenchDoc& current,
                 const DiffResult& result);
+
+// ---- timeline: sim-time telemetry series --------------------------------------
+
+/// One deterministic "sample" row of an acp-timeline stream (obs/timeline.h).
+struct TimelineSampleRow {
+  std::uint64_t run = 0;
+  double t = 0.0;  ///< sim seconds
+  std::uint64_t events = 0;
+  double events_per_s = 0.0;  ///< sim rate since the previous sample
+  std::uint64_t queue_depth = 0;
+  std::uint64_t live_probes = 0;
+  std::uint64_t active_sessions = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t successes = 0;
+  double success_rate = 0.0;
+  double mean_phi = 0.0;
+  std::uint64_t allocs = 0;
+};
+
+/// One "host_sample" row — wall-clock observables, exempt from identity gates.
+struct TimelineHostRow {
+  std::uint64_t run = 0;
+  double t = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+struct TimelineData {
+  std::string schema;  ///< from the header row, e.g. "acp-timeline/1"
+  std::string bench;
+  std::string git_sha;
+  std::uint64_t seed = 0;
+  bool quick = false;
+  std::map<std::uint64_t, std::string> run_labels;  ///< run index → algorithm label
+  std::vector<TimelineSampleRow> samples;           ///< file order
+  std::vector<TimelineHostRow> host_samples;
+  /// run_start + sample lines verbatim, in file order. diff_timelines
+  /// compares these byte-for-byte (the header is compared field-wise so a
+  /// git_sha difference alone never trips the identity gate).
+  std::vector<std::string> sim_lines;
+  std::uint64_t lines = 0;  ///< total non-empty lines parsed
+};
+
+/// Reads an acp-timeline JSONL stream. Throws PreconditionError on a
+/// malformed line or when the first row is not an acp-timeline header.
+TimelineData load_timeline(std::istream& in);
+TimelineData load_timeline_file(const std::string& path);
+
+/// True when the file's first line carries an acp-timeline schema marker —
+/// how `diff` picks timeline mode over bench-report mode. Never throws; an
+/// unreadable file is simply not a timeline.
+bool is_timeline_file(const std::string& path);
+
+// ---- timeline analysis ----------------------------------------------------------
+
+/// Summary of one numeric series within one run.
+struct SeriesStats {
+  std::string name;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min_t = 0.0;  ///< sim time of the minimum
+  double max_t = 0.0;  ///< sim time of the maximum
+  /// Samples outside the 3-sigma band, "t=<T>: <value>" (capped, see
+  /// analyze_timeline). Empty when stddev is zero.
+  std::vector<std::string> anomalies;
+};
+
+/// Longest contiguous stretch of samples whose events_per_s stays within
+/// a relative tolerance of the window's own mean — the run's steady state.
+struct SteadyWindow {
+  bool found = false;  ///< a window of >= 3 samples existed
+  double start_t = 0.0;
+  double end_t = 0.0;
+  double mean_events_per_s = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Aggregate over a fixed block of consecutive samples — the coarse
+/// rate/queue profile the `timeline` subcommand prints.
+struct WindowRate {
+  double start_t = 0.0;
+  double end_t = 0.0;
+  std::size_t samples = 0;
+  double mean_events_per_s = 0.0;
+  double mean_queue_depth = 0.0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+struct RunTimeline {
+  std::uint64_t run = 0;
+  std::string label;  ///< from the run_start row
+  std::size_t samples = 0;
+  double first_t = 0.0;
+  double last_t = 0.0;
+  SteadyWindow steady;
+  std::vector<SeriesStats> series;  ///< fixed order, see analyze_timeline
+  std::vector<WindowRate> windows;
+};
+
+struct TimelineAnalysis {
+  std::string bench;
+  std::uint64_t seed = 0;
+  bool quick = false;
+  std::vector<RunTimeline> runs;  ///< ascending run index
+};
+
+/// Per-run series summaries. `steady_tol` is the relative band for
+/// steady-state detection (0.1 = every sample within ±10% of the window
+/// mean). `window` groups that many consecutive samples per WindowRate row;
+/// 0 picks a size that yields roughly a dozen windows per run.
+TimelineAnalysis analyze_timeline(const TimelineData& data, double steady_tol = 0.1,
+                                  std::size_t window = 0);
+void write_timeline_analysis(std::ostream& os, const TimelineAnalysis& a);
+
+/// Jobs-invariance identity gate over two timeline streams: the headers
+/// must agree on schema/bench/seed/quick and every deterministic row
+/// (run_start, sample) must match byte-for-byte in order. host_sample rows
+/// are exempt — they may differ freely across jobs widths and machines.
+DiffResult diff_timelines(const TimelineData& base, const TimelineData& current);
+void write_timeline_diff(std::ostream& os, const TimelineData& base,
+                         const TimelineData& current, const DiffResult& result);
 
 }  // namespace acp::tracecli

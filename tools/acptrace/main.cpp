@@ -11,12 +11,23 @@
 //       Threshold flags (defaults in acptrace_lib.h):
 //         --max-wall-ratio=R --max-scope-ratio=R --min-scope-total-s=S
 //         --max-success-drop=D --max-overhead-ratio=R --max-phi-ratio=R
+//         --min-events-rate-ratio=R --max-rss-ratio=R
 //       --require-identical-sim additionally demands every deterministic
 //       sim observable (headline metrics, runs, counter totals) match the
 //       baseline exactly — the --jobs invariance gate.
+//       When both files are timeline JSONL (--timeline-out artifacts,
+//       sniffed by the schema marker on the first line), diff instead runs
+//       the timeline identity gate: every deterministic row (run_start,
+//       sample) must match byte-for-byte; host_sample rows are exempt.
 //       Exit 1 when any threshold is breached.
 //
-// Exit codes: 0 ok, 1 violations/regressions found, 2 usage or I/O error.
+//   acptrace timeline <timeline.jsonl> [--steady-tol=F] [--window=N]
+//       Sim-time telemetry summary per run: steady-state window, per-series
+//       min/max/mean/anomalies, coarse window rates.
+//
+// Exit codes: 0 ok, 1 violations/regressions found, 2 usage or I/O error,
+// 3 baseline missing/unparseable (diff only — lets CI distinguish "perf
+// regressed" from "no baseline to compare against").
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -37,7 +48,10 @@ int usage() {
                "           [--max-wall-ratio=R] [--max-scope-ratio=R]\n"
                "           [--min-scope-total-s=S] [--max-success-drop=D]\n"
                "           [--max-overhead-ratio=R] [--max-phi-ratio=R]\n"
-               "           [--require-identical-sim]\n");
+               "           [--min-events-rate-ratio=R] [--max-rss-ratio=R]\n"
+               "           [--require-identical-sim]\n"
+               "       acptrace diff <baseline.jsonl> <current.jsonl>   (timeline mode)\n"
+               "       acptrace timeline <timeline.jsonl> [--steady-tol=F] [--window=N]\n");
   return 2;
 }
 
@@ -74,13 +88,48 @@ int cmd_diff(const std::vector<std::string>& paths, util::Flags& flags) {
   th.max_success_drop = flags.get_double("max-success-drop", th.max_success_drop);
   th.max_overhead_ratio = flags.get_double("max-overhead-ratio", th.max_overhead_ratio);
   th.max_phi_ratio = flags.get_double("max-phi-ratio", th.max_phi_ratio);
+  th.min_events_rate_ratio = flags.get_double("min-events-rate-ratio", th.min_events_rate_ratio);
+  th.max_rss_ratio = flags.get_double("max-rss-ratio", th.max_rss_ratio);
   th.require_identical_sim = flags.get_bool("require-identical-sim", th.require_identical_sim);
 
-  const auto base = tracecli::load_bench_file(paths[0]);
+  // Timeline mode: both artifacts are --timeline-out JSONL streams. The
+  // current file decides the mode so a missing baseline of either kind
+  // still lands in the exit-3 path below.
+  if (tracecli::is_timeline_file(paths[1])) {
+    tracecli::TimelineData base;
+    try {
+      base = tracecli::load_timeline_file(paths[0]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "acptrace: bad baseline %s: %s\n", paths[0].c_str(), e.what());
+      return 3;
+    }
+    const auto current = tracecli::load_timeline_file(paths[1]);
+    const auto result = tracecli::diff_timelines(base, current);
+    tracecli::write_timeline_diff(std::cout, base, current, result);
+    return result.ok() ? 0 : 1;
+  }
+
+  tracecli::BenchDoc base;
+  try {
+    base = tracecli::load_bench_file(paths[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acptrace: bad baseline %s: %s\n", paths[0].c_str(), e.what());
+    return 3;
+  }
   const auto current = tracecli::load_bench_file(paths[1]);
   const auto result = tracecli::diff(base, current, th);
   tracecli::write_diff(std::cout, base, current, result);
   return result.ok() ? 0 : 1;
+}
+
+int cmd_timeline(const std::vector<std::string>& paths, util::Flags& flags) {
+  if (paths.size() != 1) return usage();
+  const auto data = tracecli::load_timeline_file(paths[0]);
+  const auto analysis =
+      tracecli::analyze_timeline(data, flags.get_double("steady-tol", 0.1),
+                                 static_cast<std::size_t>(flags.get_int("window", 0)));
+  tracecli::write_timeline_analysis(std::cout, analysis);
+  return 0;
 }
 
 }  // namespace
@@ -97,6 +146,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(paths, flags);
     if (cmd == "validate") return cmd_validate(paths);
     if (cmd == "diff") return cmd_diff(paths, flags);
+    if (cmd == "timeline") return cmd_timeline(paths, flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "acptrace: %s\n", e.what());
