@@ -60,6 +60,9 @@ struct BenchOptions {
   /// when --timeline-out is given.
   double sample_interval_s = 30.0;
   std::string metrics_out;   ///< --metrics-out: end-of-run metrics snapshot (JSON)
+  /// --attribution-out: per-node/per-function/per-phase cost rows + queue
+  /// wait decomposition as JSONL (obs/attribution.h).
+  std::string attribution_out;
   bool report = false;       ///< --report: print a human-readable metrics report
 
   std::string bench_out;     ///< --bench-out=PATH; "" = default BENCH_<name>.json
@@ -72,8 +75,8 @@ struct BenchOptions {
   }
 
   bool observing() const {
-    return !trace_out.empty() || !timeline_out.empty() || !metrics_out.empty() || report ||
-           bench_enabled();
+    return !trace_out.empty() || !timeline_out.empty() || !metrics_out.empty() ||
+           !attribution_out.empty() || report || bench_enabled();
   }
 
   /// The sampling config to put on every trial's ExperimentConfig: enabled
@@ -98,6 +101,7 @@ inline BenchOptions parse_options(util::Flags& flags) {
   opt.timeline_out = flags.get_string("timeline-out", "");
   opt.sample_interval_s = flags.get_double("sample-interval", opt.sample_interval_s);
   opt.metrics_out = flags.get_string("metrics-out", "");
+  opt.attribution_out = flags.get_string("attribution-out", "");
   opt.report = flags.get_bool("report", false);
   // --bench-out is tri-state: bare flag ("true"), --no-bench-out ("false"),
   // or an explicit path.
@@ -112,6 +116,7 @@ inline BenchOptions parse_options(util::Flags& flags) {
   util::Flags::require_writable_path("trace-out", opt.trace_out);
   util::Flags::require_writable_path("timeline-out", opt.timeline_out);
   util::Flags::require_writable_path("metrics-out", opt.metrics_out);
+  util::Flags::require_writable_path("attribution-out", opt.attribution_out);
   if (!opt.bench_out.empty()) util::Flags::require_writable_path("bench-out", opt.bench_out);
   for (const auto& f : flags.unknown_flags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", f.c_str());
@@ -149,6 +154,7 @@ class BenchObservability {
       obs_.timeline.open(opt_.timeline_out);
       obs_.timeline.header(name_, obs::current_git_sha(), opt_.seed, opt_.quick);
     }
+    if (!opt_.attribution_out.empty()) obs_.attribution.set_enabled(true);
     if (opt_.observing()) {
       obs_.metrics.set_meta("bench", name_);
       obs_.metrics.set_meta("git_sha", obs::current_git_sha());
@@ -230,6 +236,13 @@ class BenchObservability {
       obs_.timeline.close();
       std::printf("(saved %llu timeline rows to %s)\n", static_cast<unsigned long long>(n),
                   opt_.timeline_out.c_str());
+    }
+    if (!opt_.attribution_out.empty()) {
+      obs_.attribution.save(opt_.attribution_out, name_, obs::current_git_sha(), opt_.seed,
+                            opt_.quick);
+      std::printf("(saved %llu attribution rows to %s)\n",
+                  static_cast<unsigned long long>(obs_.attribution.row_count()),
+                  opt_.attribution_out.c_str());
     }
     if (opt_.bench_enabled()) {
       const std::string path =

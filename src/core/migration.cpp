@@ -21,10 +21,13 @@ void MigrationManager::start() {
 }
 
 void MigrationManager::schedule_tick() {
-  engine_->schedule_after(config_.interval_s, [this] {
-    run_round();
-    schedule_tick();
-  });
+  engine_->schedule_after(
+      config_.interval_s,
+      [this] {
+        run_round();
+        schedule_tick();
+      },
+      obs::attr_wait::kMigrationTick);
 }
 
 double MigrationManager::utilization(stream::NodeId node, double now) const {
@@ -90,9 +93,13 @@ std::size_t MigrationManager::run_round() {
     if (obs_ != nullptr) {
       obs_->tracer.event("component_migrated")
           .field("component", static_cast<std::uint64_t>(pick))
+          .field("fn", static_cast<std::uint64_t>(sys_->component(pick).function))
           .field("from", static_cast<std::uint64_t>(hot.node))
           .field("to", static_cast<std::uint64_t>(target))
           .field("utilization", hot.utilization);
+      // Move charged to the overloaded source node it relieves.
+      obs_->attribution.record(obs::attr_phase::kMigrate, static_cast<std::int64_t>(hot.node),
+                               static_cast<std::int64_t>(sys_->component(pick).function), 0.0);
     }
     ++total_moves_;
     ++moves;
@@ -121,8 +128,9 @@ void SessionRepairManager::start() {
   started_ = true;
   faults_->on_node_change([this](stream::NodeId node, bool up) {
     if (up) return;
-    engine_->schedule_after(config_.detection_delay_s,
-                            [this, node] { repair_node_failure(node); });
+    engine_->schedule_after(
+        config_.detection_delay_s, [this, node] { repair_node_failure(node); },
+        obs::attr_wait::kRepairDetect);
   });
 }
 
@@ -190,8 +198,14 @@ std::size_t SessionRepairManager::repair_node_failure(stream::NodeId node) {
                 .field("session", b.session)
                 .field("fn", static_cast<std::uint64_t>(b.fn))
                 .field("failed_node", static_cast<std::uint64_t>(node))
+                .field("failed_component", static_cast<std::uint64_t>(b.component))
                 .field("component", static_cast<std::uint64_t>(cand))
                 .field("node", static_cast<std::uint64_t>(sys_->component(cand).node));
+            // Repair charged to the replacement host now carrying the load.
+            obs_->attribution.record(
+                obs::attr_phase::kRepair,
+                static_cast<std::int64_t>(sys_->component(cand).node),
+                static_cast<std::int64_t>(sys_->component(cand).function), 0.0);
           }
           fixed = true;
           break;

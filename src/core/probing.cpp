@@ -64,6 +64,7 @@ ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable
     prof_process_ = obs_->profiler.scope(obs::prof_scope::kProbingProcess);
     prof_rank_ = obs_->profiler.scope(obs::prof_scope::kProbingRank);
     prof_finalize_ = obs_->profiler.scope(obs::prof_scope::kProbingFinalize);
+    attr_ = &obs_->attribution;
   }
 }
 
@@ -136,17 +137,24 @@ void ProbingProtocol::send_probe(const std::shared_ptr<Coordinator>& coord, Prob
             .field("to", static_cast<std::uint64_t>(to))
             .field("backoff_s", backoff);
       }
-      engine_->schedule_after(backoff, [this, coord, probe, from, returning, attempt] {
-        send_probe(coord, probe, from, returning, attempt + 1);
-      });
+      engine_->schedule_after(
+          backoff,
+          [this, coord, probe, from, returning, attempt] {
+            send_probe(coord, probe, from, returning, attempt + 1);
+          },
+          obs::attr_wait::kRetryBackoff);
       return;
     }
     delay_s += fate.extra_delay_s;
   }
   if (returning) {
-    engine_->schedule_after(delay_s, [this, coord, probe] { probe_returned(coord, probe); });
+    engine_->schedule_after(
+        delay_s, [this, coord, probe] { probe_returned(coord, probe); },
+        obs::attr_wait::kProbeTransit);
   } else {
-    engine_->schedule_after(delay_s, [this, coord, probe] { process_probe(coord, probe); });
+    engine_->schedule_after(
+        delay_s, [this, coord, probe] { process_probe(coord, probe); },
+        obs::attr_wait::kProbeTransit);
   }
 }
 
@@ -187,10 +195,13 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
   }
 
   // Deadline: finalize with whatever has returned.
-  coord->timeout_event = engine_->schedule_after(config_.probe_timeout_s, [this, coord] {
-    coord->timeout_event = 0;
-    finalize(coord);
-  });
+  coord->timeout_event = engine_->schedule_after(
+      config_.probe_timeout_s,
+      [this, coord] {
+        coord->timeout_event = 0;
+        finalize(coord);
+      },
+      obs::attr_wait::kProbeTimeout);
 
   // One initial probe per source→sink path, processed at the deputy (the
   // per-hop step "applies to the deputy node too").
@@ -212,18 +223,32 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
           .field("hop", std::uint64_t{0})
           .field("node", static_cast<std::uint64_t>(coord->deputy));
     }
-    engine_->schedule_after(config_.hop_processing_s,
-                            [this, coord, probe] { process_probe(coord, probe); });
+    engine_->schedule_after(
+        config_.hop_processing_s, [this, coord, probe] { process_probe(coord, probe); },
+        obs::attr_wait::kProbeTransit);
   }
 }
 
 void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, Probe probe) {
   if (coord->finalized) return;  // late arrival after deadline: ignore
   const obs::ProfScope prof(prof_process_);
+  const obs::AttrWallScope attr_wall(attr_, obs::attr_phase::kProbe,
+                                     static_cast<std::int64_t>(probe.at));
   const workload::Request& req = *coord->req;
   const auto& path = coord->paths[probe.path_index];
   const double now = engine_->now();
   const std::size_t level = probe.components.size();
+
+  if (attr_ != nullptr && attr_->enabled()) {
+    // The hop's modeled processing time, charged to the visited node and
+    // the function of the component hosted there (-1 at the deputy's
+    // level-0 hop — no component chosen yet).
+    const std::int64_t fn_id =
+        level > 0 ? static_cast<std::int64_t>(sys_->component(probe.components.back()).function)
+                  : -1;
+    attr_->record(obs::attr_phase::kProbe, static_cast<std::int64_t>(probe.at), fn_id,
+                  config_.hop_processing_s);
+  }
 
   // --- Steps 1 & 2 apply when the probe just arrived at a chosen component:
   // conformance re-check against this node's precise state, then transient
@@ -235,7 +260,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
     // was in flight (dynamic placement extension); the probe finds it gone
     // and dies — the deputy simply sees one fewer candidate.
     if (sys_->component(chosen).node != probe.at) {
-      probe_died(probe, req.id, obs::reason::kComponentMoved);
+      probe_died(probe, req.id, obs::reason::kComponentMoved, static_cast<std::int64_t>(chosen));
       probe_ended(coord);
       return;
     }
@@ -304,6 +329,8 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
   std::size_t rank_cutoff = 0;
   {
     const obs::ProfScope rank_prof(prof_rank_);
+    const obs::AttrWallScope rank_attr(attr_, obs::attr_phase::kRank,
+                                       static_cast<std::int64_t>(probe.at));
     if (coord->hop_policy == PerHopPolicy::kGuided) {
       // Filter + rank on the coarse global state (possibly stale — that is
       // the point: precise state comes from the probes themselves).
@@ -326,6 +353,13 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
       selected = select_random(std::move(compatible), m, rng_);
       rank_cutoff = n_compatible - selected.size();
     }
+  }
+  if (attr_ != nullptr) {
+    // Candidate-evaluation load at the node for the function being placed;
+    // rank's modeled sim cost is folded into the hop's processing delay.
+    attr_->record(obs::attr_phase::kRank, static_cast<std::int64_t>(probe.at),
+                  static_cast<std::int64_t>(req.graph.node(next_fn).function), 0.0,
+                  static_cast<std::uint64_t>(candidates.size()));
   }
 
   // Spawn suppression beyond the per-request budget keeps the best-ranked
@@ -399,16 +433,20 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
   probe_ended(coord);
 }
 
-void ProbingProtocol::probe_died(const Probe& probe, stream::RequestId req, const char* reason) {
+void ProbingProtocol::probe_died(const Probe& probe, stream::RequestId req, const char* reason,
+                                 std::int64_t component) {
   if (obs_ == nullptr) return;
   obs_->metrics.counter(obs::metric::kProbeDeaths, {{"reason", reason}}).add();
-  obs_->tracer.event("probe_rejected")
-      .field("req", req)
+  obs::TraceEvent ev = obs_->tracer.event("probe_rejected");
+  ev.field("req", req)
       .field("probe", probe.id)
       .field("path", probe.path_index)
       .field("hop", probe.components.size())
       .field("node", static_cast<std::uint64_t>(probe.at))
       .field("reason", reason);
+  // Causal link for span trees: which component's disappearance killed the
+  // probe (joins to the preceding component_migrated event).
+  if (component >= 0) ev.field("component", component);
 }
 
 void ProbingProtocol::probe_returned(const std::shared_ptr<Coordinator>& coord,
@@ -469,6 +507,10 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
   // charged to it.
   std::optional<obs::ProfScope> prof;
   if (prof_finalize_.wall != nullptr) prof.emplace(prof_finalize_);
+  std::optional<obs::AttrWallScope> attr_wall;
+  if (attr_ != nullptr && attr_->enabled()) {
+    attr_wall.emplace(attr_, obs::attr_phase::kFinalize, static_cast<std::int64_t>(coord->deputy));
+  }
 
   // Merge per-path assignments into complete component graphs (DAG case:
   // combinations must agree on shared split/merge nodes).
@@ -518,6 +560,10 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
   if (obs_ != nullptr) {
     const double setup_s = now - coord->start_time;
     const char* outcome = out.success() ? "confirmed" : "failed";
+    // The request's end-to-end setup latency, attributed to its deputy —
+    // "which coordinators' requests waited longest, and where".
+    attr_->record(obs::attr_phase::kFinalize, static_cast<std::int64_t>(coord->deputy), -1,
+                  setup_s);
     obs_->metrics
         .counter(out.success() ? obs::metric::kRequestConfirmed : obs::metric::kRequestFailed)
         .add();
@@ -547,6 +593,7 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
       obs_->tracer.event("transients_cancelled").field("req", req.id).field("scope", "all");
     }
   }
+  attr_wall.reset();
   prof.reset();
 
   coord->done(out);

@@ -23,6 +23,7 @@
 // and commits the winner by confirming its transient reservations.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -141,8 +142,12 @@ class ProbingProtocol {
   /// crashed (the overlay member closest to the client among live nodes).
   void on_node_change(stream::NodeId node, bool up);
 
-  /// Records one probe death: acp.probe.deaths{reason} + probe_rejected span.
-  void probe_died(const Probe& probe, stream::RequestId req, const char* reason);
+  /// Records one probe death: acp.probe.deaths{reason} + probe_rejected
+  /// span. `component`, when >= 0, is the component whose disappearance or
+  /// state killed the probe (today: component_moved) — the causal link a
+  /// span tree needs to join the death to its component_migrated event.
+  void probe_died(const Probe& probe, stream::RequestId req, const char* reason,
+                  std::int64_t component = -1);
 
   stream::StreamSystem* sys_;
   stream::SessionTable* sessions_;
@@ -153,6 +158,7 @@ class ProbingProtocol {
   util::Rng rng_;
   ProbingConfig config_;
   obs::Observability* obs_;
+  obs::Attribution* attr_ = nullptr;  ///< &obs_->attribution; null when obs off
   fault::FaultInjector* faults_ = nullptr;
   std::uint64_t next_probe_id_ = 0;
   std::uint64_t retries_sent_ = 0;

@@ -73,6 +73,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   if (obs != nullptr) {
     counters.attach_registry(&obs->metrics);
     engine.set_metrics(&obs->metrics);
+    engine.set_attribution(&obs->attribution);
     obs->tracer.set_clock([&engine] { return engine.now(); });
     obs->tracer.begin_run(algorithm_name(config.algorithm));
     util::Logger::set_time_source([&engine] { return engine.now(); });
@@ -179,6 +180,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
     const double at = engine.now() + gap;
     if (at >= horizon_s) return;
     engine.schedule_at(at, [&] {
+
       live_requests.push_back(generator.make_request(engine.now()));
       const workload::Request& req = live_requests.back();
       if (config.adaptive_alpha) tuner.record_request(req);
@@ -199,34 +201,39 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
           ACP_ASSERT(rec != nullptr);
           // close() returning false at the planned end means the session was
           // torn down early — a fault killed it and repair couldn't save it.
-          engine.schedule_at(std::max(rec->planned_end_time, engine.now()),
-                             [&, sid, measured] {
-                               const bool survived = sessions.close(sid);
-                               if (!measured) return;
-                               if (survived) {
-                                 ++result.sessions_completed;
-                               } else {
-                                 ++result.sessions_lost;
-                               }
-                             });
+          engine.schedule_at(
+              std::max(rec->planned_end_time, engine.now()),
+              [&, sid, measured] {
+                const bool survived = sessions.close(sid);
+                if (!measured) return;
+                if (survived) {
+                  ++result.sessions_completed;
+                } else {
+                  ++result.sessions_lost;
+                }
+              },
+              obs::attr_wait::kSessionEnd);
           result.peak_active_sessions =
               std::max<std::uint64_t>(result.peak_active_sessions, sessions.active_count());
         }
       });
       schedule_next_arrival();
-    });
+    }, obs::attr_wait::kArrival);
   };
   schedule_next_arrival();
 
   // --- u(t) sampling ---------------------------------------------------------
   const double sample_s = config.sample_period_minutes * 60.0;
   std::function<void()> schedule_sample = [&] {
-    engine.schedule_after(sample_s, [&] {
-      const double t_min = engine.now() / 60.0;
-      result.success_series.add(t_min, sample_window.sample_and_reset());
-      if (config.adaptive_alpha) result.alpha_series.add(t_min, tuner.alpha());
-      schedule_sample();
-    });
+    engine.schedule_after(
+        sample_s,
+        [&] {
+          const double t_min = engine.now() / 60.0;
+          result.success_series.add(t_min, sample_window.sample_and_reset());
+          if (config.adaptive_alpha) result.alpha_series.add(t_min, tuner.alpha());
+          schedule_sample();
+        },
+        obs::attr_wait::kSuccessSample);
   };
   schedule_sample();
 
@@ -239,7 +246,7 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
     timeline_sampler = std::make_unique<obs::TimelineSampler>(
         obs->timeline, config.timeline,
         [&engine](double delay_s, std::function<void()> fn) {
-          engine.schedule_after(delay_s, std::move(fn));
+          engine.schedule_after(delay_s, std::move(fn), obs::attr_wait::kTimelineSample);
         },
         [&] {
           obs::TimelineSample s;

@@ -1,0 +1,100 @@
+#include "obs/attribution.h"
+
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace acp::obs {
+
+void Attribution::record(const char* phase, std::int64_t node, std::int64_t fn, double sim_s,
+                         std::uint64_t count) {
+  if (!enabled_) return;
+  Cell& cell = rows_[Key{phase, node, fn}];
+  cell.count += count;
+  cell.sim_s += sim_s;
+}
+
+void Attribution::record_wait(const char* kind, double sim_s) {
+  if (!enabled_) return;
+  Cell& cell = waits_[kind != nullptr ? kind : attr_wait::kOther];
+  cell.count += 1;
+  cell.sim_s += sim_s;
+}
+
+void Attribution::record_wall(const char* phase, std::int64_t node, double wall_s) {
+  if (!enabled_) return;
+  HostCell& cell = host_[HostKey{phase, node}];
+  cell.count += 1;
+  cell.wall_s += wall_s;
+}
+
+void Attribution::merge_from(const Attribution& src) {
+  if (!enabled_ || !src.enabled_) return;
+  for (const auto& [key, cell] : src.rows_) {
+    Cell& dst = rows_[key];
+    dst.count += cell.count;
+    dst.sim_s += cell.sim_s;
+  }
+  for (const auto& [kind, cell] : src.waits_) {
+    Cell& dst = waits_[kind];
+    dst.count += cell.count;
+    dst.sim_s += cell.sim_s;
+  }
+  for (const auto& [key, cell] : src.host_) {
+    HostCell& dst = host_[key];
+    dst.count += cell.count;
+    dst.wall_s += cell.wall_s;
+  }
+}
+
+void Attribution::write_rows(std::ostream& os) const {
+  for (const auto& [key, cell] : rows_) {
+    os << "{\"type\": \"attr\", \"phase\": \"" << json_escape(key.phase)
+       << "\", \"node\": " << key.node << ", \"fn\": " << key.fn << ", \"count\": " << cell.count
+       << ", \"sim_s\": " << json_number(cell.sim_s) << "}\n";
+  }
+  for (const auto& [kind, cell] : waits_) {
+    os << "{\"type\": \"attr_wait\", \"kind\": \"" << json_escape(kind)
+       << "\", \"count\": " << cell.count << ", \"sim_s\": " << json_number(cell.sim_s) << "}\n";
+  }
+}
+
+void Attribution::write_host_rows(std::ostream& os) const {
+  for (const auto& [key, cell] : host_) {
+    os << "{\"type\": \"attr_host\", \"phase\": \"" << json_escape(key.phase)
+       << "\", \"node\": " << key.node << ", \"count\": " << cell.count
+       << ", \"wall_s\": " << json_number(cell.wall_s) << "}\n";
+  }
+}
+
+void Attribution::write_jsonl(std::ostream& os, const std::string& bench,
+                              const std::string& git_sha, std::uint64_t seed, bool quick) const {
+  os << "{\"schema\": \"" << kAttrSchema << "\", \"type\": \"header\", \"bench\": \""
+     << json_escape(bench) << "\", \"git_sha\": \"" << json_escape(git_sha)
+     << "\", \"seed\": " << seed << ", \"quick\": " << (quick ? "true" : "false") << "}\n";
+  write_rows(os);
+  write_host_rows(os);
+  Cell total;
+  for (const auto& [key, cell] : rows_) {
+    total.count += cell.count;
+    total.sim_s += cell.sim_s;
+  }
+  Cell wait_total;
+  for (const auto& [kind, cell] : waits_) {
+    wait_total.count += cell.count;
+    wait_total.sim_s += cell.sim_s;
+  }
+  os << "{\"type\": \"attr_total\", \"count\": " << total.count
+     << ", \"sim_s\": " << json_number(total.sim_s) << ", \"wait_count\": " << wait_total.count
+     << ", \"wait_s\": " << json_number(wait_total.sim_s) << "}\n";
+}
+
+void Attribution::save(const std::string& path, const std::string& bench,
+                       const std::string& git_sha, std::uint64_t seed, bool quick) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw PreconditionError("cannot open attribution output file: " + path);
+  write_jsonl(out, bench, git_sha, seed, quick);
+}
+
+}  // namespace acp::obs

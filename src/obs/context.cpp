@@ -9,6 +9,7 @@ thread_local ObsContext* t_current = nullptr;
 ObsContext::ObsContext(const Observability* target) : has_obs_(target != nullptr) {
   if (has_obs_ && target->tracer.enabled()) obs_.tracer.set_stream(&trace_buf_);
   if (has_obs_ && target->timeline.enabled()) obs_.timeline.set_stream(&timeline_buf_);
+  if (has_obs_ && target->attribution.enabled()) obs_.attribution.set_enabled(true);
 }
 
 void ObsContext::set_trace_run_base(std::uint64_t base) {
@@ -19,6 +20,7 @@ void ObsContext::set_trace_run_base(std::uint64_t base) {
 void ObsContext::merge_into(Observability* target) {
   if (target != nullptr && has_obs_) {
     target->metrics.merge_from(obs_.metrics);
+    target->attribution.merge_from(obs_.attribution);
     target->tracer.append_raw(trace_buf_.str());
     trace_buf_.str(std::string());
     target->timeline.append_raw(timeline_buf_.str());

@@ -49,9 +49,9 @@ class ObsContext {
   void set_trace_run_base(std::uint64_t base);
 
   /// Drains this island into the shared target, in deterministic steps:
-  /// metrics merge (obs/metrics.h merge_from rules), buffered trace and
-  /// timeline rows appended verbatim, captured log lines written to the
-  /// global sink.
+  /// metrics merge (obs/metrics.h merge_from rules), attribution rows
+  /// added key-wise (obs/attribution.h), buffered trace and timeline rows
+  /// appended verbatim, captured log lines written to the global sink.
   /// Must run on the submitting (non-worker) thread, once per context, in
   /// submission order. `target` may be nullptr (log lines still drain).
   void merge_into(Observability* target);

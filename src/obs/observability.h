@@ -7,6 +7,7 @@
 // the legacy CounterSet).
 #pragma once
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/timeline.h"
@@ -24,6 +25,10 @@ struct Observability {
   /// unless a sink is attached (--timeline-out) AND the experiment config
   /// sets a sample interval.
   TimelineWriter timeline;
+  /// Per-node/per-function/per-phase cost aggregation plus event-queue
+  /// wait decomposition (see obs/attribution.h). Disabled unless enabled
+  /// explicitly (--attribution-out).
+  Attribution attribution;
 };
 
 /// Metric names (convention: acp.request.* / acp.probe.* / acp.state.* /

@@ -2,23 +2,39 @@
 //
 // Every consequential step of a composition request emits one event line:
 //
+//   run_started           one run of an experiment begins (run index, label)
 //   request_accepted      deputy picked, probing starts (or a baseline runs)
-//   probe_spawned         probe created (parent=0 for a path's root probe)
+//   probe_spawned         probe created (parent=0 for a path's root probe;
+//                         parent=<probe> when a fork spawned it; carries the
+//                         component the hop is probing for when known)
 //   probe_hop             probe passed conformance at a node and evaluated
-//                         next-hop candidates (counts per reject reason)
+//                         next-hop candidates (counts per reject reason,
+//                         children spawned)
+//   probe_retry           deputy retransmitted after per-path loss
 //   probe_rejected        probe died at a node, reason ∈ {qos_violation,
-//                         node_reservation, link_reservation, component_moved}
+//                         node_reservation, link_reservation,
+//                         component_moved, no_children, timeout}; a
+//                         component_moved death names the moved component
 //   probe_returned        probe completed its path back to the deputy
 //   probe_timeout         deadline fired with probes still outstanding
 //   transients_cancelled  the request's transient allocations were dropped
 //                         (composition failed / losers after commit)
+//   transients_reclaimed  expiry sweep reclaimed leaked transients
 //   composition_confirmed winner committed (session id, φ, setup time)
 //   composition_failed    no qualified composition
-//   component_migrated    migration manager moved a component
+//   component_migrated    migration manager moved a component (fn, from, to)
+//   fault_injected        chaos harness killed a node / dropped a link
+//   fault_recovered       the injected fault healed
+//   deputy_reelected      a session's deputy failed over
+//   session_lost          a running session lost a node it depended on
+//   session_repaired      repair relocated the failed component (names the
+//                         session, fn, failed node/component, replacement)
 //
-// Events carry sim-time timestamps (`t`), request / probe / parent-probe
-// ids, and hop depth, so a trace can be re-assembled into per-request span
-// trees offline (jq, python — each line is one flat JSON object).
+// Events carry sim-time timestamps (`t`), the `run` index, and
+// request / probe / parent-probe ids with hop depth — every hop, retry,
+// migration, and repair links back to the event that spawned it, so a trace
+// re-assembles into one causal span tree per request offline (`acptrace
+// explain` / `acptrace export`, or jq — each line is one flat JSON object).
 //
 // The tracer is free when disabled: `event()` returns an inert builder and
 // every field call is a no-op, so instrumentation can stay unconditionally

@@ -16,12 +16,12 @@ void Engine::set_metrics(obs::MetricsRegistry* registry) {
   dispatch_slot_ = obs::Profiler(registry).scope(obs::prof_scope::kSimDispatch);
 }
 
-EventId Engine::schedule_at(SimTime at, Callback cb) {
+EventId Engine::schedule_at(SimTime at, Callback cb, const char* tag) {
   ACP_REQUIRE_MSG(at >= now_, "cannot schedule events in the past");
   ACP_REQUIRE(cb != nullptr);
   const EventId id = next_id_++;
   queue_.push(Scheduled{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Pending{std::move(cb), now_, tag});
   return id;
 }
 
@@ -45,9 +45,13 @@ bool Engine::step() {
   if (!pop_next(ev)) return false;
   now_ = ev.at;
   auto it = callbacks_.find(ev.id);
-  Callback cb = std::move(it->second);
+  Pending pending = std::move(it->second);
+  Callback cb = std::move(pending.cb);
   callbacks_.erase(it);
   ++fired_;
+  if (attribution_ != nullptr && attribution_->enabled()) {
+    attribution_->record_wait(pending.tag, ev.at - pending.enqueued_at);
+  }
   if (events_metric_ != nullptr) {
     events_metric_->add(1);
     depth_metric_->set(static_cast<double>(callbacks_.size()));

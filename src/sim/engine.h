@@ -19,6 +19,10 @@
 #include "obs/profile.h"
 #include "util/error.h"
 
+namespace acp::obs {
+class Attribution;
+}  // namespace acp::obs
+
 namespace acp::sim {
 
 /// Simulated time in seconds.
@@ -38,12 +42,15 @@ class Engine {
   /// Current simulated time (seconds since simulation start).
   SimTime now() const { return now_; }
 
-  /// Schedules `cb` to fire at absolute time `at` (>= now()).
-  EventId schedule_at(SimTime at, Callback cb);
+  /// Schedules `cb` to fire at absolute time `at` (>= now()). `tag`, when
+  /// given, must be a string literal (the pointer is stored, not copied) —
+  /// it labels the event's queue wait in the attribution decomposition
+  /// (obs/attribution.h attr_wait names); untagged events report "other".
+  EventId schedule_at(SimTime at, Callback cb, const char* tag = nullptr);
 
   /// Schedules `cb` to fire `delay` seconds from now (delay >= 0).
-  EventId schedule_after(SimTime delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  EventId schedule_after(SimTime delay, Callback cb, const char* tag = nullptr) {
+    return schedule_at(now_ + delay, std::move(cb), tag);
   }
 
   /// Cancels a pending event; returns false if it already fired, was
@@ -72,6 +79,11 @@ class Engine {
   /// profiling scope.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Mirrors per-event queue waits (fire time − enqueue time, sim seconds)
+  /// into `attr`, decomposed by scheduling tag. nullptr detaches; a
+  /// disabled Attribution costs one branch per event.
+  void set_attribution(obs::Attribution* attr) { attribution_ = attr; }
+
  private:
   struct Scheduled {
     SimTime at;
@@ -86,12 +98,21 @@ class Engine {
   /// Pops the next live (non-cancelled) entry; false if none remain.
   bool pop_next(Scheduled& out);
 
+  /// A pending event's callback plus the bookkeeping the attribution layer
+  /// needs: when it entered the queue and under which tag.
+  struct Pending {
+    Callback cb;
+    SimTime enqueued_at = 0.0;
+    const char* tag = nullptr;  ///< string literal; nullptr = untagged
+  };
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<Scheduled>> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Pending> callbacks_;
+  obs::Attribution* attribution_ = nullptr;
 
   // Cached metric handles (owned by the attached registry); both set or
   // both null.

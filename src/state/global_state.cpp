@@ -89,17 +89,23 @@ void GlobalStateManager::start() {
 }
 
 void GlobalStateManager::schedule_check() {
-  engine_->schedule_after(config_.check_interval_s, [this] {
-    run_check_sweep();
-    schedule_check();
-  });
+  engine_->schedule_after(
+      config_.check_interval_s,
+      [this] {
+        run_check_sweep();
+        schedule_check();
+      },
+      obs::attr_wait::kStateTick);
 }
 
 void GlobalStateManager::schedule_publish() {
-  engine_->schedule_after(config_.aggregation_publish_interval_s, [this] {
-    run_publish();
-    schedule_publish();
-  });
+  engine_->schedule_after(
+      config_.aggregation_publish_interval_s,
+      [this] {
+        run_publish();
+        schedule_publish();
+      },
+      obs::attr_wait::kStateTick);
 }
 
 void GlobalStateManager::run_check_sweep() {

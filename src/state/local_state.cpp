@@ -1,5 +1,7 @@
 #include "state/local_state.h"
 
+#include "obs/attribution.h"
+
 namespace acp::state {
 
 // View from one vantage node: own node + adjacent links exact, the rest from
@@ -58,10 +60,13 @@ void LocalStateManager::start() {
 }
 
 void LocalStateManager::schedule_refresh() {
-  engine_->schedule_after(config_.refresh_interval_s, [this] {
-    run_refresh();
-    schedule_refresh();
-  });
+  engine_->schedule_after(
+      config_.refresh_interval_s,
+      [this] {
+        run_refresh();
+        schedule_refresh();
+      },
+      obs::attr_wait::kStateTick);
 }
 
 void LocalStateManager::run_refresh() {

@@ -2,7 +2,10 @@
 // reconstruction, span-invariant validation, and the bench-report diff gate.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "acptrace/acptrace_lib.h"
 #include "util/error.h"
@@ -247,8 +250,8 @@ BenchDoc make_bench() {
   b.overhead_per_minute = 32000.0;
   b.mean_phi = 1.11;
   b.runs = 12;
-  b.scopes["probing.process_probe"] = {3.0, 6e-6, 2e-5};
-  b.scopes["state.check_sweep"] = {0.001, 1e-5, 1e-5};  // below noise floor
+  b.scopes["probing.process_probe"] = {500000, 3.0, 6e-6, 2e-5};
+  b.scopes["state.check_sweep"] = {100, 0.001, 1e-5, 1e-5};  // below noise floor
   return b;
 }
 
@@ -297,7 +300,7 @@ TEST(Diff, MissingAndNewScopesAreNotesNotRegressions) {
   const BenchDoc base = make_bench();
   BenchDoc cur = base;
   cur.scopes.erase("state.check_sweep");
-  cur.scopes["discovery.lookup"] = {1.0, 1e-6, 1e-6};
+  cur.scopes["discovery.lookup"] = {1000, 1.0, 1e-6, 1e-6};
   const DiffResult r = diff(base, cur, DiffThresholds{});
   EXPECT_TRUE(r.ok());
   EXPECT_EQ(r.notes.size(), 2u);
@@ -608,6 +611,228 @@ TEST(TimelineDiff, HeaderComparedFieldWise) {
   const TimelineData reseed =
       timeline_from(replaced(kGoldenTimeline, "\"seed\": 42", "\"seed\": 43"));
   EXPECT_FALSE(diff_timelines(base, reseed).ok());
+}
+
+// ---- explain: causal span trees -----------------------------------------------
+
+// A failed request whose probes die for two different reasons (one of them
+// a component_moved with the moved component's id attached).
+constexpr const char* kFailedTrace = R"(
+{"t": 0, "type": "run_started", "run": 1, "label": "ACP"}
+{"t": 0, "type": "request_accepted", "run": 1, "req": 1, "deputy": 3, "paths": 1, "alpha": 0.5}
+{"t": 0, "type": "probe_spawned", "run": 1, "req": 1, "probe": 1, "parent": 0, "path": 0, "hop": 0, "node": 3}
+{"t": 0.01, "type": "probe_hop", "run": 1, "req": 1, "probe": 1, "path": 0, "hop": 0, "node": 3, "candidates": 3, "selected": 2, "spawned": 2}
+{"t": 0.01, "type": "probe_spawned", "run": 1, "req": 1, "probe": 2, "parent": 1, "path": 0, "hop": 1, "node": 6, "component": 12}
+{"t": 0.01, "type": "probe_spawned", "run": 1, "req": 1, "probe": 3, "parent": 1, "path": 0, "hop": 1, "node": 7, "component": 14}
+{"t": 0.02, "type": "probe_rejected", "run": 1, "req": 1, "probe": 2, "path": 0, "hop": 1, "node": 6, "reason": "qos_violation"}
+{"t": 0.03, "type": "probe_rejected", "run": 1, "req": 1, "probe": 3, "path": 0, "hop": 1, "node": 7, "reason": "component_moved", "component": 14}
+{"t": 0.04, "type": "composition_failed", "run": 1, "req": 1, "found_qualified": false, "setup_s": 0.04}
+)";
+
+TEST(Explain, RendersConfirmedRequestWithCriticalPath) {
+  std::ostringstream os;
+  ExplainQuery q;
+  q.id = 1;
+  ASSERT_EQ(explain(os, trace_from(kGoldenTrace), q), 1u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("CONFIRMED  session 1"), std::string::npos);
+  EXPECT_NE(out.find("deputy node 5"), std::string::npos);
+  EXPECT_NE(out.find("5 spawned = 2 forked + 2 returned + 1 rejected"), std::string::npos);
+  // Probe 5 returned last → the critical path is 2 → 5, and ONLY those
+  // two probes carry the marker.
+  EXPECT_NE(out.find("* probe 2"), std::string::npos);
+  EXPECT_NE(out.find("* probe 5"), std::string::npos);
+  EXPECT_EQ(out.find("* probe 1"), std::string::npos);
+  EXPECT_EQ(out.find("* probe 3"), std::string::npos);
+  // Probe 3 (child of 1) renders one indent level below its parent.
+  EXPECT_NE(out.find("\n      probe 3"), std::string::npos);
+  EXPECT_NE(out.find("rejected: qos_violation"), std::string::npos);
+  // Confirmed requests have no failure rollup.
+  EXPECT_EQ(out.find("failure reasons"), std::string::npos);
+}
+
+TEST(Explain, SelectsBySessionId) {
+  std::ostringstream os;
+  ExplainQuery q;
+  q.by_session = true;
+  q.id = 1;
+  EXPECT_EQ(explain(os, trace_from(kGoldenTrace), q), 1u);
+  EXPECT_NE(os.str().find("run 1 req 1"), std::string::npos);
+}
+
+TEST(Explain, FailedRequestGetsReasonRollup) {
+  std::ostringstream os;
+  ExplainQuery q;
+  q.id = 1;
+  ASSERT_EQ(explain(os, trace_from(kFailedTrace), q), 1u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("FAILED (no qualified composition)"), std::string::npos);
+  EXPECT_NE(out.find("failure reasons (2 rejected probes):"), std::string::npos);
+  EXPECT_NE(out.find("component_moved  1"), std::string::npos);
+  EXPECT_NE(out.find("qos_violation  1"), std::string::npos);
+  // The component_moved death names the moved component.
+  EXPECT_NE(out.find("rejected: component_moved (component 14)"), std::string::npos);
+}
+
+TEST(Explain, NoMatchReturnsZeroAndRunFilterApplies) {
+  std::ostringstream os;
+  ExplainQuery q;
+  q.id = 99;
+  EXPECT_EQ(explain(os, trace_from(kGoldenTrace), q), 0u);
+  q.id = 1;
+  q.run = 7;  // request exists, but not in run 7
+  EXPECT_EQ(explain(os, trace_from(kGoldenTrace), q), 0u);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// ---- export: Chrome trace + folded stacks --------------------------------------
+
+TEST(ExportChrome, SpanNestingHoldsAndJsonParses) {
+  std::ostringstream os;
+  const ExportStats st = export_chrome_trace(os, trace_from(kGoldenTrace));
+  EXPECT_EQ(st.requests, 1u);
+  EXPECT_EQ(st.probe_spans, 5u);
+
+  const JsonValue doc = parse_json(os.str());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Collect the request span and the probe spans; verify every probe span
+  // nests inside its request span and each fork ends where its child spawns.
+  double req_ts = 0.0, req_end = 0.0;
+  std::map<std::uint64_t, std::pair<double, double>> probe_span;  // id → [ts, end]
+  std::map<std::uint64_t, std::uint64_t> parent_of;
+  for (const JsonValue& e : events->array) {
+    if (e.str_or("ph", "") != "X") continue;
+    const double ts = e.num_or("ts", -1.0);
+    const double end = ts + e.num_or("dur", 0.0);
+    if (e.str_or("cat", "") == "request") {
+      req_ts = ts;
+      req_end = end;
+      continue;
+    }
+    ASSERT_EQ(e.str_or("cat", ""), "probe");
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const auto id = static_cast<std::uint64_t>(args->num_or("probe", 0.0));
+    probe_span[id] = {ts, end};
+    parent_of[id] = static_cast<std::uint64_t>(args->num_or("parent", 0.0));
+  }
+  ASSERT_EQ(probe_span.size(), 5u);
+  for (const auto& [id, span] : probe_span) {
+    EXPECT_GE(span.first, req_ts) << "probe " << id;
+    EXPECT_LE(span.second, req_end) << "probe " << id;
+    const std::uint64_t parent = parent_of.at(id);
+    if (parent != 0) {
+      // Fork boundary: the parent's span ends exactly when the child spawns.
+      EXPECT_DOUBLE_EQ(probe_span.at(parent).second, span.first) << "probe " << id;
+    }
+  }
+}
+
+TEST(ExportChrome, RunLabelsBecomeProcessMetadata) {
+  std::ostringstream os;
+  export_chrome_trace(os, trace_from(kGoldenTrace));
+  EXPECT_NE(os.str().find("\"name\": \"run 1 ACP\""), std::string::npos);
+}
+
+TEST(ExportFolded, StacksFollowCausalNodeChains) {
+  std::ostringstream os;
+  const ExportStats st = export_folded_stacks(os, trace_from(kGoldenTrace));
+  EXPECT_EQ(st.probe_spans, 5u);
+  EXPECT_EQ(st.stacks, 4u);  // the two root probes share the run1;node5 frame
+  const std::string out = os.str();
+  // Probe 5's chain: root probe 2 at node 5 → probe 5 at node 9; its own
+  // span is 0.012 → 0.05 = 38000 µs.
+  EXPECT_NE(out.find("run1;node5;node9 38000\n"), std::string::npos);
+  // Probe 3 (via probe 1, also at node 5): 0.01 → 0.03 = 20000 µs.
+  EXPECT_NE(out.find("run1;node5;node7 20000\n"), std::string::npos);
+  // Both roots aggregate into one node5 self-stack: 10000 + 12000 µs.
+  EXPECT_NE(out.find("run1;node5 22000\n"), std::string::npos);
+}
+
+// ---- attribution artifacts ------------------------------------------------------
+
+constexpr const char* kAttrArtifact = R"(
+{"schema": "acp-attr/1", "type": "header", "bench": "fig6", "git_sha": "sha1", "seed": 42, "quick": true}
+{"type": "attr", "phase": "probe", "node": 0, "fn": 2, "count": 300000, "sim_s": 30.0}
+{"type": "attr", "phase": "probe", "node": 1, "fn": 3, "count": 200000, "sim_s": 20.0}
+{"type": "attr", "phase": "rank", "node": 0, "fn": 2, "count": 9, "sim_s": 0}
+{"type": "attr_wait", "kind": "probe_transit", "count": 7, "sim_s": 3.5}
+{"type": "attr_host", "phase": "probe", "node": 0, "count": 300000, "wall_s": 1.5}
+{"type": "attr_host", "phase": "probe", "node": 1, "count": 200000, "wall_s": 1.4}
+{"type": "attr_total", "count": 500009, "sim_s": 50.0, "wait_count": 7, "wait_s": 3.5}
+)";
+
+AttrDoc attr_from(const std::string& text) {
+  std::istringstream is(text);
+  return load_attribution(is);
+}
+
+TEST(AttrLoad, DecodesAllRowFamilies) {
+  const AttrDoc d = attr_from(kAttrArtifact);
+  EXPECT_EQ(d.bench, "fig6");
+  EXPECT_EQ(d.seed, 42u);
+  EXPECT_TRUE(d.quick);
+  ASSERT_EQ(d.rows.size(), 3u);
+  EXPECT_EQ(d.rows[0].phase, "probe");
+  EXPECT_EQ(d.rows[0].count, 300000u);
+  ASSERT_EQ(d.waits.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.waits[0].sim_s, 3.5);
+  ASSERT_EQ(d.host.size(), 2u);
+  EXPECT_EQ(d.total_count, 500009u);
+}
+
+TEST(AttrLoad, RejectsMissingHeader) {
+  EXPECT_THROW(attr_from(R"({"type": "attr", "phase": "probe"})"), PreconditionError);
+  EXPECT_THROW(attr_from(""), PreconditionError);
+}
+
+TEST(AttrFolded, WeightsBySimTimeOrCount) {
+  std::ostringstream os;
+  const ExportStats st = export_attribution_folded(os, attr_from(kAttrArtifact));
+  EXPECT_EQ(st.stacks, 3u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("attr;probe;node0;fn2 30000000\n"), std::string::npos);
+  // rank charges no sim time → its count is the weight.
+  EXPECT_NE(out.find("attr;rank;node0;fn2 9\n"), std::string::npos);
+}
+
+// ---- reconcile ------------------------------------------------------------------
+
+BenchDoc reconcile_bench() {
+  BenchDoc b;
+  b.name = "fig6";
+  b.scopes["probing.process_probe"] = {500000, 3.0, 6e-6, 2e-5};
+  return b;
+}
+
+TEST(Reconcile, MatchingCountsAndWallPass) {
+  const DiffResult r = reconcile_attribution(attr_from(kAttrArtifact), reconcile_bench());
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(Reconcile, CountMismatchIsARegression) {
+  BenchDoc b = reconcile_bench();
+  b.scopes["probing.process_probe"].count = 499999;  // one call unaccounted
+  const DiffResult r = reconcile_attribution(attr_from(kAttrArtifact), b);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("probe: attribution counted 500000"), std::string::npos);
+}
+
+TEST(Reconcile, WallRatioBreachIsARegression) {
+  BenchDoc b = reconcile_bench();
+  b.scopes["probing.process_probe"].total_s = 30.0;  // 10x the attr wall sum of 2.9
+  EXPECT_FALSE(reconcile_attribution(attr_from(kAttrArtifact), b).ok());
+  // A looser ratio admits the same disagreement.
+  EXPECT_TRUE(reconcile_attribution(attr_from(kAttrArtifact), b, 20.0).ok());
+}
+
+TEST(Reconcile, MissingAttrRowsIsARegression) {
+  const AttrDoc empty = attr_from(
+      R"({"schema": "acp-attr/1", "type": "header", "bench": "fig6", "seed": 1, "quick": true})");
+  EXPECT_FALSE(reconcile_attribution(empty, reconcile_bench()).ok());
 }
 
 }  // namespace

@@ -94,7 +94,8 @@ TEST(ParallelRunner, RepeatedResultIdenticalAcrossJobs) {
 /// excluded), and the BENCH report fed by the registry.
 struct ObsDump {
   std::string trace;
-  std::string timeline;  ///< raw timeline rows, host_sample rows included
+  std::string timeline;   ///< raw timeline rows, host_sample rows included
+  std::string attr_rows;  ///< deterministic attribution rows (attr + attr_wait)
   std::uint64_t trace_events = 0;
   std::vector<std::string> counters;
   std::vector<std::string> gauges;
@@ -119,6 +120,7 @@ ObsDump run_observed(std::size_t jobs) {
   ob.tracer.set_stream(&trace);
   std::ostringstream timeline;
   ob.timeline.set_stream(&timeline);
+  ob.attribution.set_enabled(true);
 
   const auto sys_cfg = tiny_system();
   const auto fabric = build_fabric(sys_cfg);
@@ -138,6 +140,9 @@ ObsDump run_observed(std::size_t jobs) {
   ObsDump d;
   d.trace = trace.str();
   d.timeline = timeline.str();
+  std::ostringstream attr;
+  ob.attribution.write_rows(attr);  // deterministic rows only, sorted keys
+  d.attr_rows = attr.str();
   d.trace_events = ob.tracer.events_emitted();
   ob.metrics.for_each_counter(
       [&](const std::string& name, const obs::Labels& l, const obs::Counter& c) {
@@ -196,6 +201,13 @@ TEST(ParallelRunner, MergedObservabilityIdenticalAcrossJobs) {
   EXPECT_FALSE(serial_sim.empty());
   EXPECT_TRUE(serial_sim == sim_rows_only(parallel.timeline))
       << "deterministic timeline rows differ across jobs widths";
+
+  // Attribution rides the same capture-and-merge path: the deterministic
+  // (attr + attr_wait) rows must be byte-identical; attr_host rows are
+  // wall-clock and deliberately excluded from the dump.
+  EXPECT_FALSE(serial.attr_rows.empty());
+  EXPECT_TRUE(serial.attr_rows == parallel.attr_rows)
+      << "deterministic attribution rows differ across jobs widths";
 
   EXPECT_EQ(serial.counters, parallel.counters);
   EXPECT_EQ(serial.gauges, parallel.gauges);

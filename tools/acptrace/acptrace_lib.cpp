@@ -6,8 +6,10 @@
 #include <deque>
 #include <fstream>
 #include <ostream>
+#include <set>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace acp::tracecli {
@@ -240,9 +242,14 @@ struct ProbeInfo {
   std::uint64_t parent = 0;
   std::uint64_t node = 0;
   std::uint64_t hop = 0;
+  std::uint64_t path = 0;
   double spawn_t = 0.0;
   double end_t = 0.0;       ///< last hop/terminal event time
   bool returned = false;
+  std::uint64_t retries = 0;
+  std::int64_t component = -1;        ///< component being probed for (-1 at the root)
+  std::int64_t moved_component = -1;  ///< cause of a component_moved rejection
+  std::string reason;                 ///< probe_rejected reason, else empty
   // Disposition: what ended this probe's life.
   enum class End { kNone, kFork, kReturned, kRejected } end = End::kNone;
 };
@@ -255,10 +262,16 @@ struct ReqInfo {
   double accepted_t = 0.0;
   double end_t = 0.0;
   double setup_s = 0.0;
+  std::uint64_t deputy = 0;
+  std::uint64_t paths = 0;
+  double alpha = 0.0;
+  std::uint64_t session = 0;  ///< composition_confirmed session id; 0 = none
+  double phi = 0.0;
   std::uint64_t spawns = 0, forks = 0, returns = 0, rejects = 0;
   std::uint64_t retries = 0;  ///< probe_retry spans (retransmissions, not dispositions)
   std::uint64_t terminals = 0;
   double timeout_outstanding = 0.0;
+  std::map<std::string, std::uint64_t> reject_reasons;
   std::map<std::uint64_t, ProbeInfo> probes;
 };
 
@@ -296,6 +309,9 @@ std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violat
       }
       r.accepted = true;
       r.accepted_t = ev.num("t");
+      r.deputy = static_cast<std::uint64_t>(ev.num("deputy"));
+      r.paths = static_cast<std::uint64_t>(ev.num("paths"));
+      r.alpha = ev.num("alpha");
       continue;
     }
 
@@ -319,6 +335,8 @@ std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violat
       p.parent = parent;
       p.node = static_cast<std::uint64_t>(ev.num("node"));
       p.hop = static_cast<std::uint64_t>(ev.num("hop"));
+      p.path = static_cast<std::uint64_t>(ev.num("path"));
+      if (ev.has("component")) p.component = static_cast<std::int64_t>(ev.num("component"));
       p.spawn_t = ev.num("t");
       p.end_t = p.spawn_t;
       continue;
@@ -355,7 +373,14 @@ std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violat
           ++r.returns;
           p.returned = true;
           break;
-        case ProbeInfo::End::kRejected: ++r.rejects; break;
+        case ProbeInfo::End::kRejected:
+          ++r.rejects;
+          p.reason = ev.has("reason") ? ev.str("reason") : "?";
+          if (ev.has("component")) {
+            p.moved_component = static_cast<std::int64_t>(ev.num("component"));
+          }
+          ++r.reject_reasons[p.reason];
+          break;
         case ProbeInfo::End::kNone: break;
       }
       continue;
@@ -382,6 +407,7 @@ std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violat
         continue;
       }
       p.end_t = ev.num("t");
+      ++p.retries;
       ++r.retries;
       continue;
     }
@@ -408,6 +434,10 @@ std::map<ReqKey, ReqInfo> reconstruct(const TraceData& trace, std::vector<Violat
       r.confirmed = type == "composition_confirmed";
       r.end_t = ev.num("t");
       r.setup_s = ev.has("setup_s") ? ev.num("setup_s") : r.end_t - r.accepted_t;
+      if (r.confirmed) {
+        r.session = static_cast<std::uint64_t>(ev.num("session"));
+        r.phi = ev.num("phi");
+      }
       continue;
     }
 
@@ -558,6 +588,7 @@ BenchDoc decode_bench(const JsonValue& doc) {
   if (const JsonValue* scopes = doc.find("scopes")) {
     for (const JsonValue& s : scopes->array) {
       BenchDoc::Scope sc;
+      sc.count = static_cast<std::uint64_t>(s.num_or("count", 0.0));
       sc.total_s = s.num_or("total_s", 0.0);
       sc.mean_s = s.num_or("mean_s", 0.0);
       sc.p99_s = s.num_or("p99_s", 0.0);
@@ -1051,6 +1082,438 @@ void write_timeline_diff(std::ostream& os, const TimelineData& base,
   for (const std::string& n : result.notes) os << "note: " << n << "\n";
   if (result.ok()) {
     os << "OK: deterministic timeline rows identical\n";
+  } else {
+    for (const std::string& r : result.regressions) os << "REGRESSION: " << r << "\n";
+  }
+}
+
+// ---- explain: one request's causal span tree -----------------------------------
+
+namespace {
+
+/// Probe ids on the request's critical path — the same selection rule
+/// analyze() uses: the latest-completing returned probe (the one the
+/// deputy's merge actually waited on), else the latest-ending probe, plus
+/// its causal ancestry back to the root.
+std::set<std::uint64_t> critical_probe_set(const ReqInfo& r) {
+  std::uint64_t leaf = 0;
+  bool leaf_returned = false;
+  double leaf_t = -1.0;
+  for (const auto& [id, p] : r.probes) {
+    const bool better =
+        (p.returned && !leaf_returned) || (p.returned == leaf_returned && p.end_t > leaf_t);
+    if (leaf == 0 || better) {
+      leaf = id;
+      leaf_returned = p.returned;
+      leaf_t = p.end_t;
+    }
+  }
+  std::set<std::uint64_t> on_path;
+  std::uint64_t cursor = leaf;
+  while (cursor != 0 && on_path.size() <= r.probes.size()) {
+    if (r.probes.count(cursor) == 0 || !on_path.insert(cursor).second) break;
+    cursor = r.probes.at(cursor).parent;
+  }
+  return on_path;
+}
+
+/// Children of each probe (and the roots), in spawn order — probe ids are
+/// allocated monotonically, so id order IS spawn order.
+struct ProbeTree {
+  std::map<std::uint64_t, std::vector<std::uint64_t>> children;
+  std::vector<std::uint64_t> roots;
+};
+
+ProbeTree probe_tree(const ReqInfo& r) {
+  ProbeTree t;
+  for (const auto& [id, p] : r.probes) {
+    if (p.parent != 0 && r.probes.count(p.parent) > 0) {
+      t.children[p.parent].push_back(id);
+    } else {
+      t.roots.push_back(id);
+    }
+  }
+  return t;
+}
+
+void render_probe_line(std::ostream& os, const ReqInfo& r, std::uint64_t id,
+                       const std::set<std::uint64_t>& critical, const ProbeTree& tree,
+                       std::size_t depth, std::set<std::uint64_t>& visited) {
+  if (!visited.insert(id).second) return;  // corrupt input could cycle
+  const ProbeInfo& p = r.probes.at(id);
+
+  os << "  " << std::string(2 * depth, ' ') << (critical.count(id) > 0 ? "* " : "  ");
+  os << "probe " << id << "  node " << p.node << "  hop " << p.hop << "  path " << p.path;
+  if (p.component >= 0) os << "  comp " << p.component;
+  os << "  t " << fmt(p.spawn_t) << "→" << fmt(p.end_t) << " ("
+     << fmt((p.end_t - p.spawn_t) * 1e3) << " ms)";
+  const auto kids = tree.children.find(id);
+  const std::size_t n_kids = kids == tree.children.end() ? 0 : kids->second.size();
+  switch (p.end) {
+    case ProbeInfo::End::kFork: os << "  forked " << n_kids; break;
+    case ProbeInfo::End::kReturned: os << "  returned"; break;
+    case ProbeInfo::End::kRejected:
+      os << "  rejected: " << p.reason;
+      if (p.moved_component >= 0) os << " (component " << p.moved_component << ")";
+      break;
+    case ProbeInfo::End::kNone: os << "  outstanding"; break;
+  }
+  if (p.retries > 0) os << "  [" << p.retries << " retr" << (p.retries == 1 ? "y" : "ies") << "]";
+  os << "\n";
+
+  if (kids == tree.children.end()) return;
+  for (const std::uint64_t child : kids->second) {
+    render_probe_line(os, r, child, critical, tree, depth + 1, visited);
+  }
+}
+
+void render_request(std::ostream& os, const ReqKey& key, const ReqInfo& r) {
+  os << "run " << key.first << " req " << key.second << ": ";
+  if (!r.terminal) {
+    os << "UNTERMINATED (trace cut short?)";
+  } else if (r.confirmed) {
+    os << "CONFIRMED  session " << r.session << "  phi " << fmt(r.phi);
+  } else {
+    os << "FAILED" << (r.timed_out ? " (probe timeout)" : " (no qualified composition)");
+  }
+  os << "\n";
+  os << "  deputy node " << r.deputy << ", " << r.paths << " path"
+     << (r.paths == 1 ? "" : "s") << ", alpha " << fmt(r.alpha) << "\n";
+  os << "  t " << fmt(r.accepted_t) << " → " << fmt(r.end_t) << "  setup " << fmt(r.setup_s)
+     << " s\n";
+  os << "  probes: " << r.spawns << " spawned = " << r.forks << " forked + " << r.returns
+     << " returned + " << r.rejects << " rejected";
+  if (r.timed_out) {
+    os << " + " << static_cast<std::uint64_t>(r.timeout_outstanding) << " outstanding at timeout";
+  }
+  if (r.retries > 0) os << "; " << r.retries << " retransmissions";
+  os << "\n";
+
+  const std::set<std::uint64_t> critical = critical_probe_set(r);
+  const ProbeTree tree = probe_tree(r);
+  os << "  span tree (indent = spawned-by; * = critical path):\n";
+  std::set<std::uint64_t> visited;
+  for (const std::uint64_t root : tree.roots) {
+    render_probe_line(os, r, root, critical, tree, 0, visited);
+  }
+
+  if (r.terminal && !r.confirmed && !r.reject_reasons.empty()) {
+    os << "  failure reasons (" << r.rejects << " rejected probes):\n";
+    for (const auto& [reason, n] : r.reject_reasons) {
+      os << "    " << reason << "  " << n << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t explain(std::ostream& os, const TraceData& trace, const ExplainQuery& q) {
+  const std::map<ReqKey, ReqInfo> reqs = reconstruct(trace, nullptr);
+  std::size_t matched = 0;
+  for (const auto& [key, r] : reqs) {
+    if (q.run != 0 && key.first != q.run) continue;
+    if (q.by_session) {
+      if (!r.confirmed || r.session != q.id) continue;
+    } else {
+      if (key.second != q.id) continue;
+    }
+    if (matched > 0) os << "\n";
+    ++matched;
+    render_request(os, key, r);
+  }
+  if (matched > 0 && trace.truncated) {
+    os << "NOTE: trace is truncated (abnormal writer exit)\n";
+  }
+  return matched;
+}
+
+// ---- export: Chrome-trace / folded-stack span dumps ----------------------------
+
+namespace {
+
+/// run index → algorithm label, from run_started markers.
+std::map<std::uint64_t, std::string> run_labels(const TraceData& trace) {
+  std::map<std::uint64_t, std::string> labels;
+  for (const auto& ev : trace.events) {
+    if (ev.str("type") == "run_started") {
+      labels[static_cast<std::uint64_t>(ev.num("run"))] =
+          ev.has("label") ? ev.str("label") : "";
+    }
+  }
+  return labels;
+}
+
+/// Latest event time attributable to the request — terminal requests can
+/// still have probes settling afterwards (timeout path), and truncated
+/// traces have no terminal at all; the enclosing Chrome span must cover
+/// every child span either way.
+double request_span_end(const ReqInfo& r) {
+  double end = r.terminal ? r.end_t : r.accepted_t;
+  for (const auto& [id, p] : r.probes) end = std::max(end, p.end_t);
+  return end;
+}
+
+const char* request_state(const ReqInfo& r) {
+  if (!r.terminal) return "unterminated";
+  return r.confirmed ? "confirmed" : "failed";
+}
+
+}  // namespace
+
+ExportStats export_chrome_trace(std::ostream& os, const TraceData& trace) {
+  const std::map<ReqKey, ReqInfo> reqs = reconstruct(trace, nullptr);
+  const std::map<std::uint64_t, std::string> labels = run_labels(trace);
+
+  ExportStats st;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&os, &first](const std::string& line) {
+    os << (first ? "\n" : ",\n") << line;
+    first = false;
+  };
+
+  for (const auto& [run, label] : labels) {
+    emit("{\"ph\": \"M\", \"pid\": " + std::to_string(run) +
+         ", \"name\": \"process_name\", \"args\": {\"name\": \"run " + std::to_string(run) +
+         " " + obs::json_escape(label) + "\"}}");
+  }
+
+  for (const auto& [key, r] : reqs) {
+    if (!r.accepted) continue;
+    const std::string pid = std::to_string(key.first);
+    const std::string tid = std::to_string(key.second);
+    ++st.requests;
+    emit("{\"ph\": \"X\", \"pid\": " + pid + ", \"tid\": " + tid + ", \"ts\": " +
+         obs::json_number(r.accepted_t * 1e6) + ", \"dur\": " +
+         obs::json_number((request_span_end(r) - r.accepted_t) * 1e6) + ", \"name\": \"req " +
+         tid + " " + request_state(r) + "\", \"cat\": \"request\", \"args\": {\"session\": " +
+         std::to_string(r.session) + ", \"phi\": " + obs::json_number(r.phi) +
+         ", \"setup_s\": " + obs::json_number(r.setup_s) + ", \"probes\": " +
+         std::to_string(r.spawns) + ", \"deputy\": " + std::to_string(r.deputy) + "}}");
+
+    for (const auto& [id, p] : r.probes) {
+      ++st.probe_spans;
+      std::string line = "{\"ph\": \"X\", \"pid\": " + pid + ", \"tid\": " + tid +
+                         ", \"ts\": " + obs::json_number(p.spawn_t * 1e6) + ", \"dur\": " +
+                         obs::json_number((p.end_t - p.spawn_t) * 1e6) + ", \"name\": \"probe " +
+                         std::to_string(id) + " @node " + std::to_string(p.node) +
+                         "\", \"cat\": \"probe\", \"args\": {\"probe\": " + std::to_string(id) +
+                         ", \"parent\": " + std::to_string(p.parent) + ", \"hop\": " +
+                         std::to_string(p.hop) + ", \"path\": " + std::to_string(p.path) +
+                         ", \"node\": " + std::to_string(p.node) + ", \"disposition\": \"" +
+                         disposition_name(p.end) + "\"";
+      if (!p.reason.empty()) line += ", \"reason\": \"" + obs::json_escape(p.reason) + "\"";
+      if (p.component >= 0) line += ", \"component\": " + std::to_string(p.component);
+      if (p.retries > 0) line += ", \"retries\": " + std::to_string(p.retries);
+      line += "}}";
+      emit(line);
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return st;
+}
+
+ExportStats export_folded_stacks(std::ostream& os, const TraceData& trace) {
+  const std::map<ReqKey, ReqInfo> reqs = reconstruct(trace, nullptr);
+
+  // Aggregate across requests: the stack is the overlay-node chain along
+  // the probe's causal ancestry, the weight the probe's OWN span (a forking
+  // probe ends where its children spawn, so self-time is already exclusive
+  // and the per-run weights sum to total probe-seconds).
+  std::map<std::string, std::uint64_t> agg;
+  ExportStats st;
+  for (const auto& [key, r] : reqs) {
+    for (const auto& [id, p] : r.probes) {
+      const auto weight =
+          static_cast<std::uint64_t>(std::llround(std::max(0.0, p.end_t - p.spawn_t) * 1e6));
+      if (weight == 0) continue;
+      std::vector<std::uint64_t> chain;  // self → root
+      std::uint64_t cursor = id;
+      while (cursor != 0 && chain.size() <= r.probes.size()) {
+        const auto it = r.probes.find(cursor);
+        if (it == r.probes.end()) break;
+        chain.push_back(it->second.node);
+        cursor = it->second.parent;
+      }
+      std::string stack = "run" + std::to_string(key.first);
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        stack += ";node" + std::to_string(*it);
+      }
+      agg[stack] += weight;
+      ++st.probe_spans;
+    }
+  }
+  for (const auto& [stack, weight] : agg) {
+    os << stack << " " << weight << "\n";
+    ++st.stacks;
+  }
+  return st;
+}
+
+// ---- attribution artifacts ------------------------------------------------------
+
+AttrDoc load_attribution(std::istream& in) {
+  AttrDoc d;
+  std::string line;
+  bool saw_header = false;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const std::exception& e) {
+      throw PreconditionError("attribution line " + std::to_string(line_no) + ": " + e.what());
+    }
+    const std::string type = v.str_or("type", "");
+    if (!saw_header) {
+      const std::string schema = v.str_or("schema", "");
+      if (type != "header" || schema != "acp-attr/1") {
+        throw PreconditionError("not an acp-attr/1 artifact (first line type \"" + type +
+                                "\", schema \"" + schema + "\")");
+      }
+      d.schema = schema;
+      d.bench = v.str_or("bench", "");
+      d.git_sha = v.str_or("git_sha", "");
+      d.seed = static_cast<std::uint64_t>(v.num_or("seed", 0.0));
+      const JsonValue* quick = v.find("quick");
+      d.quick = quick != nullptr && quick->boolean;
+      saw_header = true;
+      continue;
+    }
+    if (type == "attr") {
+      AttrDoc::Row r;
+      r.phase = v.str_or("phase", "?");
+      r.node = static_cast<std::int64_t>(v.num_or("node", -1.0));
+      r.fn = static_cast<std::int64_t>(v.num_or("fn", -1.0));
+      r.count = static_cast<std::uint64_t>(v.num_or("count", 0.0));
+      r.sim_s = v.num_or("sim_s", 0.0);
+      d.rows.push_back(std::move(r));
+    } else if (type == "attr_wait") {
+      AttrDoc::Wait w;
+      w.kind = v.str_or("kind", "?");
+      w.count = static_cast<std::uint64_t>(v.num_or("count", 0.0));
+      w.sim_s = v.num_or("sim_s", 0.0);
+      d.waits.push_back(std::move(w));
+    } else if (type == "attr_host") {
+      AttrDoc::Host h;
+      h.phase = v.str_or("phase", "?");
+      h.node = static_cast<std::int64_t>(v.num_or("node", -1.0));
+      h.count = static_cast<std::uint64_t>(v.num_or("count", 0.0));
+      h.wall_s = v.num_or("wall_s", 0.0);
+      d.host.push_back(std::move(h));
+    } else if (type == "attr_total") {
+      d.total_count = static_cast<std::uint64_t>(v.num_or("count", 0.0));
+      d.total_sim_s = v.num_or("sim_s", 0.0);
+    }
+    // Unknown row types within the schema are skipped (forward compat).
+  }
+  if (!saw_header) throw PreconditionError("empty attribution artifact (no header line)");
+  return d;
+}
+
+AttrDoc load_attribution_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open attribution artifact: " + path);
+  return load_attribution(in);
+}
+
+ExportStats export_attribution_folded(std::ostream& os, const AttrDoc& attr) {
+  ExportStats st;
+  for (const AttrDoc::Row& r : attr.rows) {
+    // sim-µs weight; phases that charge no sim time (rank) fall back to the
+    // occurrence count so their fan-out is still visible in the graph.
+    const auto weight = static_cast<std::uint64_t>(
+        r.sim_s > 0.0 ? std::llround(r.sim_s * 1e6) : static_cast<long long>(r.count));
+    if (weight == 0) continue;
+    os << "attr;" << r.phase << ";node" << r.node;
+    if (r.fn >= 0) os << ";fn" << r.fn;
+    os << " " << weight << "\n";
+    ++st.stacks;
+  }
+  return st;
+}
+
+// ---- reconcile: attribution vs BENCH profiler scopes ----------------------------
+
+namespace {
+
+struct PhaseScope {
+  const char* phase;
+  const char* scope;
+};
+
+/// Phases whose AttrWallScope sits at the same call site as a ProfScope —
+/// the pairs reconcile_attribution can hold to exact-count agreement.
+constexpr PhaseScope kPhaseScopes[] = {
+    {"probe", "probing.process_probe"},
+    {"rank", "probing.rank_candidates"},
+    {"finalize", "probing.finalize"},
+};
+
+}  // namespace
+
+DiffResult reconcile_attribution(const AttrDoc& attr, const BenchDoc& bench,
+                                 double max_wall_ratio) {
+  DiffResult res;
+  if (!attr.bench.empty() && !bench.name.empty() && attr.bench != bench.name) {
+    res.notes.push_back("comparing different benches: " + attr.bench + " vs " + bench.name);
+  }
+  if (attr.rows.empty()) {
+    res.regressions.push_back("attribution artifact has no deterministic attr rows");
+  }
+
+  std::map<std::string, std::pair<std::uint64_t, double>> host;  // phase → (count, wall_s)
+  for (const AttrDoc::Host& h : attr.host) {
+    host[h.phase].first += h.count;
+    host[h.phase].second += h.wall_s;
+  }
+
+  for (const PhaseScope& ps : kPhaseScopes) {
+    const auto sc = bench.scopes.find(ps.scope);
+    const auto at = host.find(ps.phase);
+    const std::uint64_t scope_count = sc == bench.scopes.end() ? 0 : sc->second.count;
+    const std::uint64_t attr_count = at == host.end() ? 0 : at->second.first;
+    if (scope_count == 0 && attr_count == 0) {
+      res.notes.push_back(std::string(ps.phase) + ": absent on both sides (skipped)");
+      continue;
+    }
+    if (attr_count != scope_count) {
+      res.regressions.push_back(std::string(ps.phase) + ": attribution counted " +
+                                std::to_string(attr_count) + " but scope " + ps.scope +
+                                " counted " + std::to_string(scope_count));
+      continue;
+    }
+    const double scope_s = sc->second.total_s;
+    const double attr_s = at->second.second;
+    // Wall clocks of adjacent RAII scopes agree up to instrumentation
+    // overhead — ratio-gate, and skip scopes too cheap to time reliably.
+    if (scope_s >= 0.005 && attr_s > 0.0) {
+      const double ratio = std::max(attr_s / scope_s, scope_s / attr_s);
+      if (ratio > max_wall_ratio) {
+        res.regressions.push_back(std::string(ps.phase) + ": wall disagrees with " + ps.scope +
+                                  ": " + fmt(attr_s) + " s vs " + fmt(scope_s) + " s (ratio " +
+                                  fmt(ratio) + " > " + fmt(max_wall_ratio) + ")");
+        continue;
+      }
+    }
+    res.notes.push_back(std::string(ps.phase) + ": " + std::to_string(attr_count) +
+                        " occurrences, wall " + fmt(attr_s) + " s vs scope " + fmt(scope_s) +
+                        " s — reconciled");
+  }
+  return res;
+}
+
+void write_reconcile(std::ostream& os, const AttrDoc& attr, const BenchDoc& bench,
+                     const DiffResult& result) {
+  os << "reconcile: " << attr.bench << " (seed " << attr.seed << ") vs BENCH " << bench.name
+     << "\n";
+  os << "attribution: " << attr.rows.size() << " attr rows, " << attr.waits.size()
+     << " wait rows, " << attr.host.size() << " host rows\n";
+  for (const std::string& n : result.notes) os << "note: " << n << "\n";
+  if (result.ok()) {
+    os << "OK: attribution reconciles with profiler scopes\n";
   } else {
     for (const std::string& r : result.regressions) os << "REGRESSION: " << r << "\n";
   }

@@ -145,6 +145,7 @@ struct BenchDoc {
   double events_per_sec = 0.0;
   std::uint64_t peak_rss_bytes = 0;
   struct Scope {
+    std::uint64_t count = 0;
     double total_s = 0.0;
     double mean_s = 0.0;
     double p99_s = 0.0;
@@ -317,5 +318,100 @@ void write_timeline_analysis(std::ostream& os, const TimelineAnalysis& a);
 DiffResult diff_timelines(const TimelineData& base, const TimelineData& current);
 void write_timeline_diff(std::ostream& os, const TimelineData& base,
                          const TimelineData& current, const DiffResult& result);
+
+// ---- explain: one request's causal span tree -----------------------------------
+
+struct ExplainQuery {
+  bool by_session = false;  ///< `id` is a session id (joins composition_confirmed)
+  std::uint64_t id = 0;     ///< request id (default) or session id
+  std::uint64_t run = 0;    ///< restrict to one run index; 0 = all runs
+};
+
+/// Renders the full causal span tree of every request matching `q`: probes
+/// indented under the probe whose fork spawned them, dispositions and
+/// per-probe timings inline, critical-path members marked, and — for
+/// unsuccessful requests — a reject-reason rollup explaining the failure.
+/// Returns the number of matching requests (0 ⇒ nothing was rendered).
+std::size_t explain(std::ostream& os, const TraceData& trace, const ExplainQuery& q);
+
+// ---- export: Chrome-trace / folded-stack span dumps ----------------------------
+
+struct ExportStats {
+  std::uint64_t requests = 0;     ///< request spans emitted
+  std::uint64_t probe_spans = 0;  ///< probe spans emitted
+  std::uint64_t stacks = 0;       ///< folded-stack lines emitted
+};
+
+/// Chrome Trace Event Format JSON ({"traceEvents": [...]}), loadable by
+/// Perfetto and chrome://tracing. One complete ("X") event per terminal
+/// request (pid = run, tid = request id) and one per probe, nested by sim
+/// time: every probe span lies within its request's span, and a forking
+/// probe ends exactly where its children spawn. Timestamps are sim
+/// microseconds. run_started labels become process_name metadata.
+ExportStats export_chrome_trace(std::ostream& os, const TraceData& trace);
+
+/// Folded flamegraph stacks ("run1;node5;node12 <weight>"), one frame per
+/// overlay node along the probe's causal chain, weighted by the probe's own
+/// span in sim-µs and aggregated across requests — feed to flamegraph.pl /
+/// speedscope / inferno to see hot node chains.
+ExportStats export_folded_stacks(std::ostream& os, const TraceData& trace);
+
+// ---- attribution artifacts (--attribution-out JSONL, schema acp-attr/1) --------
+
+/// One --attribution-out artifact (obs/attribution.h), decoded.
+struct AttrDoc {
+  std::string schema;
+  std::string bench;
+  std::string git_sha;
+  std::uint64_t seed = 0;
+  bool quick = false;
+  struct Row {  ///< deterministic sim-cost row (type "attr")
+    std::string phase;
+    std::int64_t node = -1;
+    std::int64_t fn = -1;
+    std::uint64_t count = 0;
+    double sim_s = 0.0;
+  };
+  struct Wait {  ///< event-queue wait row (type "attr_wait")
+    std::string kind;
+    std::uint64_t count = 0;
+    double sim_s = 0.0;
+  };
+  struct Host {  ///< wall-clock row (type "attr_host"), identity-exempt
+    std::string phase;
+    std::int64_t node = -1;
+    std::uint64_t count = 0;
+    double wall_s = 0.0;
+  };
+  std::vector<Row> rows;
+  std::vector<Wait> waits;
+  std::vector<Host> host;
+  std::uint64_t total_count = 0;  ///< from the trailing attr_total row
+  double total_sim_s = 0.0;
+};
+
+/// Reads an acp-attr/1 JSONL artifact. Throws PreconditionError on a
+/// malformed line or a missing/unknown schema header.
+AttrDoc load_attribution(std::istream& in);
+AttrDoc load_attribution_file(const std::string& path);
+
+/// Folded stacks from attribution rows ("attr;<phase>;node5;fn2 <weight>"),
+/// weighted by sim-µs — or by count for phases that charge no sim time
+/// (e.g. rank). Complements export_folded_stacks in one flamegraph input.
+ExportStats export_attribution_folded(std::ostream& os, const AttrDoc& attr);
+
+/// Reconciles an attribution artifact against the BENCH report of the SAME
+/// run: for each protocol phase with a profiler-scope counterpart (probe ↔
+/// probing.process_probe, rank ↔ probing.rank_candidates, finalize ↔
+/// probing.finalize) the attr_host row counts summed over nodes must equal
+/// the scope count EXACTLY (both sides count the same call sites), and the
+/// summed wall seconds must agree within `max_wall_ratio` (instrumentation
+/// overhead differs slightly, so this is ratio-gated and skipped for scopes
+/// cheaper than a few ms). CI runs this so attribution can never silently
+/// drift from what the profiler measures.
+DiffResult reconcile_attribution(const AttrDoc& attr, const BenchDoc& bench,
+                                 double max_wall_ratio = 4.0);
+void write_reconcile(std::ostream& os, const AttrDoc& attr, const BenchDoc& bench,
+                     const DiffResult& result);
 
 }  // namespace acp::tracecli

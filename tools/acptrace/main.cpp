@@ -25,15 +25,35 @@
 //       Sim-time telemetry summary per run: steady-state window, per-series
 //       min/max/mean/anomalies, coarse window rates.
 //
-// Exit codes: 0 ok, 1 violations/regressions found, 2 usage or I/O error,
-// 3 baseline missing/unparseable (diff only — lets CI distinguish "perf
-// regressed" from "no baseline to compare against").
+//   acptrace explain <trace.jsonl> (--req=N | --session=N) [--run=N]
+//       Causal span tree of one request (or the request that created a
+//       session): probes nested under the probe that spawned them, critical
+//       path marked, failure-reason rollup for unsuccessful requests.
+//
+//   acptrace export <trace.jsonl> [--chrome=OUT.json] [--folded=OUT.folded]
+//                   [--attribution=ATTR.jsonl]
+//       Span-tree dumps for external viewers: Chrome Trace Event JSON
+//       (Perfetto / chrome://tracing; pid=run, tid=req) and/or folded
+//       flamegraph stacks (flamegraph.pl / speedscope). --attribution
+//       appends per-phase cost stacks from an --attribution-out artifact
+//       to the folded output.
+//
+//   acptrace reconcile <attr.jsonl> <BENCH.json> [--max-wall-ratio=R]
+//       Cross-checks an --attribution-out artifact against the BENCH
+//       report of the same run: per-phase counts must equal the profiler
+//       scope counts exactly; wall time must agree within the ratio.
+//
+// Exit codes: 0 ok, 1 violations/regressions/no-match found, 2 usage or
+// I/O error, 3 baseline missing/unparseable (diff only — lets CI
+// distinguish "perf regressed" from "no baseline to compare against").
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "acptrace/acptrace_lib.h"
+#include "util/error.h"
 #include "util/flags.h"
 
 namespace {
@@ -51,7 +71,13 @@ int usage() {
                "           [--min-events-rate-ratio=R] [--max-rss-ratio=R]\n"
                "           [--require-identical-sim]\n"
                "       acptrace diff <baseline.jsonl> <current.jsonl>   (timeline mode)\n"
-               "       acptrace timeline <timeline.jsonl> [--steady-tol=F] [--window=N]\n");
+               "       acptrace timeline <timeline.jsonl> [--steady-tol=F] [--window=N]\n"
+               "       acptrace explain <trace.jsonl> (--req=N | --session=N) [--run=N]\n"
+               "       acptrace export <trace.jsonl> [--chrome=OUT.json] [--folded=OUT]\n"
+               "           [--attribution=ATTR.jsonl]\n"
+               "       acptrace reconcile <attr.jsonl> <BENCH.json> [--max-wall-ratio=R]\n"
+               "exit codes: 0 ok; 1 violations, regressions, or no matching request;\n"
+               "            2 usage or I/O error; 3 baseline missing/unparseable (diff)\n");
   return 2;
 }
 
@@ -122,6 +148,67 @@ int cmd_diff(const std::vector<std::string>& paths, util::Flags& flags) {
   return result.ok() ? 0 : 1;
 }
 
+int cmd_explain(const std::vector<std::string>& paths, util::Flags& flags) {
+  if (paths.size() != 1) return usage();
+  const std::int64_t req = flags.get_int("req", -1);
+  const std::int64_t session = flags.get_int("session", -1);
+  if ((req < 0) == (session < 0)) return usage();  // exactly one selector
+  tracecli::ExplainQuery q;
+  q.by_session = session >= 0;
+  q.id = static_cast<std::uint64_t>(q.by_session ? session : req);
+  q.run = static_cast<std::uint64_t>(flags.get_int("run", 0));
+  const auto trace = tracecli::load_trace_file(paths[0]);
+  const std::size_t matched = tracecli::explain(std::cout, trace, q);
+  if (matched == 0) {
+    std::fprintf(stderr, "acptrace: no %s %llu in %s%s\n", q.by_session ? "session" : "req",
+                 static_cast<unsigned long long>(q.id), paths[0].c_str(),
+                 q.run != 0 ? " (within the requested run)" : "");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& paths, util::Flags& flags) {
+  if (paths.size() != 1) return usage();
+  const std::string chrome = flags.get_string("chrome", "");
+  const std::string folded = flags.get_string("folded", "");
+  const std::string attr_path = flags.get_string("attribution", "");
+  if (chrome.empty() && folded.empty()) return usage();
+
+  const auto trace = tracecli::load_trace_file(paths[0]);
+  if (!chrome.empty()) {
+    std::ofstream out(chrome);
+    if (!out) throw acp::PreconditionError("cannot open for writing: " + chrome);
+    const auto st = tracecli::export_chrome_trace(out, trace);
+    std::printf("chrome trace: %llu request spans, %llu probe spans -> %s\n",
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.probe_spans), chrome.c_str());
+  }
+  if (!folded.empty()) {
+    std::ofstream out(folded);
+    if (!out) throw acp::PreconditionError("cannot open for writing: " + folded);
+    auto st = tracecli::export_folded_stacks(out, trace);
+    if (!attr_path.empty()) {
+      const auto attr = tracecli::load_attribution_file(attr_path);
+      st.stacks += tracecli::export_attribution_folded(out, attr).stacks;
+    }
+    std::printf("folded stacks: %llu lines (%llu probe spans) -> %s\n",
+                static_cast<unsigned long long>(st.stacks),
+                static_cast<unsigned long long>(st.probe_spans), folded.c_str());
+  }
+  return 0;
+}
+
+int cmd_reconcile(const std::vector<std::string>& paths, util::Flags& flags) {
+  if (paths.size() != 2) return usage();
+  const auto attr = tracecli::load_attribution_file(paths[0]);
+  const auto bench = tracecli::load_bench_file(paths[1]);
+  const auto result = tracecli::reconcile_attribution(
+      attr, bench, flags.get_double("max-wall-ratio", 4.0));
+  tracecli::write_reconcile(std::cout, attr, bench, result);
+  return result.ok() ? 0 : 1;
+}
+
 int cmd_timeline(const std::vector<std::string>& paths, util::Flags& flags) {
   if (paths.size() != 1) return usage();
   const auto data = tracecli::load_timeline_file(paths[0]);
@@ -147,6 +234,9 @@ int main(int argc, char** argv) {
     if (cmd == "validate") return cmd_validate(paths);
     if (cmd == "diff") return cmd_diff(paths, flags);
     if (cmd == "timeline") return cmd_timeline(paths, flags);
+    if (cmd == "explain") return cmd_explain(paths, flags);
+    if (cmd == "export") return cmd_export(paths, flags);
+    if (cmd == "reconcile") return cmd_reconcile(paths, flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "acptrace: %s\n", e.what());
