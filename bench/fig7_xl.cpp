@@ -1,0 +1,98 @@
+// fig7_xl — scalability an order of magnitude past the paper (ROADMAP
+// item 1).
+//
+// The paper's evaluation stops at 600 overlay nodes / 80 functions. This
+// sweep runs 5k–50k-node worlds with 1000 functions on the torus XL fabric
+// (exp::SystemConfig::torus_rows/cols): O(N) construction, arithmetic
+// routing, identity deputy mapping — no O(N²) tables anywhere. The point is
+// not the paper's curves (those are fig5–fig8) but the host cost of scale:
+// the headline metrics are `events_per_sec` and `peak_rss_bytes` in the
+// BENCH v2 report, ratcheted by CI perf-smoke against
+// bench/baselines/BENCH_fig7_xl.json.
+//
+//   --quick: one 5120-node world (64×80 torus), six trials — the CI gate.
+//   full:    5120 / 20000 / 51200 nodes, the nightly trend series.
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+struct XlPoint {
+  std::size_t rows;
+  std::size_t cols;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acp;
+  const auto opt = benchx::parse_options(argc, argv);
+
+  const std::vector<XlPoint> points =
+      opt.quick ? std::vector<XlPoint>{{64, 80}}  // 5120 nodes
+                : std::vector<XlPoint>{{64, 80}, {125, 160}, {200, 256}};
+  const double duration_min = opt.quick ? 10.0 : 20.0;
+  const std::vector<double> rates = opt.quick ? std::vector<double>{120.0, 240.0, 480.0}
+                                              : std::vector<double>{240.0, 480.0};
+  const std::vector<exp::Algorithm> algos = {exp::Algorithm::kAcp, exp::Algorithm::kRp};
+
+  std::printf("Fig 7-XL: torus fabric, 1000 functions, alpha=0.3, %.0f-minute simulations\n",
+              duration_min);
+
+  util::Table table({"node_count", "algo", "rate_per_min", "success_pct", "overhead_per_min"});
+  benchx::BenchObservability bobs("fig7_xl", opt);
+  bobs.add_config("duration_min", std::to_string(duration_min));
+  bobs.add_config("function_count", "1000");
+
+  std::vector<exp::SystemConfig> sys_cfgs;
+  std::vector<exp::Fabric> fabrics;
+  sys_cfgs.reserve(points.size());
+  fabrics.reserve(points.size());
+  std::vector<exp::Trial> trials;
+  for (const XlPoint& p : points) {
+    exp::SystemConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.torus_rows = p.rows;
+    cfg.torus_cols = p.cols;
+    // 1 ms per torus hop keeps worst-case staircase delays inside the
+    // workload's 350–1300 ms end-to-end requirements even at 51200 nodes.
+    cfg.torus_link_delay_ms = 1.0;
+    cfg.function_count = 1000;
+    sys_cfgs.push_back(cfg);
+    fabrics.push_back(exp::build_fabric(sys_cfgs.back()));
+    for (exp::Algorithm algo : algos) {
+      for (double rate : rates) {
+        exp::Trial t{&fabrics.back(), &sys_cfgs.back(), {}};
+        exp::ExperimentConfig& ecfg = t.config;
+        ecfg.algorithm = algo;
+        ecfg.alpha = 0.3;
+        ecfg.duration_minutes = duration_min;
+        ecfg.schedule = {{0.0, rate}};
+        ecfg.run_seed = opt.seed + 7100;
+        ecfg.obs = bobs.get();
+        ecfg.timeline = opt.timeline_config();
+        trials.push_back(std::move(t));
+      }
+    }
+  }
+  const auto runs = bobs.run_trials(trials);
+
+  std::size_t next = 0;
+  for (const XlPoint& p : points) {
+    const std::size_t n = p.rows * p.cols;
+    for (exp::Algorithm algo : algos) {
+      for (double rate : rates) {
+        const auto& res = runs[next++].result;
+        table.add_row({static_cast<std::int64_t>(n), exp::algorithm_name(algo),
+                       static_cast<std::int64_t>(rate), res.success_rate * 100.0,
+                       res.overhead_per_minute});
+        std::printf("  N=%5zu %-4s rate=%3.0f/min success=%5.1f%%  overhead=%.0f msg/min\n", n,
+                    exp::algorithm_name(algo).c_str(), rate, res.success_rate * 100.0,
+                    res.overhead_per_minute);
+      }
+    }
+  }
+
+  benchx::emit(table, "Fig 7-XL: success/overhead at 5k-50k nodes", opt, "fig7_xl");
+  bobs.finish();
+  return 0;
+}

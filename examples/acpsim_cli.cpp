@@ -5,8 +5,8 @@
 //
 //   acpsim --algorithm ACP --nodes 400 --rate 80 --alpha 0.3 --minutes 30
 //   acpsim --algorithm Optimal --nodes 200 --rate 60
-//   acpsim --algorithm ACP --adaptive --target 0.9 \
-//          --schedule 0:40,50:80,100:60 --minutes 150
+//   acpsim --algorithm ACP --adaptive --target 0.9
+//          --schedule 0:40,50:80,100:60 --minutes 150   (one command)
 //   acpsim --algorithm ACP --migration --skew 0.8
 //
 // Flags (defaults in brackets):

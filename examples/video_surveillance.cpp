@@ -8,6 +8,7 @@
 // Demonstrates: hand-built function graphs over a named catalog, DAG
 // probing with branch-path merging, and inspection of the chosen placement.
 #include <cstdio>
+#include <deque>
 
 #include "core/probing_composers.h"
 #include "discovery/registry.h"
@@ -17,19 +18,6 @@
 #include "util/flags.h"
 
 using namespace acp;
-
-namespace {
-
-// Build a surveillance-oriented catalog: functions 0..5 with compatible
-// chained interfaces (every format accepted by the next stage).
-stream::FunctionCatalog surveillance_catalog() {
-  // We need full control over formats, so generate a catalog and then use
-  // function indices whose compatibility we verify below.
-  util::Rng rng(1234);
-  return stream::FunctionCatalog::generate(16, rng);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);

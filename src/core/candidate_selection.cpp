@@ -45,53 +45,7 @@ std::vector<stream::ComponentId> filter_qualified(
     const std::vector<stream::ComponentId>& candidates, HopFilterStats* stats) {
   std::vector<stream::ComponentId> out;
   out.reserve(candidates.size());
-  HopFilterStats local;
-  const stream::ResourceVector& required = ctx.req->graph.node(ctx.next_fn).required;
-  for (stream::ComponentId c : candidates) {
-    const stream::Component& cand = ctx.sys->component(c);
-
-    // Security/license policy (extension: paper Sec. 6 constraints).
-    if (!ctx.req->policy.admits(ctx.sys->component_attributes(c))) {
-      ++local.policy;
-      continue;
-    }
-
-    // Input/output stream-rate compatibility with the upstream component.
-    if (ctx.has_upstream &&
-        !ctx.sys->catalog().compatible(ctx.current_function, cand.function)) {
-      ++local.rate_incompatible;
-      continue;
-    }
-
-    // Eq. 6: QoS accumulation must stay within the requirement.
-    stream::QoSVector total = ctx.accumulated;
-    total += view.component_qos(c, ctx.now);
-    total += upstream_link_qos(ctx, view, cand);
-    if (!total.satisfies(ctx.req->qos_req)) {
-      ++local.qos_bound;
-      continue;
-    }
-
-    // Eq. 7: candidate node must have the end-system resources.
-    if (!required.fits_within(view.node_available(cand.node, ctx.now))) {
-      ++local.node_resources;
-      continue;
-    }
-
-    // Eq. 8: the virtual link to the candidate must carry the edge's
-    // bandwidth (co-location trivially passes).
-    if (ctx.has_upstream && ctx.current_node != cand.node && ctx.edge_bw_kbps > 0.0) {
-      const double ba =
-          view.virtual_link_available_kbps(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
-      if (ctx.edge_bw_kbps > ba) {
-        ++local.link_bandwidth;
-        continue;
-      }
-    }
-
-    out.push_back(c);
-  }
-  if (stats != nullptr) *stats = local;
+  filter_qualified_into(ctx, view, candidates, out, stats);
   return out;
 }
 
@@ -99,48 +53,14 @@ std::vector<stream::ComponentId> select_best(const HopContext& ctx, const stream
                                              std::vector<stream::ComponentId> qualified,
                                              std::size_t m, double risk_eps,
                                              RankingPolicy policy) {
-  ACP_REQUIRE(risk_eps >= 0.0);
-  if (qualified.size() <= m) return qualified;
-
-  struct Scored {
-    stream::ComponentId id;
-    double risk;
-    double congestion;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(qualified.size());
-  for (stream::ComponentId c : qualified) {
-    scored.push_back(
-        Scored{c, risk_function(ctx, view, c), congestion_function(ctx, view, c)});
-  }
-  std::sort(scored.begin(), scored.end(), [&](const Scored& a, const Scored& b) {
-    switch (policy) {
-      case RankingPolicy::kRiskOnly:
-        if (a.risk != b.risk) return a.risk < b.risk;
-        break;
-      case RankingPolicy::kCongestionOnly:
-        if (a.congestion != b.congestion) return a.congestion < b.congestion;
-        break;
-      case RankingPolicy::kRiskThenCongestion:
-        // Similar risk ⇒ compare load; otherwise smaller risk wins.
-        if (std::abs(a.risk - b.risk) > risk_eps) return a.risk < b.risk;
-        if (a.congestion != b.congestion) return a.congestion < b.congestion;
-        break;
-    }
-    return a.id < b.id;
-  });
-
-  std::vector<stream::ComponentId> out;
-  out.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) out.push_back(scored[i].id);
-  return out;
+  std::vector<ScoredCandidate> scored;
+  select_best_into(ctx, view, qualified, m, risk_eps, policy, scored);
+  return qualified;
 }
 
 std::vector<stream::ComponentId> select_random(std::vector<stream::ComponentId> qualified,
                                                std::size_t m, util::Rng& rng) {
-  if (qualified.size() <= m) return qualified;
-  rng.shuffle(qualified);
-  qualified.resize(m);
+  select_random_into(qualified, m, rng);
   return qualified;
 }
 

@@ -16,6 +16,8 @@
 // candidates under the guidance of the coarse-grain global state".
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "stream/function_graph.h"
@@ -79,6 +81,23 @@ std::vector<stream::ComponentId> filter_qualified(const HopContext& ctx,
                                                   const std::vector<stream::ComponentId>& candidates,
                                                   HopFilterStats* stats = nullptr);
 
+/// Allocation-free variant: appends qualified candidates to `out` (any
+/// push_back container, e.g. util::ArenaVector) in input order — identical
+/// output to filter_qualified. The probing hot path feeds this from a
+/// per-trial arena so a hop costs zero allocator calls.
+template <typename OutVec>
+void filter_qualified_into(const HopContext& ctx, const stream::StateView& view,
+                           const std::vector<stream::ComponentId>& candidates, OutVec& out,
+                           HopFilterStats* stats = nullptr);
+
+/// A candidate with its (D, W) scores — select_best's sorting scratch,
+/// public so arena callers can supply the scratch container themselves.
+struct ScoredCandidate {
+  stream::ComponentId id;
+  double risk;
+  double congestion;
+};
+
 /// Ranking rule for guided per-hop selection. The paper uses
 /// kRiskThenCongestion; the others exist for the ranking ablation
 /// (bench/ablation_selection).
@@ -95,12 +114,120 @@ std::vector<stream::ComponentId> select_best(const HopContext& ctx, const stream
                                              std::size_t m, double risk_eps,
                                              RankingPolicy policy = RankingPolicy::kRiskThenCongestion);
 
+/// In-place variant: truncates `qualified` (any random-access container) to
+/// the best m using caller-supplied `scored` scratch — same ranking, same
+/// ties, same result order as select_best, no allocation when the scratch
+/// comes from an arena. Leaves `qualified` untouched when it already fits.
+template <typename Vec, typename ScoredVec>
+void select_best_into(const HopContext& ctx, const stream::StateView& view, Vec& qualified,
+                      std::size_t m, double risk_eps, RankingPolicy policy, ScoredVec& scored);
+
 /// Uniformly random `m` of `qualified` (the RP baseline's per-hop rule).
 std::vector<stream::ComponentId> select_random(std::vector<stream::ComponentId> qualified,
                                                std::size_t m, util::Rng& rng);
 
+/// In-place variant of select_random: identical RNG draw sequence (the
+/// Fisher–Yates draws depend only on size()), so swapping container types
+/// preserves run determinism.
+template <typename Vec>
+void select_random_into(Vec& qualified, std::size_t m, util::Rng& rng) {
+  if (qualified.size() <= m) return;
+  rng.shuffle(qualified);
+  qualified.resize(m);
+}
+
 /// Number of candidates to probe for a function with `k` candidates at
 /// probing ratio `alpha`: M = ceil(α·k), at least 1 when k > 0.
 std::size_t probe_count(std::size_t k, double alpha);
+
+// ---- Template implementations (shared by the std::vector wrappers in
+// candidate_selection.cpp and the arena-backed hot path in probing.cpp).
+
+template <typename OutVec>
+void filter_qualified_into(const HopContext& ctx, const stream::StateView& view,
+                           const std::vector<stream::ComponentId>& candidates, OutVec& out,
+                           HopFilterStats* stats) {
+  HopFilterStats local;
+  const stream::ResourceVector& required = ctx.req->graph.node(ctx.next_fn).required;
+  for (stream::ComponentId c : candidates) {
+    const stream::Component& cand = ctx.sys->component(c);
+
+    // Security/license policy (extension: paper Sec. 6 constraints).
+    if (!ctx.req->policy.admits(ctx.sys->component_attributes(c))) {
+      ++local.policy;
+      continue;
+    }
+
+    // Input/output stream-rate compatibility with the upstream component.
+    if (ctx.has_upstream && !ctx.sys->catalog().compatible(ctx.current_function, cand.function)) {
+      ++local.rate_incompatible;
+      continue;
+    }
+
+    // Eq. 6: QoS accumulation must stay within the requirement.
+    stream::QoSVector total = ctx.accumulated;
+    total += view.component_qos(c, ctx.now);
+    if (ctx.has_upstream) {
+      total += view.virtual_link_qos(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
+    }
+    if (!total.satisfies(ctx.req->qos_req)) {
+      ++local.qos_bound;
+      continue;
+    }
+
+    // Eq. 7: candidate node must have the end-system resources.
+    if (!required.fits_within(view.node_available(cand.node, ctx.now))) {
+      ++local.node_resources;
+      continue;
+    }
+
+    // Eq. 8: the virtual link to the candidate must carry the edge's
+    // bandwidth (co-location trivially passes).
+    if (ctx.has_upstream && ctx.current_node != cand.node && ctx.edge_bw_kbps > 0.0) {
+      const double ba =
+          view.virtual_link_available_kbps(ctx.sys->mesh(), ctx.current_node, cand.node, ctx.now);
+      if (ctx.edge_bw_kbps > ba) {
+        ++local.link_bandwidth;
+        continue;
+      }
+    }
+
+    out.push_back(c);
+  }
+  if (stats != nullptr) *stats = local;
+}
+
+template <typename Vec, typename ScoredVec>
+void select_best_into(const HopContext& ctx, const stream::StateView& view, Vec& qualified,
+                      std::size_t m, double risk_eps, RankingPolicy policy, ScoredVec& scored) {
+  ACP_REQUIRE(risk_eps >= 0.0);
+  if (qualified.size() <= m) return;
+
+  scored.clear();
+  scored.reserve(qualified.size());
+  for (stream::ComponentId c : qualified) {
+    scored.push_back(
+        ScoredCandidate{c, risk_function(ctx, view, c), congestion_function(ctx, view, c)});
+  }
+  std::sort(scored.begin(), scored.end(), [&](const ScoredCandidate& a, const ScoredCandidate& b) {
+    switch (policy) {
+      case RankingPolicy::kRiskOnly:
+        if (a.risk != b.risk) return a.risk < b.risk;
+        break;
+      case RankingPolicy::kCongestionOnly:
+        if (a.congestion != b.congestion) return a.congestion < b.congestion;
+        break;
+      case RankingPolicy::kRiskThenCongestion:
+        // Similar risk ⇒ compare load; otherwise smaller risk wins.
+        if (std::abs(a.risk - b.risk) > risk_eps) return a.risk < b.risk;
+        if (a.congestion != b.congestion) return a.congestion < b.congestion;
+        break;
+    }
+    return a.id < b.id;
+  });
+
+  qualified.resize(m);
+  for (std::size_t i = 0; i < m; ++i) qualified[i] = scored[i].id;
+}
 
 }  // namespace acp::core

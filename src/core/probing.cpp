@@ -12,8 +12,10 @@ using stream::NodeId;
 /// One in-flight probe: a partial assignment along one source→sink path.
 struct ProbingProtocol::Probe {
   std::size_t path_index = 0;
-  /// Components chosen for path positions [0, components.size()).
-  std::vector<ComponentId> components;
+  /// Components chosen for path positions [0, components.size()). Inline
+  /// storage covers every template in the catalog (max 5 functions), so
+  /// copying a probe for a child spawn never allocates.
+  util::SmallVec<ComponentId, 8> components;
   /// QoS accumulated along the prefix (precise values, collected hop by hop).
   stream::QoSVector accumulated;
   /// Node the probe currently sits on (deputy before the first hop).
@@ -324,7 +326,11 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
   }
 
   const std::size_t m = probe_count(candidates.size(), coord->alpha);
-  std::vector<ComponentId> selected;
+  // All per-hop scratch comes from the per-trial arena: reset reclaims the
+  // previous hop's lists wholesale, so the steady-state hop is allocation
+  // free. Nothing below escapes this call (children copy what they keep).
+  scratch_.reset();
+  util::ArenaVector<ComponentId> selected(scratch_);
   HopFilterStats filter_stats;
   std::size_t rank_cutoff = 0;
   {
@@ -334,23 +340,23 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
     if (coord->hop_policy == PerHopPolicy::kGuided) {
       // Filter + rank on the coarse global state (possibly stale — that is
       // the point: precise state comes from the probes themselves).
-      auto qualified = filter_qualified(ctx, *global_view_, candidates, &filter_stats);
-      const std::size_t n_qualified = qualified.size();
-      selected = select_best(ctx, *global_view_, std::move(qualified), m, config_.risk_eps,
-                             config_.ranking);
+      filter_qualified_into(ctx, *global_view_, candidates, selected, &filter_stats);
+      const std::size_t n_qualified = selected.size();
+      util::ArenaVector<ScoredCandidate> scored(scratch_);
+      select_best_into(ctx, *global_view_, selected, m, config_.risk_eps, config_.ranking,
+                       scored);
       rank_cutoff = n_qualified - selected.size();
     } else {
       // RP: random selection among discovered, rate-compatible candidates.
-      std::vector<ComponentId> compatible;
       for (ComponentId c : candidates) {
         if (!ctx.has_upstream ||
             sys_->catalog().compatible(ctx.current_function, sys_->component(c).function)) {
-          compatible.push_back(c);
+          selected.push_back(c);
         }
       }
-      filter_stats.rate_incompatible = candidates.size() - compatible.size();
-      const std::size_t n_compatible = compatible.size();
-      selected = select_random(std::move(compatible), m, rng_);
+      filter_stats.rate_incompatible = candidates.size() - selected.size();
+      const std::size_t n_compatible = selected.size();
+      select_random_into(selected, m, rng_);
       rank_cutoff = n_compatible - selected.size();
     }
   }
@@ -464,7 +470,7 @@ void ProbingProtocol::probe_returned(const std::shared_ptr<Coordinator>& coord,
         .field("hops", probe.components.size());
   }
   PathAssignment pa;
-  pa.components = probe.components;
+  pa.components.assign(probe.components.begin(), probe.components.end());
   pa.accumulated = probe.accumulated;
   coord->collected[probe.path_index].push_back(std::move(pa));
   probe_ended(coord);

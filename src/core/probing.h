@@ -36,7 +36,9 @@
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "stream/session.h"
+#include "util/arena.h"
 #include "util/rng.h"
+#include "util/small_vec.h"
 
 namespace acp::core {
 
@@ -161,6 +163,11 @@ class ProbingProtocol {
   obs::Attribution* attr_ = nullptr;  ///< &obs_->attribution; null when obs off
   fault::FaultInjector* faults_ = nullptr;
   std::uint64_t next_probe_id_ = 0;
+  /// Per-hop scratch (qualified/selected candidate lists, ranking scores):
+  /// reset at the top of every process_probe, so a steady-state hop makes
+  /// zero allocator calls. The protocol is per-trial, so this needs no
+  /// synchronization under the parallel trial runner.
+  util::Arena scratch_;
   std::uint64_t retries_sent_ = 0;
   std::uint64_t deputy_reelections_ = 0;
   std::uint64_t live_probes_ = 0;  ///< Σ outstanding over live coordinators

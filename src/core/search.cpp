@@ -193,9 +193,9 @@ class FastEvaluator {
       const stream::NodeId a = sys_.component(assignment[edge.from]).node;
       const stream::NodeId b = sys_.component(assignment[edge.to]).node;
       if (a == b) continue;
-      for (net::OverlayLinkIndex l : sys_.mesh().virtual_link_path(a, b)) {
+      sys_.mesh().for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
         add_to(link_agg_, l, edge.required_bandwidth_kbps);
-      }
+      });
     }
     for (const auto& [link, kbps] : link_agg_) {
       if (kbps > view_.link_available_kbps(link, now_)) return -1.0;
@@ -214,10 +214,10 @@ class FastEvaluator {
       const stream::NodeId b = sys_.component(assignment[edge.to]).node;
       if (a == b) continue;
       double residual = std::numeric_limits<double>::infinity();
-      for (net::OverlayLinkIndex l : sys_.mesh().virtual_link_path(a, b)) {
+      sys_.mesh().for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
         residual =
             std::min(residual, view_.link_available_kbps(l, now_) - find_in(link_agg_, l));
-      }
+      });
       phi += stream::congestion_term(edge.required_bandwidth_kbps, residual);
     }
     return phi;

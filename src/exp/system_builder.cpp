@@ -16,6 +16,18 @@ constexpr std::uint64_t kTemplateStream = 5;
 Fabric build_fabric(const SystemConfig& config) {
   util::Rng master(config.seed);
   Fabric fabric;
+  if (config.torus_rows > 0 || config.torus_cols > 0) {
+    // XL fabric: no Inet generation, no RNG draws — the torus is pure
+    // geometry. The IP "topology" is just N hosts identity-mapped to the
+    // overlay (request clients draw from its node count).
+    ACP_REQUIRE(config.torus_rows >= 3 && config.torus_cols >= 3);
+    fabric.ip = net::Graph(config.torus_rows * config.torus_cols);
+    fabric.mesh =
+        std::make_unique<net::OverlayMesh>(net::OverlayMesh::torus(
+            config.torus_rows, config.torus_cols, config.torus_link_delay_ms,
+            config.torus_link_capacity_kbps));
+    return fabric;
+  }
   {
     util::Rng rng = master.split(kTopologyStream);
     fabric.ip = net::generate_power_law_topology(config.topology, rng);

@@ -28,6 +28,16 @@ struct SystemConfig {
   net::TopologyConfig topology;  ///< default: 3200-node power-law graph
   net::OverlayConfig overlay;    ///< default: 400 members, log N neighbors
 
+  // XL-scale fabric (bench/fig7_xl): when torus_rows*torus_cols > 0 the
+  // Inet generator and O(N²) overlay construction are replaced by a
+  // rows×cols torus with identity member↔host mapping and arithmetic
+  // routing, so worlds of 5k–50k nodes build in O(N). 0 (the default)
+  // keeps the paper-scale path byte-identical.
+  std::size_t torus_rows = 0;
+  std::size_t torus_cols = 0;
+  double torus_link_delay_ms = 2.0;
+  double torus_link_capacity_kbps = 1.0e6;
+
   std::size_t function_count = 80;  ///< paper: 80 predefined functions
   /// Components hosted per stream processing node. Functions are dealt
   /// near-evenly (every function's candidate count is N·cpn/80 ± 1, with

@@ -422,12 +422,10 @@ FaultInjector::MessageFate FaultInjector::message_fate(stream::NodeId from, stre
     return fate;
   }
   if (links_down_ > 0 && from != to) {
-    for (net::OverlayLinkIndex l : sys_->mesh().virtual_link_path(from, to)) {
-      if (link_down_[l]) {
-        fate.lost = true;
-        return fate;
-      }
-    }
+    sys_->mesh().for_each_virtual_link(from, to, [&](net::OverlayLinkIndex l) {
+      if (link_down_[l]) fate.lost = true;
+    });
+    if (fate.lost) return fate;
   }
   if (!stochastic_active()) return fate;
   if (plan_.probe_loss_prob > 0.0 && msg_rng_.bernoulli(plan_.probe_loss_prob)) {

@@ -89,6 +89,47 @@ OverlayMesh::OverlayMesh(const Graph& ip, const OverlayConfig& config, util::Rng
   }
 }
 
+OverlayMesh OverlayMesh::torus(std::size_t rows, std::size_t cols, double link_delay_ms,
+                               double link_capacity_kbps) {
+  // Wrap-around with fewer than 3 per axis would create self-loops or
+  // parallel edges; the XL fabric has no use for degenerate tori anyway.
+  ACP_REQUIRE(rows >= 3 && cols >= 3);
+  ACP_REQUIRE(link_delay_ms > 0.0 && link_capacity_kbps > 0.0);
+  const std::size_t n = rows * cols;
+  OverlayMesh m;
+  m.torus_ = true;
+  m.rows_ = static_cast<std::uint32_t>(rows);
+  m.cols_ = static_cast<std::uint32_t>(cols);
+  m.torus_link_delay_ms_ = link_delay_ms;
+  m.members_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) m.members_[i] = static_cast<NodeIndex>(i);
+  m.mesh_ = Graph(n);
+  m.links_.reserve(2 * n);
+  // Link ids are arithmetic (link_right/link_down): node i pushes its right
+  // link then its down link, so links_[2i] / links_[2i+1] line up exactly.
+  for (std::uint32_t r = 0; r < m.rows_; ++r) {
+    for (std::uint32_t c = 0; c < m.cols_; ++c) {
+      const auto add = [&](OverlayNodeIndex a, OverlayNodeIndex b) {
+        m.mesh_.add_edge(a, b, link_delay_ms, link_capacity_kbps);
+        OverlayLink l;
+        l.a = a;
+        l.b = b;
+        l.delay_ms = link_delay_ms;
+        l.capacity_kbps = link_capacity_kbps;
+        // Torus links are lossless: XL sweeps measure composition scaling,
+        // not the loss model, and zero keeps QoS accumulation trivially exact.
+        l.loss_rate = 0.0;
+        l.additive_loss = 0.0;
+        m.links_.push_back(l);
+      };
+      const OverlayNodeIndex here = r * m.cols_ + c;
+      add(here, r * m.cols_ + (c + 1) % m.cols_);        // right
+      add(here, ((r + 1) % m.rows_) * m.cols_ + c);      // down
+    }
+  }
+  return m;
+}
+
 NodeIndex OverlayMesh::ip_host(OverlayNodeIndex o) const {
   ACP_REQUIRE(o < members_.size());
   return members_[o];
@@ -111,18 +152,47 @@ std::vector<OverlayNodeIndex> OverlayMesh::neighbors_of(OverlayNodeIndex o) cons
   return out;
 }
 
+std::uint32_t OverlayMesh::torus_distance(OverlayNodeIndex a, OverlayNodeIndex b) const {
+  const std::uint32_t dr = (b / cols_ + rows_ - a / cols_) % rows_;
+  const std::uint32_t dc = (b % cols_ + cols_ - a % cols_) % cols_;
+  return std::min(dr, rows_ - dr) + std::min(dc, cols_ - dc);
+}
+
 const std::vector<OverlayLinkIndex>& OverlayMesh::virtual_link_path(OverlayNodeIndex a,
                                                                     OverlayNodeIndex b) const {
   ACP_REQUIRE(a < members_.size() && b < members_.size());
+  if (torus_) {
+    // Legacy materializing entry point: generate the staircase into
+    // thread-local scratch. Each trial worker thread gets its own buffer, so
+    // the shared mesh stays immutable; the reference is only good until the
+    // calling thread's next call, which every remaining caller tolerates.
+    static thread_local std::vector<OverlayLinkIndex> scratch;
+    scratch.clear();
+    walk_torus(a, b, [&](OverlayLinkIndex l) { scratch.push_back(l); });
+    return scratch;
+  }
   return pair_paths_[static_cast<std::size_t>(a) * members_.size() + b];
+}
+
+std::size_t OverlayMesh::virtual_link_hops(OverlayNodeIndex a, OverlayNodeIndex b) const {
+  ACP_REQUIRE(a < members_.size() && b < members_.size());
+  if (torus_) return torus_distance(a, b);
+  return pair_paths_[static_cast<std::size_t>(a) * members_.size() + b].size();
 }
 
 double OverlayMesh::virtual_link_delay(OverlayNodeIndex a, OverlayNodeIndex b) const {
   if (a == b) return 0.0;  // co-located components: 0 network delay
+  if (torus_) return torus_distance(a, b) * torus_link_delay_ms_;
   return overlay_routes_->distance(a, b);
 }
 
 OverlayNodeIndex OverlayMesh::closest_member(NodeIndex ip_node) const {
+  if (torus_) {
+    // Members are identity-mapped to hosts: the closest member to a host IS
+    // that host's node.
+    ACP_REQUIRE(ip_node < members_.size());
+    return static_cast<OverlayNodeIndex>(ip_node);
+  }
   double best = kUnreachable;
   OverlayNodeIndex best_member = 0;
   for (OverlayNodeIndex o = 0; o < members_.size(); ++o) {
@@ -137,6 +207,22 @@ OverlayNodeIndex OverlayMesh::closest_member(NodeIndex ip_node) const {
 
 OverlayNodeIndex OverlayMesh::closest_member_where(
     NodeIndex ip_node, const std::function<bool(OverlayNodeIndex)>& eligible) const {
+  if (torus_) {
+    const auto self = static_cast<OverlayNodeIndex>(ip_node);
+    ACP_REQUIRE(self < members_.size());
+    double best = kUnreachable;
+    OverlayNodeIndex best_member = kNoOverlayLink;
+    for (OverlayNodeIndex o = 0; o < members_.size(); ++o) {
+      if (!eligible(o)) continue;
+      const double d = torus_distance(self, o) * torus_link_delay_ms_;
+      if (d < best) {
+        best = d;
+        best_member = o;
+      }
+    }
+    if (best_member == kNoOverlayLink) return self;
+    return best_member;
+  }
   double best = kUnreachable;
   OverlayNodeIndex best_member = kNoOverlayLink;
   for (OverlayNodeIndex o = 0; o < members_.size(); ++o) {

@@ -56,6 +56,18 @@ class OverlayMesh {
   /// builds the overlay all-pairs routing table.
   OverlayMesh(const Graph& ip, const OverlayConfig& config, util::Rng& rng);
 
+  /// XL-scale fabric: a rows×cols torus with uniform link delay/capacity and
+  /// members identity-mapped to IP hosts (node i IS host i, so the deputy of
+  /// a client is the client's own node). Routing is arithmetic — with equal
+  /// link delays the delay-shortest path is the deterministic Manhattan
+  /// staircase (rows first, then columns; wrap the shorter way, ties go the
+  /// positive direction) — so construction and memory are O(N)+O(links)
+  /// where the paper-scale constructor's all-pairs tables are O(N²). Every
+  /// path query computes into caller state, never mesh state: one mesh is
+  /// shared read-only across parallel trial workers.
+  static OverlayMesh torus(std::size_t rows, std::size_t cols, double link_delay_ms,
+                           double link_capacity_kbps);
+
   std::size_t node_count() const { return members_.size(); }
   std::size_t link_count() const { return mesh_.edge_count(); }
 
@@ -72,10 +84,30 @@ class OverlayMesh {
 
   /// Delay-shortest overlay path a→b as a sequence of overlay link ids;
   /// empty when a == b (co-location) — never empty otherwise, because the
-  /// mesh is connected by construction. Cached per pair; the reference stays
-  /// valid for the mesh's lifetime.
+  /// mesh is connected by construction. Paper-scale meshes return a cached
+  /// per-pair path whose reference stays valid for the mesh's lifetime; a
+  /// torus mesh materializes the walk into thread-local scratch (valid until
+  /// the calling thread's next virtual_link_path call). Hot paths should
+  /// prefer for_each_virtual_link, which never materializes.
   const std::vector<OverlayLinkIndex>& virtual_link_path(OverlayNodeIndex a,
                                                          OverlayNodeIndex b) const;
+
+  /// Visits each overlay link id on the virtual link a→b in path order
+  /// without materializing the path: the allocation-free form hot loops
+  /// (bandwidth checks, QoS accumulation, flow admission) should use. On a
+  /// torus the links are generated arithmetically from the staircase walk;
+  /// on paper-scale meshes this iterates the cached pair path.
+  template <typename F>
+  void for_each_virtual_link(OverlayNodeIndex a, OverlayNodeIndex b, F&& f) const {
+    if (torus_) {
+      walk_torus(a, b, f);
+      return;
+    }
+    for (const OverlayLinkIndex l : virtual_link_path(a, b)) f(l);
+  }
+
+  /// Number of links on the virtual link a→b (torus: Manhattan distance).
+  std::size_t virtual_link_hops(OverlayNodeIndex a, OverlayNodeIndex b) const;
 
   /// Sum of link delays along the virtual link a→b (0 when a == b).
   double virtual_link_delay(OverlayNodeIndex a, OverlayNodeIndex b) const;
@@ -93,14 +125,72 @@ class OverlayMesh {
   /// Underlying overlay graph (for tests / diagnostics).
   const Graph& mesh_graph() const { return mesh_; }
 
+  /// Whether this mesh was built by the torus factory.
+  bool is_torus() const { return torus_; }
+  std::uint32_t torus_rows() const { return rows_; }
+  std::uint32_t torus_cols() const { return cols_; }
+
  private:
+  OverlayMesh() = default;  ///< used by the torus factory
+
+  // Arithmetic link ids on the torus: node i = r*cols + c owns link 2i to its
+  // right neighbor (r, c+1 mod cols) and link 2i+1 to its down neighbor
+  // (r+1 mod rows, c) — ids need no lookup table.
+  std::uint32_t link_right(std::uint32_t r, std::uint32_t c) const {
+    return 2 * (r * cols_ + c);
+  }
+  std::uint32_t link_down(std::uint32_t r, std::uint32_t c) const {
+    return 2 * (r * cols_ + c) + 1;
+  }
+
+  /// Deterministic Manhattan staircase a→b: rows first, then columns, each
+  /// axis wrapping whichever direction is shorter (ties go the positive
+  /// direction). With uniform link delays this IS a delay-shortest path.
+  template <typename F>
+  void walk_torus(OverlayNodeIndex a, OverlayNodeIndex b, F&& f) const {
+    std::uint32_t r = a / cols_;
+    std::uint32_t c = a % cols_;
+    const std::uint32_t rb = b / cols_;
+    const std::uint32_t cb = b % cols_;
+    const std::uint32_t down = (rb + rows_ - r) % rows_;
+    if (down <= rows_ - down) {
+      for (; r != rb; r = (r + 1) % rows_) f(link_down(r, c));
+    } else {
+      while (r != rb) {
+        const std::uint32_t pr = (r + rows_ - 1) % rows_;
+        f(link_down(pr, c));
+        r = pr;
+      }
+    }
+    const std::uint32_t right = (cb + cols_ - c) % cols_;
+    if (right <= cols_ - right) {
+      for (; c != cb; c = (c + 1) % cols_) f(link_right(r, c));
+    } else {
+      while (c != cb) {
+        const std::uint32_t pc = (c + cols_ - 1) % cols_;
+        f(link_right(r, pc));
+        c = pc;
+      }
+    }
+  }
+
+  /// Manhattan distance on the torus (hops of the staircase walk).
+  std::uint32_t torus_distance(OverlayNodeIndex a, OverlayNodeIndex b) const;
+
   std::vector<NodeIndex> members_;          ///< overlay index -> IP host
   Graph mesh_;                              ///< overlay graph (delay, capacity)
   std::vector<OverlayLink> links_;          ///< parallel to mesh_ edges
   std::unique_ptr<RoutingTable> ip_routes_; ///< trees rooted at member hosts
   std::unique_ptr<RoutingTable> overlay_routes_;  ///< APSP over mesh_
-  /// Per-pair cached paths, row-major (a * node_count + b).
+  /// Per-pair cached paths, row-major (a * node_count + b). Empty in torus
+  /// mode — O(N²) tables are exactly what the torus exists to avoid.
   std::vector<std::vector<OverlayLinkIndex>> pair_paths_;
+
+  // Torus mode (XL fabric): geometry instead of tables.
+  bool torus_ = false;
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  double torus_link_delay_ms_ = 0.0;
 };
 
 }  // namespace acp::net

@@ -1,0 +1,229 @@
+// Calendar-queue event queue with intrusive O(1) cancellation.
+//
+// Replaces the engine's std::priority_queue + std::unordered_map pair
+// (ROADMAP item 1). A binary heap costs O(log n) per operation with
+// pointer-chasing comparisons, and lazy cancellation left dead entries
+// (and their std::function closures) alive until their fire time. The
+// calendar queue (R. Brown, CACM 1988) hashes events by time into "days":
+// bucket = floor(at / width) mod nbuckets. With width tuned to the mean
+// inter-event gap, push/pop are amortized O(1), and every entry lives in a
+// flat slot pool indexed by an open-addressing id map, so cancel is O(1)
+// swap-remove that destroys the closure eagerly.
+//
+// Ordering contract (load-bearing for determinism): pop_min/pop_if_le
+// return events in exactly ascending (at, seq) order — identical to the
+// old heap's tie-breaking — regardless of bucket width or resize history.
+// Width and bucket count only affect performance, never order, because the
+// pop scan walks whole days in order and selects the exact (at, seq)
+// minimum within the day. Days are integer-numbered once at push time
+// (recomputed only on resize), so float boundary rounding can't split an
+// event's identity between push and pop.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+#include "util/flat_map.h"
+
+namespace acp::sim {
+
+template <typename Payload>
+class CalendarQueue {
+ public:
+  struct Entry {
+    double at = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    Payload payload;
+  };
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push(double at, std::uint64_t seq, std::uint64_t id, Payload payload) {
+    if (buckets_.empty()) buckets_.resize(kMinBuckets);
+    const std::int64_t day = day_of(at);
+    // Keep the invariant that current_day_ lower-bounds every live day
+    // even if a caller pushes into the past relative to the last pop.
+    if (day < current_day_ || size_ == 0) current_day_ = day;
+    std::uint32_t s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+    } else {
+      s = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[s];
+    slot.at = at;
+    slot.seq = seq;
+    slot.id = id;
+    slot.day = day;
+    slot.bucket = static_cast<std::uint32_t>(day & mask());
+    slot.payload = std::move(payload);
+    auto& b = buckets_[slot.bucket];
+    slot.pos = static_cast<std::uint32_t>(b.size());
+    b.push_back(s);
+    index_.insert_or_assign(id, s);
+    ++size_;
+    if (size_ > buckets_.size() * 2) rebuild(buckets_.size() * 2);
+  }
+
+  /// O(1): unlinks the slot, destroys the payload eagerly (no dead
+  /// closures linger until fire time), recycles the slot. Returns false
+  /// if the id already fired, was cancelled, or never existed.
+  bool cancel(std::uint64_t id) {
+    std::uint32_t* s = index_.find(id);
+    if (s == nullptr) return false;
+    release(*s);
+    index_.erase(id);
+    return true;
+  }
+
+  /// Pops the global (at, seq) minimum. False when empty.
+  bool pop_min(Entry& out) { return pop_impl(/*bounded=*/false, 0.0, out); }
+
+  /// Pops the global minimum only if its timestamp is <= `bound`.
+  bool pop_if_le(double bound, Entry& out) { return pop_impl(/*bounded=*/true, bound, out); }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 64;  // power of two
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  struct Slot {
+    double at = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    std::int64_t day = 0;
+    std::uint32_t bucket = 0;
+    std::uint32_t pos = 0;
+    Payload payload;
+  };
+
+  std::size_t mask() const { return buckets_.size() - 1; }
+
+  std::int64_t day_of(double at) const {
+    return static_cast<std::int64_t>(std::floor(at / width_));
+  }
+
+  bool less(std::uint32_t a, std::uint32_t b) const {
+    if (slots_[a].at != slots_[b].at) return slots_[a].at < slots_[b].at;
+    return slots_[a].seq < slots_[b].seq;
+  }
+
+  /// Min (at, seq) among entries of `day` in its bucket; kNone if the day
+  /// is empty (the bucket may still hold entries of other days ≡ mod n).
+  std::uint32_t find_min_in_day(std::int64_t day) const {
+    std::uint32_t best = kNone;
+    for (std::uint32_t s : buckets_[static_cast<std::uint32_t>(day & mask())]) {
+      if (slots_[s].day != day) continue;
+      if (best == kNone || less(s, best)) best = s;
+    }
+    return best;
+  }
+
+  bool pop_impl(bool bounded, double bound, Entry& out) {
+    if (size_ == 0) return false;
+    const std::int64_t nbuckets = static_cast<std::int64_t>(buckets_.size());
+    for (std::int64_t scanned = 0; scanned < nbuckets; ++scanned) {
+      // Every live event in day d satisfies at >= d * width, so once the
+      // current day starts past the bound nothing can qualify.
+      if (bounded && static_cast<double>(current_day_) * width_ > bound) return false;
+      const std::uint32_t best = find_min_in_day(current_day_);
+      if (best != kNone) {
+        if (bounded && slots_[best].at > bound) return false;
+        take(best, out);
+        return true;
+      }
+      ++current_day_;
+    }
+    // Sparse region: a year of empty days scanned. Fall back to a direct
+    // global-min search and jump current_day_ to the min's day.
+    std::uint32_t best = kNone;
+    for (const auto& b : buckets_) {
+      for (std::uint32_t s : b) {
+        if (best == kNone || less(s, best)) best = s;
+      }
+    }
+    ACP_ASSERT(best != kNone);  // size_ > 0
+    current_day_ = slots_[best].day;
+    if (bounded && slots_[best].at > bound) return false;
+    take(best, out);
+    return true;
+  }
+
+  void take(std::uint32_t s, Entry& out) {
+    Slot& slot = slots_[s];
+    out.at = slot.at;
+    out.seq = slot.seq;
+    out.id = slot.id;
+    out.payload = std::move(slot.payload);
+    current_day_ = slot.day;
+    // Feed the width adaptation: EWMA of inter-pop gaps, consumed at the
+    // next resize. Pure performance state — never affects pop order.
+    const double gap = slot.at - last_pop_at_;
+    if (gap >= 0.0) {
+      gap_ewma_ = have_gap_ ? 0.9 * gap_ewma_ + 0.1 * gap : gap;
+      have_gap_ = true;
+    }
+    last_pop_at_ = slot.at;
+    index_.erase(slot.id);
+    release(s);
+    if (buckets_.size() > kMinBuckets && size_ * 2 < buckets_.size()) {
+      rebuild(buckets_.size() / 2);
+    }
+  }
+
+  /// Swap-removes the slot from its bucket, destroys the payload, and
+  /// recycles the slot index.
+  void release(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    auto& b = buckets_[slot.bucket];
+    const std::uint32_t moved = b.back();
+    b[slot.pos] = moved;
+    b.pop_back();
+    if (moved != s) slots_[moved].pos = slot.pos;
+    slot.payload = Payload{};
+    free_.push_back(s);
+    --size_;
+  }
+
+  void rebuild(std::size_t nbuckets) {
+    // Retune width to target a couple of events per day. Only resizes may
+    // change width: stored day numbers are recomputed here and nowhere
+    // else, so push-time and pop-time views of a day always agree.
+    if (have_gap_ && gap_ewma_ > 0.0) width_ = gap_ewma_ * 2.0;
+    std::vector<std::vector<std::uint32_t>> fresh(nbuckets);
+    std::int64_t min_day = 0;
+    bool first = true;
+    for (auto& b : buckets_) {
+      for (std::uint32_t s : b) {
+        Slot& slot = slots_[s];
+        slot.day = day_of(slot.at);
+        slot.bucket = static_cast<std::uint32_t>(slot.day & (nbuckets - 1));
+        slot.pos = static_cast<std::uint32_t>(fresh[slot.bucket].size());
+        fresh[slot.bucket].push_back(s);
+        if (first || slot.day < min_day) min_day = slot.day;
+        first = false;
+      }
+    }
+    buckets_ = std::move(fresh);
+    current_day_ = first ? day_of(last_pop_at_) : min_day;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  util::FlatMap<std::uint64_t, std::uint32_t> index_;
+  std::size_t size_ = 0;
+  double width_ = 1.0;
+  std::int64_t current_day_ = 0;
+  double gap_ewma_ = 0.0;
+  bool have_gap_ = false;
+  double last_pop_at_ = 0.0;
+};
+
+}  // namespace acp::sim

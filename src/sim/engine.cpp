@@ -20,61 +20,42 @@ EventId Engine::schedule_at(SimTime at, Callback cb, const char* tag) {
   ACP_REQUIRE_MSG(at >= now_, "cannot schedule events in the past");
   ACP_REQUIRE(cb != nullptr);
   const EventId id = next_id_++;
-  queue_.push(Scheduled{at, next_seq_++, id});
-  callbacks_.emplace(id, Pending{std::move(cb), now_, tag});
+  queue_.push(at, next_seq_++, id, Pending{std::move(cb), now_, tag});
   return id;
 }
 
-bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Engine::cancel(EventId id) { return queue_.cancel(id); }
 
-bool Engine::pop_next(Scheduled& out) {
-  while (!queue_.empty()) {
-    Scheduled top = queue_.top();
-    queue_.pop();
-    if (callbacks_.count(top.id)) {
-      out = top;
-      return true;
-    }
-    // Cancelled entry: skip (lazy deletion).
-  }
-  return false;
-}
-
-bool Engine::step() {
-  Scheduled ev;
-  if (!pop_next(ev)) return false;
+void Engine::fire(CalendarQueue<Pending>::Entry& ev) {
   now_ = ev.at;
-  auto it = callbacks_.find(ev.id);
-  Pending pending = std::move(it->second);
-  Callback cb = std::move(pending.cb);
-  callbacks_.erase(it);
+  Callback cb = std::move(ev.payload.cb);
   ++fired_;
   if (attribution_ != nullptr && attribution_->enabled()) {
-    attribution_->record_wait(pending.tag, ev.at - pending.enqueued_at);
+    attribution_->record_wait(ev.payload.tag, ev.at - ev.payload.enqueued_at);
   }
   if (events_metric_ != nullptr) {
     events_metric_->add(1);
-    depth_metric_->set(static_cast<double>(callbacks_.size()));
+    depth_metric_->set(static_cast<double>(queue_.size()));
   }
   {
     obs::ProfScope prof(dispatch_slot_);
     cb();
   }
+}
+
+bool Engine::step() {
+  CalendarQueue<Pending>::Entry ev;
+  if (!queue_.pop_min(ev)) return false;
+  fire(ev);
   return true;
 }
 
 std::uint64_t Engine::run_until(SimTime until) {
   ACP_REQUIRE(until >= now_);
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    // Peek past cancelled entries without consuming live ones after `until`.
-    Scheduled top = queue_.top();
-    if (!callbacks_.count(top.id)) {
-      queue_.pop();
-      continue;
-    }
-    if (top.at > until) break;
-    step();
+  CalendarQueue<Pending>::Entry ev;
+  while (queue_.pop_if_le(until, ev)) {
+    fire(ev);
     ++n;
   }
   now_ = until;

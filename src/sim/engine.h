@@ -6,17 +6,18 @@
 //
 // Determinism: events at equal timestamps fire in scheduling order (a
 // monotonic sequence number breaks ties), so a fixed RNG seed reproduces a
-// run exactly.
+// run exactly. The queue is a calendar queue (sim/calendar_queue.h) whose
+// ordering contract is exactly ascending (at, seq) — identical to the
+// binary heap it replaced — with O(1) amortized push/pop and eager O(1)
+// cancellation instead of lazy heap deletion.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "sim/calendar_queue.h"
 #include "util/error.h"
 
 namespace acp::obs {
@@ -54,7 +55,9 @@ class Engine {
   }
 
   /// Cancels a pending event; returns false if it already fired, was
-  /// cancelled before, or never existed. O(1) via lazy deletion.
+  /// cancelled before, or never existed. O(1), and reclaims the entry —
+  /// including its callback closure — eagerly rather than at fire time, so
+  /// heavy retry cancellation can't grow queue state unboundedly.
   bool cancel(EventId id);
 
   /// Runs events with timestamp <= `until` (inclusive), then advances the
@@ -68,7 +71,7 @@ class Engine {
   bool step();
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return queue_.size(); }
 
   std::uint64_t events_fired() const { return fired_; }
 
@@ -85,19 +88,6 @@ class Engine {
   void set_attribution(obs::Attribution* attr) { attribution_ = attr; }
 
  private:
-  struct Scheduled {
-    SimTime at;
-    std::uint64_t seq;
-    EventId id;
-    bool operator>(const Scheduled& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;  // FIFO among same-time events
-    }
-  };
-
-  /// Pops the next live (non-cancelled) entry; false if none remain.
-  bool pop_next(Scheduled& out);
-
   /// A pending event's callback plus the bookkeeping the attribution layer
   /// needs: when it entered the queue and under which tag.
   struct Pending {
@@ -106,12 +96,14 @@ class Engine {
     const char* tag = nullptr;  ///< string literal; nullptr = untagged
   };
 
+  /// Advances the clock to the popped event and dispatches its callback.
+  void fire(CalendarQueue<Pending>::Entry& ev);
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<Scheduled>> queue_;
-  std::unordered_map<EventId, Pending> callbacks_;
+  CalendarQueue<Pending> queue_;
   obs::Attribution* attribution_ = nullptr;
 
   // Cached metric handles (owned by the attached registry); both set or

@@ -10,15 +10,15 @@ class GlobalStateManager::CoarseView final : public stream::StateView {
   explicit CoarseView(const GlobalStateManager& m) : m_(m) {}
 
   stream::ResourceVector node_available(stream::NodeId node, double /*now*/) const override {
-    ACP_REQUIRE(node < m_.node_avail_.size());
-    m_.observe_read_staleness(m_.node_updated_at_[node]);
-    return m_.node_avail_[node];
+    ACP_REQUIRE(node < m_.nodes_.size());
+    m_.observe_read_staleness(m_.nodes_.updated_at(node));
+    return m_.nodes_.available(node);
   }
 
   double link_available_kbps(net::OverlayLinkIndex l, double /*now*/) const override {
-    ACP_REQUIRE(l < m_.link_avail_.size());
-    m_.observe_read_staleness(m_.links_published_at_);
-    return m_.link_avail_[l];
+    ACP_REQUIRE(l < m_.links_.size());
+    m_.observe_read_staleness(m_.links_.published_at());
+    return m_.links_.published(l);
   }
 
   stream::QoSVector component_qos(stream::ComponentId c, double /*now*/) const override {
@@ -47,11 +47,8 @@ GlobalStateManager::GlobalStateManager(const stream::StreamSystem& sys, sim::Eng
   ACP_REQUIRE(config_.check_interval_s > 0.0);
   ACP_REQUIRE(config_.threshold_fraction >= 0.0 && config_.threshold_fraction <= 1.0);
   ACP_REQUIRE(config_.aggregation_publish_interval_s > 0.0);
-  node_avail_.resize(sys.node_count());
-  node_updated_at_.resize(sys.node_count(), 0.0);
-  link_avail_.resize(sys.mesh().link_count());
-  agg_link_avail_.resize(sys.mesh().link_count());
-  link_reported_.resize(sys.mesh().link_count());
+  nodes_.resize(sys.node_count());
+  links_.resize(sys.mesh().link_count());
   view_ = std::make_unique<CoarseView>(*this);
 }
 
@@ -73,16 +70,12 @@ void GlobalStateManager::start() {
   started_ = true;
   const double now = engine_->now();
   // Seed every copy from ground truth — a fresh system announces itself.
-  for (stream::NodeId n = 0; n < node_avail_.size(); ++n) {
-    node_avail_[n] = sys_->node_pool(n).available(now);
-    node_updated_at_[n] = now;
+  for (NodeHandle n = 0; n < nodes_.size(); ++n) {
+    nodes_.store(n, sys_->node_pool(n).available(now), now);
   }
-  links_published_at_ = now;
-  for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); ++l) {
-    const double avail = sys_->link_pool(l).available(now);
-    link_avail_[l] = avail;
-    agg_link_avail_[l] = avail;
-    link_reported_[l] = avail;
+  links_.set_published_at(now);
+  for (LinkHandle l = 0; l < links_.size(); ++l) {
+    links_.seed(l, sys_->link_pool(l).available(now));
   }
   schedule_check();
   schedule_publish();
@@ -123,20 +116,19 @@ void GlobalStateManager::run_check_sweep() {
 
   // Node resource states: push to global state when any dimension moved by
   // more than threshold * capacity since the last report.
-  for (stream::NodeId n = 0; n < node_avail_.size(); ++n) {
+  for (NodeHandle n = 0; n < nodes_.size(); ++n) {
     const stream::ResourceVector live = sys_->node_pool(n).available(now);
     const stream::ResourceVector& cap = sys_->node_pool(n).capacity();
     bool significant = false;
     for (std::size_t k = 0; k < stream::kResourceDims; ++k) {
-      const double delta = std::abs(live.dim(k) - node_avail_[n].dim(k));
+      const double delta = std::abs(live.dim(k) - nodes_.available_dim(k, n));
       if (delta > config_.threshold_fraction * cap.dim(k)) {
         significant = true;
         break;
       }
     }
     if (significant) {
-      node_avail_[n] = live;
-      node_updated_at_[n] = now;
+      nodes_.store(n, live, now);
       counters_->add(sim::counter::kGlobalStateUpdate);
       if (obs_ != nullptr) {
         obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "node"}}).add();
@@ -146,12 +138,11 @@ void GlobalStateManager::run_check_sweep() {
 
   // Overlay-link states: owners report significant changes to the
   // aggregation node (not yet visible to queries until the next publish).
-  for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); ++l) {
+  for (LinkHandle l = 0; l < links_.size(); ++l) {
     const double live = sys_->link_pool(l).available(now);
     const double cap = sys_->link_pool(l).capacity();
-    if (std::abs(live - link_reported_[l]) > config_.threshold_fraction * cap) {
-      link_reported_[l] = live;
-      agg_link_avail_[l] = live;
+    if (std::abs(live - links_.reported(l)) > config_.threshold_fraction * cap) {
+      links_.report(l, live);
       counters_->add(sim::counter::kAggregationUpdate);
       if (obs_ != nullptr) {
         obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "link"}}).add();
@@ -170,19 +161,11 @@ void GlobalStateManager::run_publish() {
   }
   // The aggregation node folds its collected link states into the global
   // state (one bulk update message) and the role rotates for load sharing.
-  if (faults_ != nullptr && faults_->consume_state_tear()) {
-    // Torn publish (fault injection): the bulk update is cut off halfway —
-    // only even-indexed link states land, the rest keep their stale values.
-    for (net::OverlayLinkIndex l = 0; l < link_avail_.size(); l += 2) {
-      link_avail_[l] = agg_link_avail_[l];
-    }
-    if (obs_ != nullptr) {
-      obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "torn_publish"}}).add();
-    }
-  } else {
-    link_avail_ = agg_link_avail_;
+  const bool torn = faults_ != nullptr && faults_->consume_state_tear();
+  links_.publish(engine_->now(), torn);
+  if (torn && obs_ != nullptr) {
+    obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "torn_publish"}}).add();
   }
-  links_published_at_ = engine_->now();
   counters_->add(sim::counter::kGlobalStateUpdate);
   if (obs_ != nullptr) {
     obs_->metrics.counter(obs::metric::kStateUpdates, {{"kind", "publish"}}).add();

@@ -19,6 +19,7 @@
 #include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
+#include "state/state_arrays.h"
 #include "stream/state_view.h"
 #include "stream/system.h"
 
@@ -98,19 +99,13 @@ class GlobalStateManager {
   obs::ProfSlot prof_check_;    ///< "state.check_sweep" wall time
   obs::ProfSlot prof_publish_;  ///< "state.publish" wall time
 
-  // Published (queryable) coarse copies.
-  std::vector<stream::ResourceVector> node_avail_;
-  std::vector<double> link_avail_;
-
-  // Sim time each published copy was last written (staleness accounting).
-  std::vector<double> node_updated_at_;
-  double links_published_at_ = 0.0;
-
-  // Link states collected at the aggregation node since the last publish
-  // (threshold-updated by link owners, fresher than the published copy).
-  std::vector<double> agg_link_avail_;
-  // Last value each owner reported for its link (threshold baseline).
-  std::vector<double> link_reported_;
+  // Published (queryable) coarse copies in struct-of-arrays layout: the
+  // check sweep walks one resource dimension at a time, and the link arrays
+  // carry the aggregation pipeline's shadow copies (reported/collected)
+  // alongside the published values. Indexed by NodeHandle/LinkHandle
+  // (== overlay node/link index).
+  NodeStateArrays nodes_;
+  LinkStateArrays links_;
 
   stream::NodeId aggregation_node_ = 0;
   bool started_ = false;

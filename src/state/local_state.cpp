@@ -14,8 +14,8 @@ class LocalStateManager::LocalView final : public stream::StateView {
 
   stream::ResourceVector node_available(stream::NodeId node, double now) const override {
     if (node == vantage_) return m_.sys_->node_pool(node).available(now);  // self: exact
-    ACP_REQUIRE(node < m_.cached_node_avail_.size());
-    return m_.cached_node_avail_[node];
+    ACP_REQUIRE(node < m_.cached_nodes_.size());
+    return m_.cached_nodes_.available(node);
   }
 
   double link_available_kbps(net::OverlayLinkIndex l, double now) const override {
@@ -45,7 +45,7 @@ LocalStateManager::LocalStateManager(const stream::StreamSystem& sys, sim::Engin
                                      sim::CounterSet& counters, LocalStateConfig config)
     : sys_(&sys), engine_(&engine), counters_(&counters), config_(config) {
   ACP_REQUIRE(config_.refresh_interval_s > 0.0);
-  cached_node_avail_.resize(sys.node_count());
+  cached_nodes_.resize(sys.node_count());
   cached_link_avail_.resize(sys.mesh().link_count());
   views_.resize(sys.node_count());
 }
@@ -71,10 +71,10 @@ void LocalStateManager::schedule_refresh() {
 
 void LocalStateManager::run_refresh() {
   const double now = engine_->now();
-  for (stream::NodeId n = 0; n < cached_node_avail_.size(); ++n) {
-    cached_node_avail_[n] = sys_->node_pool(n).available(now);
+  for (NodeHandle n = 0; n < cached_nodes_.size(); ++n) {
+    cached_nodes_.store(n, sys_->node_pool(n).available(now), now);
   }
-  for (net::OverlayLinkIndex l = 0; l < cached_link_avail_.size(); ++l) {
+  for (LinkHandle l = 0; l < cached_link_avail_.size(); ++l) {
     cached_link_avail_[l] = sys_->link_pool(l).available(now);
   }
   last_refresh_ = now;

@@ -12,6 +12,7 @@
 
 #include "sim/counters.h"
 #include "sim/engine.h"
+#include "state/state_arrays.h"
 #include "stream/state_view.h"
 #include "stream/system.h"
 
@@ -58,7 +59,10 @@ class LocalStateManager {
   sim::CounterSet* counters_;
   LocalStateConfig config_;
 
-  std::vector<stream::ResourceVector> cached_node_avail_;
+  // Cached snapshots in struct-of-arrays layout (state_arrays.h): the
+  // refresh sweep scatters one dimension at a time; link bandwidth is a
+  // single flat array indexed by LinkHandle.
+  NodeStateArrays cached_nodes_;
   std::vector<double> cached_link_avail_;
   double last_refresh_ = 0.0;
   bool started_ = false;

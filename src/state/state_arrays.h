@@ -1,0 +1,120 @@
+// Struct-of-arrays storage for published node/link resource state
+// (ROADMAP item 1).
+//
+// The coarse global state and the local caches used to hold one
+// std::vector<ResourceVector> per copy — an array-of-structs layout where a
+// check sweep comparing one resource dimension against its threshold drags
+// every other dimension through the cache with it, and where each copy
+// re-queries pool capacities it already saw. At 5k–50k nodes those sweeps
+// are the per-tick cost floor, so the published copies are reorganized here
+// as parallel per-dimension arrays indexed by integer handles (NodeHandle ==
+// stream::NodeId, LinkHandle == net::OverlayLinkIndex): dimension-contiguous
+// for the sweep, gather-on-read for the (rare by comparison) point queries.
+//
+// These containers are pure storage — the update policies (threshold
+// significance, aggregation, publish tears) stay in the managers, and every
+// comparison is arithmetically identical to the AoS code it replaced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/resources.h"
+#include "util/error.h"
+
+namespace acp::state {
+
+/// Integer handle into NodeStateArrays — the overlay node index.
+using NodeHandle = std::uint32_t;
+/// Integer handle into LinkStateArrays — the overlay link index.
+using LinkHandle = std::uint32_t;
+
+/// Per-node published resource availability, one array per resource
+/// dimension, plus the sim-time each node's copy was last written.
+class NodeStateArrays {
+ public:
+  void resize(std::size_t n) {
+    for (auto& d : avail_) d.assign(n, 0.0);
+    updated_at_.assign(n, 0.0);
+  }
+
+  std::size_t size() const { return updated_at_.size(); }
+
+  /// Gathers the per-dimension entries back into a ResourceVector.
+  stream::ResourceVector available(NodeHandle h) const {
+    ACP_REQUIRE(h < size());
+    return stream::ResourceVector::from_dims(avail_[stream::kResCpu][h],
+                                             avail_[stream::kResMemory][h]);
+  }
+
+  double available_dim(std::size_t k, NodeHandle h) const {
+    ACP_ASSERT(k < stream::kResourceDims);
+    return avail_[k][h];
+  }
+
+  double updated_at(NodeHandle h) const { return updated_at_[h]; }
+
+  /// Scatters `v` into the per-dimension arrays and stamps the write time.
+  void store(NodeHandle h, const stream::ResourceVector& v, double now) {
+    ACP_REQUIRE(h < size());
+    for (std::size_t k = 0; k < stream::kResourceDims; ++k) avail_[k][h] = v.dim(k);
+    updated_at_[h] = now;
+  }
+
+ private:
+  std::vector<double> avail_[stream::kResourceDims];
+  std::vector<double> updated_at_;
+};
+
+/// Per-link published bandwidth plus the aggregation pipeline's two shadow
+/// copies: what owners last reported (threshold baseline) and what the
+/// aggregation node has collected since the last publish.
+class LinkStateArrays {
+ public:
+  void resize(std::size_t n) {
+    published_.assign(n, 0.0);
+    collected_.assign(n, 0.0);
+    reported_.assign(n, 0.0);
+  }
+
+  std::size_t size() const { return published_.size(); }
+
+  double published(LinkHandle h) const { return published_[h]; }
+  double collected(LinkHandle h) const { return collected_[h]; }
+  double reported(LinkHandle h) const { return reported_[h]; }
+  double published_at() const { return published_at_; }
+  /// Stamps the publish time without touching values (initial seeding).
+  void set_published_at(double now) { published_at_ = now; }
+
+  /// Seeds all three copies with the same ground-truth value.
+  void seed(LinkHandle h, double avail) {
+    published_[h] = avail;
+    collected_[h] = avail;
+    reported_[h] = avail;
+  }
+
+  /// An owner's threshold-triggered report into the aggregation node.
+  void report(LinkHandle h, double avail) {
+    reported_[h] = avail;
+    collected_[h] = avail;
+  }
+
+  /// Publishes the collected copy. `torn` (fault injection) cuts the bulk
+  /// update off halfway: only even-indexed links land.
+  void publish(double now, bool torn) {
+    if (torn) {
+      for (std::size_t l = 0; l < published_.size(); l += 2) published_[l] = collected_[l];
+    } else {
+      published_ = collected_;
+    }
+    published_at_ = now;
+  }
+
+ private:
+  std::vector<double> published_;
+  std::vector<double> collected_;
+  std::vector<double> reported_;
+  double published_at_ = 0.0;
+};
+
+}  // namespace acp::state

@@ -85,9 +85,8 @@ std::map<net::OverlayLinkIndex, double> ComponentGraph::bandwidth_by_link(
     const NodeId a = sys.component(component_at(edge.from)).node;
     const NodeId b = sys.component(component_at(edge.to)).node;
     if (a == b) continue;  // co-located: no bandwidth consumed
-    for (net::OverlayLinkIndex l : sys.mesh().virtual_link_path(a, b)) {
-      demand[l] += edge.required_bandwidth_kbps;
-    }
+    sys.mesh().for_each_virtual_link(
+        a, b, [&](net::OverlayLinkIndex l) { demand[l] += edge.required_bandwidth_kbps; });
   }
   return demand;
 }
@@ -128,9 +127,9 @@ double ComponentGraph::congestion_aggregation(const StreamSystem& sys, const Sta
     const NodeId b = sys.component(component_at(edge.to)).node;
     if (a == b) continue;  // rb = ∞ ⇒ term = 0 (footnote 8)
     double residual = std::numeric_limits<double>::infinity();
-    for (net::OverlayLinkIndex l : sys.mesh().virtual_link_path(a, b)) {
+    sys.mesh().for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
       residual = std::min(residual, view.link_available_kbps(l, now) - link_demand.at(l));
-    }
+    });
     phi += congestion_term(edge.required_bandwidth_kbps, residual);
   }
   return phi;

@@ -31,6 +31,16 @@ class ResourceVector {
     dims_[kResMemory] = memory_mb;
   }
 
+  /// Rehydrates from raw dimension values without the non-negativity
+  /// precondition — stored availability snapshots can be negative when a
+  /// pool is over-committed under capacity degradation (fault injection).
+  static ResourceVector from_dims(double cpu, double memory_mb) {
+    ResourceVector v;
+    v.dims_[kResCpu] = cpu;
+    v.dims_[kResMemory] = memory_mb;
+    return v;
+  }
+
   double cpu() const { return dims_[kResCpu]; }
   double memory_mb() const { return dims_[kResMemory]; }
   double dim(std::size_t i) const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/small_vec.h"
+
 namespace acp::stream {
 
 // ---- StateView shared derived quantities ----------------------------------
@@ -11,9 +13,9 @@ double StateView::virtual_link_available_kbps(const net::OverlayMesh& mesh, Node
                                               double now) const {
   if (a == b) return std::numeric_limits<double>::infinity();
   double avail = std::numeric_limits<double>::infinity();
-  for (net::OverlayLinkIndex l : mesh.virtual_link_path(a, b)) {
+  mesh.for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
     avail = std::min(avail, link_available_kbps(l, now));
-  }
+  });
   return avail;
 }
 
@@ -21,7 +23,7 @@ QoSVector StateView::virtual_link_qos(const net::OverlayMesh& mesh, NodeId a, No
                                       double now) const {
   QoSVector q;
   if (a == b) return q;  // co-located: 0 network delay, no loss
-  for (net::OverlayLinkIndex l : mesh.virtual_link_path(a, b)) q += link_qos(l, now);
+  mesh.for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) { q += link_qos(l, now); });
   return q;
 }
 
@@ -155,19 +157,20 @@ bool StreamSystem::reserve_virtual_link_transient(RequestId request, std::uint32
                                                   NodeId b, double kbps, double now,
                                                   double expires_at) {
   if (a == b) return true;  // co-located: no bandwidth consumed
-  const auto& path = mesh_->virtual_link_path(a, b);
-  std::size_t done = 0;
-  for (; done < path.size(); ++done) {
-    if (!link_pools_[path[done]].reserve_transient(request, tag, kbps, now, expires_at)) break;
-  }
-  if (done == path.size()) return true;
-  // Roll back partial reservations (only this tag's) on already-done links.
-  for (std::size_t i = 0; i < done; ++i) {
-    // cancel_request would drop other tags of the same request; emulate a
-    // narrow cancel by confirming impossible — instead, drop and re-add is
-    // avoided by cancelling just this tag via a dedicated path:
-    link_pools_[path[i]].cancel_request_tag(request, tag);
-  }
+  bool ok = true;
+  util::SmallVec<net::OverlayLinkIndex, 16> done;
+  mesh_->for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
+    if (!ok) return;
+    if (link_pools_[l].reserve_transient(request, tag, kbps, now, expires_at)) {
+      done.push_back(l);
+    } else {
+      ok = false;
+    }
+  });
+  if (ok) return true;
+  // Roll back partial reservations on already-done links, cancelling just
+  // this tag (cancel_request would drop the request's other tags too).
+  for (const net::OverlayLinkIndex l : done) link_pools_[l].cancel_request_tag(request, tag);
   return false;
 }
 
@@ -179,10 +182,11 @@ bool StreamSystem::confirm_node(RequestId request, std::uint32_t tag, NodeId nod
 bool StreamSystem::confirm_virtual_link(RequestId request, std::uint32_t tag, NodeId a, NodeId b,
                                         SessionId session, double now) {
   if (a == b) return true;
-  for (net::OverlayLinkIndex l : mesh_->virtual_link_path(a, b)) {
-    if (!link_pools_[l].confirm(request, tag, session, now)) return false;
-  }
-  return true;
+  bool ok = true;
+  mesh_->for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
+    if (ok && !link_pools_[l].confirm(request, tag, session, now)) ok = false;
+  });
+  return ok;
 }
 
 void StreamSystem::cancel_request(RequestId request) {
@@ -198,13 +202,18 @@ bool StreamSystem::commit_node_direct(SessionId session, NodeId node, const Reso
 bool StreamSystem::commit_virtual_link_direct(SessionId session, NodeId a, NodeId b, double kbps,
                                               double now) {
   if (a == b) return true;
-  const auto& path = mesh_->virtual_link_path(a, b);
-  std::size_t done = 0;
-  for (; done < path.size(); ++done) {
-    if (!link_pools_[path[done]].commit_direct(session, kbps, now)) break;
-  }
-  if (done == path.size()) return true;
-  for (std::size_t i = 0; i < done; ++i) link_pools_[path[i]].release_session_one(session, kbps);
+  bool ok = true;
+  util::SmallVec<net::OverlayLinkIndex, 16> done;
+  mesh_->for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
+    if (!ok) return;
+    if (link_pools_[l].commit_direct(session, kbps, now)) {
+      done.push_back(l);
+    } else {
+      ok = false;
+    }
+  });
+  if (ok) return true;
+  for (const net::OverlayLinkIndex l : done) link_pools_[l].release_session_one(session, kbps);
   return false;
 }
 
@@ -236,9 +245,9 @@ std::size_t StreamSystem::reclaim_transients_older_than(double age_s, double now
 bool StreamSystem::release_virtual_link_direct(SessionId session, NodeId a, NodeId b, double kbps) {
   if (a == b) return true;
   bool all = true;
-  for (net::OverlayLinkIndex l : mesh_->virtual_link_path(a, b)) {
+  mesh_->for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
     all = link_pools_[l].release_session_one(session, kbps) && all;
-  }
+  });
   return all;
 }
 

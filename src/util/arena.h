@@ -1,0 +1,196 @@
+// Bump/pool allocation for hot-path scratch state (ROADMAP item 1).
+//
+// The probing hot path (core/probing.cpp, ~200k process_probe calls per
+// run) used to allocate and free a handful of std::vectors per hop. An
+// Arena replaces that churn with pointer bumps into reusable chunks: the
+// owner resets it at a well-defined point (per hop, per trial) and every
+// allocation made since is reclaimed at once, in O(chunks). In the style of
+// DIVINE's toolkit/pool.h: memory is only ever returned to the OS when the
+// arena is destroyed, so a steady-state simulation makes zero allocator
+// calls per event.
+//
+// Restrictions, by design:
+//   * only trivially destructible element types (no destructors are run);
+//   * no individual deallocation — reset() reclaims everything at once;
+//   * not thread-safe (one arena per trial/worker, like the obs contexts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::util {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the granularity of growth; allocations larger than a
+  /// chunk get a dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024) : chunk_bytes_(chunk_bytes) {
+    ACP_REQUIRE(chunk_bytes > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation, aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    ACP_ASSERT(align > 0 && (align & (align - 1)) == 0);
+    std::size_t offset = (offset_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || offset + bytes > current_size_) {
+      grow(bytes + align);
+      offset = (offset_ + align - 1) & ~(align - 1);
+    }
+    void* p = current_ + offset;
+    offset_ = offset + bytes;
+    high_water_ = used_before_current_ + offset_ > high_water_
+                      ? used_before_current_ + offset_
+                      : high_water_;
+    return p;
+  }
+
+  /// Typed array allocation. T must be trivially destructible — reset()
+  /// never runs destructors.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors; use a container for non-trivial types");
+    if (n == 0) return nullptr;
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Reclaims every allocation at once. Chunks are kept for reuse, so a
+  /// steady-state caller stops hitting the system allocator entirely.
+  void reset() {
+    chunk_cursor_ = 0;
+    offset_ = 0;
+    used_before_current_ = 0;
+    if (!chunks_.empty()) {
+      current_ = chunks_[0].data;
+      current_size_ = chunks_[0].size;
+    } else {
+      current_ = nullptr;
+      current_size_ = 0;
+    }
+  }
+
+  ~Arena() {
+    for (auto& c : chunks_) ::operator delete(c.data, std::align_val_t{kChunkAlign});
+  }
+
+  /// Bytes handed out since the last reset (including alignment padding).
+  std::size_t bytes_used() const { return used_before_current_ + offset_; }
+  /// Max bytes_used() ever observed — the arena's working-set footprint.
+  std::size_t high_water_bytes() const { return high_water_; }
+  /// Total bytes held from the OS.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kChunkAlign = alignof(std::max_align_t);
+
+  struct Chunk {
+    char* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t min_bytes) {
+    used_before_current_ += offset_;
+    offset_ = 0;
+    // Reuse the next retained chunk when it is big enough.
+    while (chunk_cursor_ + 1 < chunks_.size()) {
+      ++chunk_cursor_;
+      if (chunks_[chunk_cursor_].size >= min_bytes) {
+        current_ = chunks_[chunk_cursor_].data;
+        current_size_ = chunks_[chunk_cursor_].size;
+        return;
+      }
+      used_before_current_ += 0;  // skipped chunk stays retained for later
+    }
+    const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+    Chunk c;
+    c.data = static_cast<char*>(::operator new(size, std::align_val_t{kChunkAlign}));
+    c.size = size;
+    chunks_.push_back(c);
+    chunk_cursor_ = chunks_.size() - 1;
+    current_ = c.data;
+    current_size_ = c.size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_cursor_ = 0;
+  char* current_ = nullptr;
+  std::size_t current_size_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t used_before_current_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// A growable array whose storage comes from an Arena. Grown copies leave
+/// their old buffer behind (the arena reclaims it on reset), trading
+/// transient arena bytes for zero allocator traffic. Only trivially
+/// copyable/destructible element types are supported.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "ArenaVector elements are moved with memcpy and never destroyed");
+
+ public:
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  void reserve(std::size_t n) {
+    if (n > cap_) regrow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) regrow(cap_ == 0 ? 8 : cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+  void resize(std::size_t n) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+  /// Drops elements past `n` (n <= size()).
+  void truncate(std::size_t n) {
+    ACP_ASSERT(n <= size_);
+    size_ = n;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+ private:
+  void regrow(std::size_t new_cap) {
+    T* fresh = arena_->alloc_array<T>(new_cap);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace acp::util

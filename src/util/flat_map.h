@@ -1,0 +1,182 @@
+// Open-addressing hash map for hot-path lookups (ROADMAP item 1).
+//
+// std::unordered_map allocates one node per entry and chases a pointer per
+// probe; at 5k-50k-node world scale those cache misses dominate the event
+// loop. FlatMap keeps key/value slots in one flat power-of-two array
+// (DIVINE hashmap.h style) with robin-hood linear probing and
+// backward-shift deletion, so there are no tombstones and lookups touch
+// one contiguous cache line run. Erase is O(shift) but shifts are short at
+// the 0.7 max load factor.
+//
+// Requirements: Key and Value are trivially copyable (slots are relocated
+// with assignment during shifts) and Key is hashable via std::hash or a
+// supplied functor. Iteration order is unspecified — callers needing
+// deterministic order must sort, exactly as with std::unordered_map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acp::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<Key> && std::is_trivially_copyable_v<Value>,
+                "FlatMap relocates slots with plain assignment");
+
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(std::size_t n) {
+    std::size_t want = capacity_for(n);
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool insert_or_assign(const Key& key, const Value& value) {
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    return insert_no_grow(key, value);
+  }
+
+  Value* find(const Key& key) {
+    std::size_t idx;
+    return locate(key, idx) ? &slots_[idx].value : nullptr;
+  }
+  const Value* find(const Key& key) const {
+    std::size_t idx;
+    return locate(key, idx) ? &slots_[idx].value : nullptr;
+  }
+  bool contains(const Key& key) const {
+    std::size_t idx;
+    return locate(key, idx);
+  }
+
+  /// Removes the key with backward-shift deletion (no tombstones).
+  /// Returns true if it was present.
+  bool erase(const Key& key) {
+    std::size_t idx;
+    if (!locate(key, idx)) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t hole = idx;
+    for (;;) {
+      std::size_t next = (hole + 1) & mask;
+      // Stop when the next slot is empty or already at its ideal position:
+      // shifting it would only move it further from home.
+      if (!slots_[next].occupied || probe_distance(next) == 0) break;
+      slots_[hole] = slots_[next];
+      hole = next;
+    }
+    slots_[hole].occupied = false;
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.occupied = false;
+    size_ = 0;
+  }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& s : slots_) {
+      if (s.occupied) f(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+    bool occupied = false;
+  };
+
+  static std::size_t capacity_for(std::size_t n) {
+    // Smallest power of two keeping n entries under 0.7 load.
+    std::size_t cap = 16;
+    while (n * 10 > cap * 7) cap *= 2;
+    return cap;
+  }
+
+  std::size_t ideal_index(const Key& key) const {
+    // Power-of-two masking uses only low bits; mix the full hash down so
+    // sequential integer keys (the common EventId case) still spread.
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & (slots_.size() - 1);
+  }
+
+  std::size_t probe_distance(std::size_t idx) const {
+    const std::size_t mask = slots_.size() - 1;
+    return (idx - ideal_index(slots_[idx].key)) & mask;
+  }
+
+  bool locate(const Key& key, std::size_t& out_idx) const {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = ideal_index(key);
+    for (std::size_t dist = 0;; ++dist, idx = (idx + 1) & mask) {
+      if (!slots_[idx].occupied) return false;
+      if (slots_[idx].key == key) {
+        out_idx = idx;
+        return true;
+      }
+      // Robin-hood invariant: an entry poorer than our current distance
+      // would have been displaced at insert time, so the key is absent.
+      if (probe_distance(idx) < dist) return false;
+    }
+  }
+
+  bool insert_no_grow(Key key, Value value) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t idx = ideal_index(key);
+    std::size_t dist = 0;
+    for (;; idx = (idx + 1) & mask, ++dist) {
+      if (!slots_[idx].occupied) {
+        slots_[idx].key = key;
+        slots_[idx].value = value;
+        slots_[idx].occupied = true;
+        ++size_;
+        return true;
+      }
+      if (slots_[idx].key == key) {
+        slots_[idx].value = value;
+        return false;
+      }
+      std::size_t existing = probe_distance(idx);
+      if (existing < dist) {
+        // Rob the rich: swap in, keep walking with the displaced entry.
+        std::swap(key, slots_[idx].key);
+        std::swap(value, slots_[idx].value);
+        dist = existing;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    size_ = 0;
+    for (const auto& s : old) {
+      if (s.occupied) insert_no_grow(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acp::util

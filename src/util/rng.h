@@ -122,9 +122,11 @@ class Rng {
   /// O(n) and fine for setup-time use.
   std::uint64_t zipf(std::uint64_t n, double s);
 
-  /// Fisher–Yates shuffle.
-  template <typename T>
-  void shuffle(std::vector<T>& v) {
+  /// Fisher–Yates shuffle over any random-access container (std::vector,
+  /// util::ArenaVector, util::SmallVec, ...). The draw sequence depends
+  /// only on size(), so switching container types preserves determinism.
+  template <typename C>
+  void shuffle(C& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
       std::size_t j = static_cast<std::size_t>(below(i));
       using std::swap;

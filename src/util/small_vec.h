@@ -1,0 +1,127 @@
+// Inline-storage vector for short hot-path sequences (ROADMAP item 1).
+//
+// Probe component lists are almost always <= 8 entries (one per function
+// in the longest template), yet std::vector heap-allocates each of the
+// ~200k probes per run. SmallVec keeps the first N elements in the object
+// itself and only touches the heap past that, so copying a probe for a
+// child spawn is a memcpy. Only trivially copyable/destructible element
+// types are supported — the same restriction as ArenaVector.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "util/error.h"
+
+namespace acp::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "SmallVec elements are relocated with memcpy and never destroyed");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  SmallVec(const SmallVec& other) { assign_from(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      size_ = 0;
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { assign_from(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      size_ = 0;
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (data_ != inline_ptr()) delete[] heap_as_bytes();
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) regrow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) regrow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    ACP_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* inline_ptr() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_ptr() const { return reinterpret_cast<const T*>(inline_storage_); }
+  char* heap_as_bytes() { return reinterpret_cast<char*>(data_); }
+
+  void assign_from(const SmallVec& other) {
+    reserve(other.size_);
+    if (other.size_ > 0) std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void regrow(std::size_t want) {
+    std::size_t new_cap = cap_;
+    while (new_cap < want) new_cap *= 2;
+    T* fresh = reinterpret_cast<T*>(new char[new_cap * sizeof(T)]);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (data_ != inline_ptr()) delete[] heap_as_bytes();
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  alignas(T) char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_ptr();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace acp::util

@@ -1,0 +1,356 @@
+// Property tests for the hot-path containers (ISSUE 9): the bump arena,
+// the open-addressing FlatMap, the SmallVec, and the calendar-queue event
+// queue — each driven through randomized operation interleavings against a
+// std:: reference implementation. The calendar-queue reference is the OLD
+// engine queue (binary heap ordered by (at, seq) with lazy cancellation),
+// so these tests pin the exact tie-breaking contract the byte-identical
+// refactor depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/calendar_queue.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+#include "util/small_vec.h"
+
+namespace {
+
+using acp::sim::CalendarQueue;
+using acp::util::Arena;
+using acp::util::ArenaVector;
+using acp::util::FlatMap;
+using acp::util::Rng;
+using acp::util::SmallVec;
+
+// ---- Arena ------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  Rng rng(1);
+  std::vector<std::pair<char*, std::size_t>> blocks;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t bytes = 1 + rng.below(300);
+    const std::size_t align = std::size_t{1} << rng.below(5);  // 1..16
+    char* p = static_cast<char*>(arena.allocate(bytes, align));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+    std::memset(p, static_cast<int>(i & 0xff), bytes);  // must be writable
+    blocks.emplace_back(p, bytes);
+  }
+  // No block overlaps any other.
+  std::sort(blocks.begin(), blocks.end());
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_GE(blocks[i].first, blocks[i - 1].first + blocks[i - 1].second);
+  }
+}
+
+TEST(Arena, ResetReusesMemoryWithoutGrowingReservation) {
+  Arena arena;
+  for (int i = 0; i < 100; ++i) arena.alloc_array<double>(64);
+  const std::size_t reserved_after_warmup = arena.bytes_reserved();
+  const std::size_t high_water = arena.high_water_bytes();
+  for (int round = 0; round < 50; ++round) {
+    arena.reset();
+    for (int i = 0; i < 100; ++i) arena.alloc_array<double>(64);
+  }
+  // Identical allocation pattern after reset: reservation must not grow.
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_warmup);
+  EXPECT_EQ(arena.high_water_bytes(), high_water);
+}
+
+TEST(ArenaVector, MatchesStdVectorUnderRandomOps) {
+  Arena arena;
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    arena.reset();
+    ArenaVector<std::uint32_t> v(arena);
+    std::vector<std::uint32_t> ref;
+    for (int op = 0; op < 1000; ++op) {
+      switch (rng.below(4)) {
+        case 0:
+        case 1: {  // push (biased: growth paths are the interesting ones)
+          const auto x = static_cast<std::uint32_t>(rng.below(1u << 30));
+          v.push_back(x);
+          ref.push_back(x);
+          break;
+        }
+        case 2: {  // truncate to a random smaller size
+          if (!ref.empty()) {
+            const std::size_t n = rng.below(ref.size() + 1);
+            v.truncate(n);
+            ref.resize(n);
+          }
+          break;
+        }
+        case 3: {  // reserve (must not disturb contents)
+          v.reserve(ref.size() + rng.below(64));
+          break;
+        }
+      }
+      ASSERT_EQ(v.size(), ref.size());
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(v[i], ref[i]);
+  }
+}
+
+// ---- FlatMap ----------------------------------------------------------------
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomOps) {
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  Rng rng(3);
+  // Sequential-ish keys stress the hash finalizer; erases stress the
+  // backward-shift deletion.
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.below(2000);
+    switch (rng.below(3)) {
+      case 0: {
+        const auto val = static_cast<std::uint32_t>(rng.below(1u << 20));
+        m.insert_or_assign(key, val);
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 2: {
+        const auto* found = m.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // for_each visits every live entry exactly once.
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  m.for_each([&](std::uint64_t k, std::uint32_t v) {
+    const bool inserted = seen.emplace(k, v).second;
+    ASSERT_TRUE(inserted);
+  });
+  EXPECT_EQ(seen, ref);
+}
+
+TEST(FlatMap, ClearEmptiesAndStaysUsable) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 1000; ++i) m.insert_or_assign(i, i * 3);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(17));
+  for (std::uint64_t i = 0; i < 100; ++i) m.insert_or_assign(i, i + 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto* v = m.find(i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i + 1);
+  }
+}
+
+// ---- SmallVec ---------------------------------------------------------------
+
+TEST(SmallVec, MatchesStdVectorAcrossInlineHeapBoundary) {
+  Rng rng(4);
+  for (int round = 0; round < 200; ++round) {
+    SmallVec<std::uint32_t, 8> v;
+    std::vector<std::uint32_t> ref;
+    const std::size_t n = rng.below(40);  // straddles the inline capacity 8
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto x = static_cast<std::uint32_t>(rng.below(1000));
+      v.push_back(x);
+      ref.push_back(x);
+    }
+    ASSERT_EQ(v.size(), ref.size());
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(v[i], ref[i]);
+
+    // Copy and move preserve contents and equality.
+    SmallVec<std::uint32_t, 8> copy = v;
+    EXPECT_TRUE(copy == v);
+    SmallVec<std::uint32_t, 8> moved = std::move(copy);
+    ASSERT_EQ(moved.size(), ref.size());
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(moved[i], ref[i]);
+  }
+}
+
+// ---- CalendarQueue vs the old binary-heap engine queue ----------------------
+
+// Reference: exactly the queue the old engine used — a min-heap on
+// (at, seq) with an id set for lazy cancellation.
+class HeapReference {
+ public:
+  struct Item {
+    double at;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+
+  void push(double at, std::uint64_t seq, std::uint64_t id) {
+    heap_.push(Item{at, seq, id});
+    live_.insert(id);
+  }
+  bool cancel(std::uint64_t id) { return live_.erase(id) > 0; }
+  std::size_t size() const { return live_.size(); }
+
+  // Pops the next non-cancelled item; false when empty (or above bound).
+  bool pop(bool bounded, double bound, Item& out) {
+    while (!heap_.empty()) {
+      if (live_.count(heap_.top().id) == 0) {
+        heap_.pop();  // lazily discard cancelled entries
+        continue;
+      }
+      if (bounded && heap_.top().at > bound) return false;
+      out = heap_.top();
+      heap_.pop();
+      live_.erase(out.id);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::set<std::uint64_t> live_;
+};
+
+// One randomized interleaving: pushes (with deliberate at-ties), cancels,
+// bounded and unbounded pops — the calendar queue must reproduce the heap's
+// pop sequence exactly, including (at, seq) tie-breaks.
+void run_interleaving(std::uint64_t seed, bool clustered) {
+  CalendarQueue<int> q;
+  HeapReference ref;
+  Rng rng(seed);
+  std::uint64_t next_seq = 0, next_id = 0;
+  std::vector<std::uint64_t> live_ids;
+  double now = 0.0;
+
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t roll = rng.below(10);
+    if (roll < 5) {
+      // Push. Clustered mode draws from few distinct times to force ties;
+      // spread mode exercises bucket rotation and resizes.
+      const double at =
+          clustered ? now + static_cast<double>(rng.below(4)) : now + rng.uniform(0.0, 1000.0);
+      const std::uint64_t id = next_id++;
+      q.push(at, next_seq, id, static_cast<int>(id));
+      ref.push(at, next_seq, id);
+      ++next_seq;
+      live_ids.push_back(id);
+    } else if (roll < 7) {
+      // Cancel a random id (sometimes one that is already gone).
+      if (!live_ids.empty()) {
+        const std::size_t pick = rng.below(live_ids.size());
+        const std::uint64_t id = live_ids[pick];
+        ASSERT_EQ(q.cancel(id), ref.cancel(id));
+        live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      ASSERT_FALSE(q.cancel(next_id + 1000));  // never-pushed id
+    } else if (roll < 9) {
+      // Unbounded pop.
+      CalendarQueue<int>::Entry got;
+      HeapReference::Item want{};
+      const bool has = ref.pop(false, 0.0, want);
+      ASSERT_EQ(q.pop_min(got), has);
+      if (has) {
+        ASSERT_EQ(got.at, want.at);
+        ASSERT_EQ(got.seq, want.seq);
+        ASSERT_EQ(got.id, want.id);
+        ASSERT_EQ(got.payload, static_cast<int>(want.id));
+        now = got.at;
+        live_ids.erase(std::find(live_ids.begin(), live_ids.end(), want.id));
+      }
+    } else {
+      // Bounded pop (run_until's drain loop).
+      const double bound = now + rng.uniform(0.0, 10.0);
+      CalendarQueue<int>::Entry got;
+      HeapReference::Item want{};
+      const bool has = ref.pop(true, bound, want);
+      ASSERT_EQ(q.pop_if_le(bound, got), has);
+      if (has) {
+        ASSERT_EQ(got.at, want.at);
+        ASSERT_EQ(got.seq, want.seq);
+        ASSERT_EQ(got.id, want.id);
+        now = got.at;
+        live_ids.erase(std::find(live_ids.begin(), live_ids.end(), want.id));
+      }
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+
+  // Drain: the full remaining order must match.
+  CalendarQueue<int>::Entry got;
+  HeapReference::Item want{};
+  while (ref.pop(false, 0.0, want)) {
+    ASSERT_TRUE(q.pop_min(got));
+    ASSERT_EQ(got.at, want.at);
+    ASSERT_EQ(got.seq, want.seq);
+    ASSERT_EQ(got.id, want.id);
+  }
+  ASSERT_FALSE(q.pop_min(got));
+  ASSERT_EQ(q.size(), 0u);
+}
+
+TEST(CalendarQueue, MatchesOldHeapOrderSpreadTimes) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) run_interleaving(seed, /*clustered=*/false);
+}
+
+TEST(CalendarQueue, MatchesOldHeapOrderClusteredTies) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) run_interleaving(seed, /*clustered=*/true);
+}
+
+TEST(CalendarQueue, CancelReclaimsEagerly) {
+  // Satellite fix: cancelled entries must leave the queue immediately —
+  // size() drops and heavy churn does not accumulate dead entries.
+  CalendarQueue<std::string> q;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    q.push(static_cast<double>(i), i, i, std::string(100, 'x'));
+  }
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(q.cancel(i));
+    }
+  }
+  EXPECT_EQ(q.size(), 5000u);
+  EXPECT_FALSE(q.cancel(0));  // already cancelled
+  CalendarQueue<std::string>::Entry e;
+  for (std::uint64_t want = 1; want < 10000; want += 2) {
+    ASSERT_TRUE(q.pop_min(e));
+    ASSERT_EQ(e.id, want);
+  }
+  EXPECT_FALSE(q.pop_min(e));
+}
+
+TEST(CalendarQueue, PushIntoPastStillOrdersCorrectly) {
+  // Pops advance the queue's day cursor; a push at an earlier time than the
+  // last pop must still come out first (the engine never does this, but the
+  // queue's contract should not silently depend on that).
+  CalendarQueue<int> q;
+  CalendarQueue<int>::Entry e;
+  q.push(100.0, 0, 0, 0);
+  ASSERT_TRUE(q.pop_min(e));
+  q.push(50.0, 1, 1, 1);
+  q.push(200.0, 2, 2, 2);
+  ASSERT_TRUE(q.pop_min(e));
+  EXPECT_EQ(e.id, 1u);
+  ASSERT_TRUE(q.pop_min(e));
+  EXPECT_EQ(e.id, 2u);
+}
+
+}  // namespace
