@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
       cfg.migration.max_moves_per_round = 8;
       cfg.run_seed = opt.seed + 600;
       cfg.obs = bobs.get();
+      cfg.shards = opt.shards;
       cfg.timeline = opt.timeline_config();
       trials.push_back(std::move(t));
     }

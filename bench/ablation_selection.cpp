@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
     cfg.schedule = {{0.0, rate}};
     cfg.run_seed = opt.seed + 300;
     cfg.obs = bobs.get();
+    cfg.shards = opt.shards;
     cfg.timeline = opt.timeline_config();
     trials.push_back(std::move(t));
   }
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
       cfg.workload.strict_policy_fraction = frac;
       cfg.run_seed = opt.seed + 301;
       cfg.obs = bobs.get();
+      cfg.shards = opt.shards;
       cfg.timeline = opt.timeline_config();
       trials.push_back(std::move(t));
     }

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     cfg.global_state.aggregation_publish_interval_s = publish_s;
     cfg.run_seed = opt.seed + 400;
     cfg.obs = bobs.get();
+    cfg.shards = opt.shards;
     cfg.timeline = opt.timeline_config();
     return t;
   };

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
     cfg.sample_period_minutes = 5.0 * scale;
     cfg.run_seed = opt.seed + 500;
     cfg.obs = bobs.get();
+    cfg.shards = opt.shards;
     cfg.timeline = opt.timeline_config();
     trials.push_back(std::move(t));
   }

@@ -53,6 +53,11 @@ struct BenchOptions {
   /// 0 (the default) means one worker per hardware thread; 1 forces the
   /// serial inline path. Never changes sim results — only wall-clock.
   std::size_t jobs = 0;
+  /// --shards N: intra-run PDES sharding (sim/sharded_engine.h). 0 keeps
+  /// the serial engine; N >= 1 runs probing algorithms' request cascades on
+  /// N shard lanes with results identical for every N >= 1 (but a distinct
+  /// lineage from --shards 0; see ExperimentConfig::shards).
+  std::size_t shards = 0;
   std::string csv_prefix;    ///< when set, save each table as <prefix><name>.csv
   std::string trace_out;     ///< --trace-out: probe-lifecycle JSONL stream
   std::string timeline_out;  ///< --timeline-out: sim-time telemetry JSONL stream
@@ -96,6 +101,7 @@ inline BenchOptions parse_options(util::Flags& flags) {
   opt.quick = flags.get_bool("quick", false);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   opt.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  opt.shards = static_cast<std::size_t>(flags.get_int("shards", 0));
   opt.csv_prefix = flags.get_string("csv", "");
   opt.trace_out = flags.get_string("trace-out", "");
   opt.timeline_out = flags.get_string("timeline-out", "");
@@ -140,6 +146,7 @@ class BenchObservability {
   BenchObservability(std::string bench_name, const BenchOptions& opt)
       : name_(std::move(bench_name)), opt_(opt),
         wall_start_(std::chrono::steady_clock::now()) {
+    if (opt_.shards > 0) report_config_.emplace_back("shards", std::to_string(opt_.shards));
     if (!opt_.trace_out.empty()) {
       obs_.tracer.open(opt_.trace_out);
       // Identity header before any run: the trace is reproducible from its

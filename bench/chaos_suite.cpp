@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
     cfg.faults = plan;
     cfg.run_seed = opt.seed + 900;
     cfg.obs = bobs.get();
+    cfg.shards = opt.shards;
     cfg.timeline = opt.timeline_config();
     if (recovery) {
       cfg.enable_repair = true;

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
     cfg.workload.qos_scale = qos_scale;
     cfg.run_seed = opt.seed + 500;
     cfg.obs = bobs.get();
+    cfg.shards = opt.shards;
     cfg.timeline = opt.timeline_config();
     return t;
   };

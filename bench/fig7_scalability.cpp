@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
       cfg.schedule = {{0.0, rate}};
       cfg.run_seed = opt.seed + 700;
       cfg.obs = bobs.get();
+      cfg.shards = opt.shards;
       cfg.timeline = opt.timeline_config();
       trials.push_back(std::move(t));
     }

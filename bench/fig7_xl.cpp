@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
         ecfg.schedule = {{0.0, rate}};
         ecfg.run_seed = opt.seed + 7100;
         ecfg.obs = bobs.get();
+        ecfg.shards = opt.shards;
         ecfg.timeline = opt.timeline_config();
         trials.push_back(std::move(t));
       }

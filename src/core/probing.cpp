@@ -9,6 +9,14 @@ using stream::ComponentId;
 using stream::FnNodeIndex;
 using stream::NodeId;
 
+namespace {
+/// Sharded-mode probe ids are (request id × stride + per-request ordinal):
+/// unique across requests, identical for every shard count. The stride
+/// dominates max_probes_per_request (≤ 2048) plus retries by orders of
+/// magnitude.
+constexpr std::uint64_t kProbeIdStride = std::uint64_t{1} << 20;
+}  // namespace
+
 /// One in-flight probe: a partial assignment along one source→sink path.
 struct ProbingProtocol::Probe {
   std::size_t path_index = 0;
@@ -43,6 +51,29 @@ struct ProbingProtocol::Coordinator {
   std::size_t path_budget = 0;
   sim::EventId timeout_event = 0;
   bool finalized = false;
+
+  // ---- Sharded mode (ProbingProtocol::set_shard_host) ---------------------
+  std::uint32_t stream = 0;  ///< private event stream (req.id + 1); 0 = serial
+  util::Rng rng{0};          ///< request-derived: selection + fault draws
+  std::uint64_t next_probe_id = 0;
+  /// Admissions this request's probes made against window-frozen pool
+  /// state, pending application at the barrier. A claim is recorded once
+  /// per (pool, tag) — mirroring the pools' one-reservation-per-(request,
+  /// tag) dedupe — and never expires within the cascade (TTL 60 s vs a
+  /// ≤ 10 s probe deadline), so "frozen available minus other-tag claims"
+  /// reproduces the serial admission arithmetic exactly.
+  struct NodeClaim {
+    NodeId node;
+    std::uint32_t tag;
+    stream::ResourceVector amount;
+  };
+  struct LinkClaim {
+    net::OverlayLinkIndex link;
+    std::uint32_t tag;
+    double kbps;
+  };
+  util::SmallVec<NodeClaim, 16> node_claims;
+  util::SmallVec<LinkClaim, 32> link_claims;
 };
 
 ProbingProtocol::ProbingProtocol(stream::StreamSystem& sys, stream::SessionTable& sessions,
@@ -85,6 +116,92 @@ void ProbingProtocol::set_fault_injector(fault::FaultInjector* faults) {
   }
 }
 
+void ProbingProtocol::set_shard_host(sim::ShardHost* host) {
+  shard_ = host;
+  // Drawn only when sharding attaches: the serial path's rng_ sequence is
+  // untouched, and every instance (constructed with the same rng) derives
+  // the same base.
+  if (shard_ != nullptr) seed_base_ = rng_.next();
+}
+
+sim::EventId ProbingProtocol::sched(const std::shared_ptr<Coordinator>& coord, double delay,
+                                    std::function<void()> cb, const char* tag) {
+  if (shard_ != nullptr) {
+    return shard_->schedule_stream(coord->stream, shard_->now() + delay, std::move(cb), tag);
+  }
+  return engine_->schedule_after(delay, std::move(cb), tag);
+}
+
+std::uint64_t ProbingProtocol::new_probe_id(Coordinator& coord) {
+  if (shard_ == nullptr) return ++next_probe_id_;
+  ++coord.next_probe_id;
+  ACP_ASSERT(coord.next_probe_id < kProbeIdStride);
+  return static_cast<std::uint64_t>(coord.req->id) * kProbeIdStride + coord.next_probe_id;
+}
+
+bool ProbingProtocol::admit_node(Coordinator& coord, std::uint32_t tag, NodeId node,
+                                 const stream::ResourceVector& amount, double now,
+                                 double expires_at) {
+  const stream::RequestId rid = coord.req->id;
+  if (shard_ == nullptr) {
+    return sys_->reserve_node_transient(rid, tag, node, amount, now, expires_at);
+  }
+  stream::StreamSystem* sys = sys_;
+  const auto apply = [sys, rid, tag, node, amount, now, expires_at] {
+    sys->force_reserve_node_transient(rid, tag, node, amount, now, expires_at);
+  };
+  for (const auto& rec : coord.node_claims) {
+    if (rec.node == node && rec.tag == tag) {
+      shard_->push_op(apply);  // duplicate (request, tag): refresh the expiry
+      return true;
+    }
+  }
+  stream::ResourceVector avail = sys_->node_pool(node).available_excluding(now, rid);
+  for (const auto& rec : coord.node_claims) {
+    if (rec.node == node && rec.tag != tag) avail -= rec.amount;
+  }
+  if (!stream::pool_fits(amount, avail)) return false;
+  coord.node_claims.push_back({node, tag, amount});
+  shard_->push_op(apply);
+  return true;
+}
+
+bool ProbingProtocol::admit_link(Coordinator& coord, std::uint32_t tag, NodeId a, NodeId b,
+                                 double kbps, double now, double expires_at) {
+  const stream::RequestId rid = coord.req->id;
+  if (shard_ == nullptr) {
+    return sys_->reserve_virtual_link_transient(rid, tag, a, b, kbps, now, expires_at);
+  }
+  if (a == b) return true;
+  // All-or-nothing across the virtual link's overlay links, like the serial
+  // reserve: admit every link against the frozen view (minus this request's
+  // own other-tag claims) before recording anything.
+  bool ok = true;
+  util::SmallVec<net::OverlayLinkIndex, 16> fresh;
+  sys_->mesh().for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
+    if (!ok) return;
+    for (const auto& rec : coord.link_claims) {
+      if (rec.link == l && rec.tag == tag) return;  // already claimed: refresh
+    }
+    double avail = sys_->link_pool(l).available_excluding(now, rid);
+    for (const auto& rec : coord.link_claims) {
+      if (rec.link == l && rec.tag != tag) avail -= rec.kbps;
+    }
+    if (!stream::pool_fits(kbps, avail)) {
+      ok = false;
+      return;
+    }
+    fresh.push_back(l);
+  });
+  if (!ok) return false;
+  for (const net::OverlayLinkIndex l : fresh) coord.link_claims.push_back({l, tag, kbps});
+  stream::StreamSystem* sys = sys_;
+  shard_->push_op([sys, rid, tag, a, b, kbps, now, expires_at] {
+    sys->force_reserve_virtual_link_transient(rid, tag, a, b, kbps, now, expires_at);
+  });
+  return true;
+}
+
 void ProbingProtocol::on_node_change(stream::NodeId node, bool up) {
   if (up || !config_.enable_reelection) return;
   bool any_live = false;
@@ -117,7 +234,12 @@ void ProbingProtocol::send_probe(const std::shared_ptr<Coordinator>& coord, Prob
   const stream::NodeId to = returning ? coord->deputy : probe.at;
   double delay_s = config_.hop_processing_s + sys_->mesh().virtual_link_delay(from, to) / 1000.0;
   if (faults_ != nullptr) {
-    const fault::FaultInjector::MessageFate fate = faults_->message_fate(from, to);
+    // Sharded: stochastic loss/delay draws come from the request's private
+    // stream (shard-count-invariant); the node/link-down checks read
+    // injector state, frozen during shard phases.
+    const fault::FaultInjector::MessageFate fate =
+        shard_ != nullptr ? faults_->message_fate(from, to, coord->rng)
+                          : faults_->message_fate(from, to);
     if (fate.lost) {
       if (attempt >= config_.max_retries) {
         probe_died(probe, coord->req->id, obs::reason::kMessageLost);
@@ -139,8 +261,8 @@ void ProbingProtocol::send_probe(const std::shared_ptr<Coordinator>& coord, Prob
             .field("to", static_cast<std::uint64_t>(to))
             .field("backoff_s", backoff);
       }
-      engine_->schedule_after(
-          backoff,
+      sched(
+          coord, backoff,
           [this, coord, probe, from, returning, attempt] {
             send_probe(coord, probe, from, returning, attempt + 1);
           },
@@ -150,12 +272,12 @@ void ProbingProtocol::send_probe(const std::shared_ptr<Coordinator>& coord, Prob
     delay_s += fate.extra_delay_s;
   }
   if (returning) {
-    engine_->schedule_after(
-        delay_s, [this, coord, probe] { probe_returned(coord, probe); },
+    sched(
+        coord, delay_s, [this, coord, probe] { probe_returned(coord, probe); },
         obs::attr_wait::kProbeTransit);
   } else {
-    engine_->schedule_after(
-        delay_s, [this, coord, probe] { process_probe(coord, probe); },
+    sched(
+        coord, delay_s, [this, coord, probe] { process_probe(coord, probe); },
         obs::attr_wait::kProbeTransit);
   }
 }
@@ -171,13 +293,22 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
   coord->selection_policy = selection_policy;
   coord->done = std::move(done);
   coord->deputy = deputy_for(req.client_ip);
-  coord->start_time = engine_->now();
+  coord->start_time = sim_now();
   coord->paths = req.graph.enumerate_paths();
   coord->collected.resize(coord->paths.size());
   coord->spawned_per_path.assign(coord->paths.size(), 0);
   // Budget is split across source→sink paths so one branch's probe tree
   // cannot starve the other branch of a DAG.
   coord->path_budget = std::max<std::size_t>(1, config_.max_probes_per_request / coord->paths.size());
+
+  if (shard_ != nullptr) {
+    // One private event stream per request, pinned to the shard that owns
+    // the deputy; RNG and probe ids derive from the request id alone, so
+    // every draw and every trace field is shard-count-invariant.
+    coord->stream = static_cast<std::uint32_t>(req.id) + 1;
+    coord->rng = util::Rng(util::stream_seed(seed_base_, req.id));
+    shard_->open_stream(coord->stream, coord->deputy);
+  }
 
   if (faults_ != nullptr) {
     // Track for deputy re-election; prune dead entries while we're here.
@@ -197,8 +328,8 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
   }
 
   // Deadline: finalize with whatever has returned.
-  coord->timeout_event = engine_->schedule_after(
-      config_.probe_timeout_s,
+  coord->timeout_event = sched(
+      coord, config_.probe_timeout_s,
       [this, coord] {
         coord->timeout_event = 0;
         finalize(coord);
@@ -211,7 +342,7 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
     Probe probe;
     probe.path_index = p;
     probe.at = coord->deputy;
-    probe.id = ++next_probe_id_;
+    probe.id = new_probe_id(*coord);
     ++coord->outstanding;
     ++live_probes_;
     ++coord->spawned_per_path[p];
@@ -225,8 +356,8 @@ void ProbingProtocol::execute(const workload::Request& req, double alpha, PerHop
           .field("hop", std::uint64_t{0})
           .field("node", static_cast<std::uint64_t>(coord->deputy));
     }
-    engine_->schedule_after(
-        config_.hop_processing_s, [this, coord, probe] { process_probe(coord, probe); },
+    sched(
+        coord, config_.hop_processing_s, [this, coord, probe] { process_probe(coord, probe); },
         obs::attr_wait::kProbeTransit);
   }
 }
@@ -238,7 +369,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
                                      static_cast<std::int64_t>(probe.at));
   const workload::Request& req = *coord->req;
   const auto& path = coord->paths[probe.path_index];
-  const double now = engine_->now();
+  const double now = sim_now();
   const std::size_t level = probe.components.size();
 
   if (attr_ != nullptr && attr_->enabled()) {
@@ -276,8 +407,8 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
     }
     // Resource conformance + transient allocation for the component.
     const double expires = now + config_.transient_ttl_s;
-    if (!sys_->reserve_node_transient(req.id, stream::node_tag(fn), probe.at,
-                                      req.graph.node(fn).required, now, expires)) {
+    if (!admit_node(*coord, stream::node_tag(fn), probe.at, req.graph.node(fn).required, now,
+                    expires)) {
       probe_died(probe, req.id, obs::reason::kNodeReservation);
       probe_ended(coord);
       return;
@@ -288,9 +419,8 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
       const ComponentId prev = probe.components[level - 2];
       const auto e = req.graph.find_edge(prev_fn, fn);
       const double bw = req.graph.edge(e).required_bandwidth_kbps;
-      if (!sys_->reserve_virtual_link_transient(req.id, stream::link_tag(req.graph, e),
-                                                sys_->component(prev).node, probe.at, bw, now,
-                                                expires)) {
+      if (!admit_link(*coord, stream::link_tag(req.graph, e), sys_->component(prev).node,
+                      probe.at, bw, now, expires)) {
         probe_died(probe, req.id, obs::reason::kLinkReservation);
         probe_ended(coord);
         return;
@@ -356,7 +486,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
       }
       filter_stats.rate_incompatible = candidates.size() - selected.size();
       const std::size_t n_compatible = selected.size();
-      select_random_into(selected, m, rng_);
+      select_random_into(selected, m, shard_ != nullptr ? coord->rng : rng_);
       rank_cutoff = n_compatible - selected.size();
     }
   }
@@ -382,7 +512,7 @@ void ProbingProtocol::process_probe(const std::shared_ptr<Coordinator>& coord, P
           sys_->true_state().virtual_link_qos(sys_->mesh(), probe.at, cand.node, now);
     }
     child.at = cand.node;
-    child.id = ++next_probe_id_;
+    child.id = new_probe_id(*coord);
     child.parent = probe.id;
 
     ++coord->outstanding;
@@ -491,10 +621,16 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
   // arrivals bail out before any accounting, so settle theirs here.
   ACP_ASSERT(live_probes_ >= coord->outstanding);
   live_probes_ -= coord->outstanding;
-  if (coord->timeout_event != 0) engine_->cancel(coord->timeout_event);
+  if (coord->timeout_event != 0) {
+    if (shard_ != nullptr) {
+      shard_->cancel_stream(coord->stream, coord->timeout_event);
+    } else {
+      engine_->cancel(coord->timeout_event);
+    }
+  }
 
   const workload::Request& req = *coord->req;
-  const double now = engine_->now();
+  const double now = sim_now();
 
   // Reached via the deadline with probes still in flight: each outstanding
   // probe is accounted a timeout death (late arrivals are ignored above).
@@ -535,6 +671,16 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
     if (graphs[i].qualified(*sys_, view, req.qos_req, req.policy, now)) qualified.push_back(i);
   }
   out.candidates_qualified = qualified.size();
+
+  if (shard_ != nullptr) {
+    // Sharded: the merge + qualification above ran against the window-frozen
+    // view on this shard's worker; winner selection and commit move to the
+    // barrier, where pool state is live.
+    finalize_sharded(coord, std::move(graphs), qualified, out.candidates_examined, cap_hit);
+    attr_wall.reset();
+    prof.reset();
+    return;
+  }
 
   std::optional<std::size_t> winner;
   if (!qualified.empty()) {
@@ -603,6 +749,108 @@ void ProbingProtocol::finalize(const std::shared_ptr<Coordinator>& coord) {
   prof.reset();
 
   coord->done(out);
+}
+
+void ProbingProtocol::finalize_sharded(const std::shared_ptr<Coordinator>& coord,
+                                       std::vector<stream::ComponentGraph>&& graphs,
+                                       const std::vector<std::size_t>& qualified,
+                                       std::size_t examined, bool cap_hit) {
+  const workload::Request& req = *coord->req;
+  const double frozen_now = sim_now();
+
+  // Ranked preference order against the window-frozen view. The head entry
+  // is exactly the serial winner whenever frozen and live state agree; the
+  // tail is the fallback order for the rare case the barrier's
+  // re-qualification rejects an earlier preference because a concurrent
+  // request claimed the resources first within this window.
+  std::vector<std::size_t> ranked;
+  if (!qualified.empty()) {
+    if (coord->selection_policy == SelectionPolicy::kBestPhi) {
+      const stream::StreamSystem::RequestScopedView view(*sys_, req.id);
+      std::vector<std::pair<double, std::size_t>> scored;
+      scored.reserve(qualified.size());
+      for (const std::size_t i : qualified) {
+        scored.emplace_back(graphs[i].congestion_aggregation(*sys_, view, frozen_now), i);
+      }
+      std::sort(scored.begin(), scored.end());
+      ranked.reserve(scored.size());
+      for (const auto& s : scored) ranked.push_back(s.second);
+    } else {
+      // Random-qualified: one draw picks the preferred winner; the rest
+      // follow in index order as fallbacks.
+      const auto pick = static_cast<std::size_t>(coord->rng.below(qualified.size()));
+      ranked.push_back(qualified[pick]);
+      for (std::size_t j = 0; j < qualified.size(); ++j) {
+        if (j != pick) ranked.push_back(qualified[j]);
+      }
+    }
+  }
+
+  auto shared_graphs = std::make_shared<std::vector<stream::ComponentGraph>>(std::move(graphs));
+  shard_->push_op([this, coord, shared_graphs, ranked = std::move(ranked), examined,
+                   frozen_qualified = qualified.size(), cap_hit] {
+    const workload::Request& creq = *coord->req;
+    const double now = engine_->now();
+    CompositionOutcome out;
+    out.candidates_examined = examined;
+    out.candidates_qualified = frozen_qualified;
+
+    // Commit-time re-qualification against live pool state: first ranked
+    // preference that still satisfies Eqs. 2–5 wins.
+    const stream::StreamSystem::RequestScopedView view(*sys_, creq.id);
+    std::optional<std::size_t> winner;
+    for (const std::size_t i : ranked) {
+      if ((*shared_graphs)[i].qualified(*sys_, view, creq.qos_req, creq.policy, now)) {
+        winner = i;
+        break;
+      }
+    }
+
+    if (winner) {
+      out.found_qualified = true;
+      out.phi = (*shared_graphs)[*winner].congestion_aggregation(*sys_, view, now);
+      const double end = creq.arrival_time + creq.duration_s;
+      out.session = sessions_->commit_probed(creq.id, (*shared_graphs)[*winner], now, end);
+      counters_->add(sim::counter::kConfirmation, creq.graph.node_count());
+    } else {
+      sys_->cancel_request(creq.id);
+    }
+
+    if (obs_ != nullptr) {
+      const double setup_s = now - coord->start_time;
+      const char* outcome = out.success() ? "confirmed" : "failed";
+      attr_->record(obs::attr_phase::kFinalize, static_cast<std::int64_t>(coord->deputy), -1,
+                    setup_s);
+      obs_->metrics
+          .counter(out.success() ? obs::metric::kRequestConfirmed : obs::metric::kRequestFailed)
+          .add();
+      obs_->metrics
+          .histogram(obs::metric::kRequestSetupTime, obs::duration_bounds_s(),
+                     {{"outcome", outcome}})
+          .observe(setup_s);
+      if (out.success()) {
+        obs_->tracer.event("composition_confirmed")
+            .field("req", creq.id)
+            .field("session", out.session)
+            .field("phi", out.phi)
+            .field("merged", out.candidates_examined)
+            .field("qualified", out.candidates_qualified)
+            .field("cap_hit", cap_hit)
+            .field("setup_s", setup_s);
+        obs_->tracer.event("transients_cancelled").field("req", creq.id).field("scope", "losers");
+      } else {
+        obs_->tracer.event("composition_failed")
+            .field("req", creq.id)
+            .field("merged", out.candidates_examined)
+            .field("qualified", out.candidates_qualified)
+            .field("found_qualified", out.found_qualified)
+            .field("setup_s", setup_s);
+        obs_->tracer.event("transients_cancelled").field("req", creq.id).field("scope", "all");
+      }
+    }
+
+    coord->done(out);
+  });
 }
 
 }  // namespace acp::core

@@ -35,6 +35,7 @@
 #include "obs/observability.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 #include "stream/session.h"
 #include "util/arena.h"
 #include "util/rng.h"
@@ -82,7 +83,32 @@ struct ProbingConfig {
   bool enable_reelection = true;
 };
 
-class ProbingProtocol {
+/// What a probing-based composer needs from the protocol layer, independent
+/// of how many protocol instances execute behind it: one instance in a
+/// serial run, one per shard (routed by hashed deputy ownership) in a
+/// sharded run. Stats accessors sum across instances in the latter case.
+class ProbingExecutor {
+ public:
+  virtual ~ProbingExecutor() = default;
+
+  /// Runs the full protocol for `req` with probing ratio `alpha`. `done`
+  /// fires exactly once when the deputy finalizes (success or failure).
+  /// `req` must stay alive until then.
+  virtual void execute(const workload::Request& req, double alpha, PerHopPolicy hop_policy,
+                       SelectionPolicy selection_policy,
+                       std::function<void(const CompositionOutcome&)> done) = 0;
+
+  virtual const ProbingConfig& config() const = 0;
+
+  /// Deputy for a client host — the overlay member closest by IP delay.
+  virtual stream::NodeId deputy_for(net::NodeIndex client_ip) const = 0;
+
+  virtual std::uint64_t retries_sent() const = 0;
+  virtual std::uint64_t deputy_reelections() const = 0;
+  virtual std::uint64_t live_probes() const = 0;
+};
+
+class ProbingProtocol : public ProbingExecutor {
  public:
   /// `global_view` is the coarse state consulted by kGuided selection; RP
   /// (kRandom) never reads it and may pass the same pointer. All references
@@ -98,13 +124,23 @@ class ProbingProtocol {
   /// `req` must stay alive until then.
   void execute(const workload::Request& req, double alpha, PerHopPolicy hop_policy,
                SelectionPolicy selection_policy,
-               std::function<void(const CompositionOutcome&)> done);
+               std::function<void(const CompositionOutcome&)> done) override;
 
-  const ProbingConfig& config() const { return config_; }
+  const ProbingConfig& config() const override { return config_; }
 
   /// Deputy for a client host — the overlay member closest by IP delay;
   /// crashed members are skipped when a fault injector is attached.
-  stream::NodeId deputy_for(net::NodeIndex client_ip) const;
+  stream::NodeId deputy_for(net::NodeIndex client_ip) const override;
+
+  /// Switches the protocol into sharded mode: request cascades run on
+  /// private event streams of `host` (one per request, pinned by hashed
+  /// deputy ownership), admissions are claimed against window-frozen pool
+  /// state and applied as deferred ops at the barrier, and all per-request
+  /// randomness/probe ids derive from the request id so every observable is
+  /// shard-count-invariant. Call before the first execute(); nullptr
+  /// restores the serial path (the default, byte-identical to the
+  /// pre-sharding protocol).
+  void set_shard_host(sim::ShardHost* host);
 
   /// Attaches fault injection: probe transmissions consult message_fate
   /// (loss → retry with backoff, delay → added latency) and deputy death
@@ -112,14 +148,14 @@ class ProbingProtocol {
   /// the first execute(); pass nullptr for the fault-free happy path.
   void set_fault_injector(fault::FaultInjector* faults);
 
-  std::uint64_t retries_sent() const { return retries_sent_; }
-  std::uint64_t deputy_reelections() const { return deputy_reelections_; }
+  std::uint64_t retries_sent() const override { return retries_sent_; }
+  std::uint64_t deputy_reelections() const override { return deputy_reelections_; }
 
   /// Probes in flight right now, across every non-finalized request — the
   /// timeline sampler's instantaneous load observable. A probe counts from
   /// its spawn until it returns, dies, forks, or its deputy finalizes with
   /// it still outstanding (timeout).
-  std::uint64_t live_probes() const { return live_probes_; }
+  std::uint64_t live_probes() const override { return live_probes_; }
 
  private:
   struct Coordinator;
@@ -129,6 +165,33 @@ class ProbingProtocol {
   void probe_returned(const std::shared_ptr<Coordinator>& coord, const Probe& probe);
   void probe_ended(const std::shared_ptr<Coordinator>& coord);
   void finalize(const std::shared_ptr<Coordinator>& coord);
+
+  /// Sharded finalize tail: ranks the qualified compositions against the
+  /// window-frozen view (the worker side), then defers commit as an op that
+  /// re-qualifies the ranked list against live pool state at the barrier
+  /// and commits the first survivor.
+  void finalize_sharded(const std::shared_ptr<Coordinator>& coord,
+                        std::vector<stream::ComponentGraph>&& graphs,
+                        const std::vector<std::size_t>& qualified, std::size_t examined,
+                        bool cap_hit);
+
+  // ---- Serial/sharded dispatch helpers ------------------------------------
+  // Each branches on shard_: the serial path is byte-identical to the
+  // pre-sharding protocol (same engine calls, same rng_ draw order, same
+  // probe-id sequence); the sharded path routes events to the request's
+  // stream and derives randomness/ids from the request.
+
+  double sim_now() const { return shard_ != nullptr ? shard_->now() : engine_->now(); }
+  sim::EventId sched(const std::shared_ptr<Coordinator>& coord, double delay,
+                     std::function<void()> cb, const char* tag);
+  std::uint64_t new_probe_id(Coordinator& coord);
+  /// Transient node admission: serial = reserve_node_transient; sharded =
+  /// fit check against frozen pools minus the request's own pending claims,
+  /// reservation deferred as a force_reserve op.
+  bool admit_node(Coordinator& coord, std::uint32_t tag, stream::NodeId node,
+                  const stream::ResourceVector& amount, double now, double expires_at);
+  bool admit_link(Coordinator& coord, std::uint32_t tag, stream::NodeId a, stream::NodeId b,
+                  double kbps, double now, double expires_at);
 
   /// Sends `probe` from `from` over the virtual link, consulting the fault
   /// injector (when attached) for loss/extra delay. Lost transmissions are
@@ -162,6 +225,14 @@ class ProbingProtocol {
   obs::Observability* obs_;
   obs::Attribution* attr_ = nullptr;  ///< &obs_->attribution; null when obs off
   fault::FaultInjector* faults_ = nullptr;
+  sim::ShardHost* shard_ = nullptr;  ///< non-null = sharded mode
+  /// Base for per-request RNG derivation in sharded mode, drawn once from
+  /// rng_ when the shard host attaches (the serial path never draws it, so
+  /// serial rng_ sequences are untouched). Every protocol instance of a
+  /// sharded run is constructed with the same rng and therefore derives the
+  /// same base — per-request streams are instance- and shard-count-
+  /// invariant.
+  std::uint64_t seed_base_ = 0;
   std::uint64_t next_probe_id_ = 0;
   /// Per-hop scratch (qualified/selected candidate lists, ranking scores):
   /// reset at the top of every process_probe, so a steady-state hop makes

@@ -20,7 +20,7 @@ using AlphaProvider = std::function<double()>;
 
 class ProbingComposerBase : public Composer {
  public:
-  ProbingComposerBase(ProbingProtocol& protocol, AlphaProvider alpha, PerHopPolicy hop,
+  ProbingComposerBase(ProbingExecutor& protocol, AlphaProvider alpha, PerHopPolicy hop,
                       SelectionPolicy selection)
       : protocol_(&protocol), alpha_(std::move(alpha)), hop_(hop), selection_(selection) {
     ACP_REQUIRE(alpha_ != nullptr);
@@ -32,7 +32,7 @@ class ProbingComposerBase : public Composer {
   }
 
  private:
-  ProbingProtocol* protocol_;
+  ProbingExecutor* protocol_;
   AlphaProvider alpha_;
   PerHopPolicy hop_;
   SelectionPolicy selection_;
@@ -40,17 +40,17 @@ class ProbingComposerBase : public Composer {
 
 class AcpComposer final : public ProbingComposerBase {
  public:
-  AcpComposer(ProbingProtocol& protocol, AlphaProvider alpha)
+  AcpComposer(ProbingExecutor& protocol, AlphaProvider alpha)
       : ProbingComposerBase(protocol, std::move(alpha), PerHopPolicy::kGuided,
                             SelectionPolicy::kBestPhi) {}
-  AcpComposer(ProbingProtocol& protocol, double fixed_alpha)
+  AcpComposer(ProbingExecutor& protocol, double fixed_alpha)
       : AcpComposer(protocol, [fixed_alpha] { return fixed_alpha; }) {}
   std::string name() const override { return "ACP"; }
 };
 
 class SpComposer final : public ProbingComposerBase {
  public:
-  SpComposer(ProbingProtocol& protocol, double fixed_alpha)
+  SpComposer(ProbingExecutor& protocol, double fixed_alpha)
       : ProbingComposerBase(protocol, [fixed_alpha] { return fixed_alpha; },
                             PerHopPolicy::kGuided, SelectionPolicy::kRandomQualified) {}
   std::string name() const override { return "SP"; }
@@ -58,7 +58,7 @@ class SpComposer final : public ProbingComposerBase {
 
 class RpComposer final : public ProbingComposerBase {
  public:
-  RpComposer(ProbingProtocol& protocol, double fixed_alpha)
+  RpComposer(ProbingExecutor& protocol, double fixed_alpha)
       : ProbingComposerBase(protocol, [fixed_alpha] { return fixed_alpha; },
                             PerHopPolicy::kRandom, SelectionPolicy::kBestPhi) {}
   std::string name() const override { return "RP"; }

@@ -4,7 +4,10 @@
 
 #include "core/baseline_composers.h"
 #include "core/probing_composers.h"
+#include "core/probing_sharded.h"
 #include "discovery/registry.h"
+#include "obs/shard_capture.h"
+#include "sim/sharded_engine.h"
 #include "stream/session.h"
 #include "util/logging.h"
 
@@ -47,7 +50,10 @@ bool uses_global_state(Algorithm a) { return a == Algorithm::kAcp || a == Algori
 struct ObsScope {
   explicit ObsScope(obs::Observability* obs) : obs_(obs) {}
   ~ObsScope() {
-    if (obs_ != nullptr) obs_->tracer.set_clock(nullptr);
+    if (obs_ != nullptr) {
+      obs_->tracer.set_clock(nullptr);
+      obs_->tracer.set_row_sink(nullptr);
+    }
     util::Logger::set_time_source(nullptr);
   }
   obs::Observability* obs_;
@@ -63,7 +69,25 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   Deployment dep = build_deployment(fabric, system_config);
   stream::StreamSystem& sys = *dep.sys;
 
-  sim::Engine engine;
+  // Sharded runs swap the serial engine for the time-window PDES engine;
+  // everything global-lane (state, faults, arrivals, sessions, sampling)
+  // schedules on its global() Engine unchanged. Only probing algorithms
+  // have request cascades to shard.
+  const bool sharded = config.shards >= 1 && is_probing(config.algorithm);
+  std::unique_ptr<sim::ShardedEngine> shard_eng;
+  std::unique_ptr<sim::Engine> serial_eng;
+  if (sharded) {
+    sim::ShardedEngine::Config scfg;
+    scfg.shards = config.shards;
+    // Clamp to the conservative lookahead: no cross-node message lands
+    // sooner than the minimum overlay-link delay.
+    scfg.window_s = std::max(config.shard_window_s, sys.mesh().min_link_delay_ms() / 1000.0);
+    shard_eng = std::make_unique<sim::ShardedEngine>(scfg);
+  } else {
+    serial_eng = std::make_unique<sim::Engine>();
+  }
+  sim::Engine& engine = sharded ? shard_eng->global() : *serial_eng;
+
   sim::CounterSet counters;
   stream::SessionTable sessions(sys);
   discovery::Registry registry(sys, counters, {}, config.obs);
@@ -106,13 +130,76 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
                                  config.probing, obs);
   core::ProbingRatioTuner tuner(sys, engine, config.tuner);
 
+  // --- Sharded protocol instances ------------------------------------------
+  // One ProbingProtocol per shard, each with a private registry, counter
+  // set, and observability capture, so shard workers share no mutable
+  // state. Every instance is constructed from the same probe_rng value and
+  // derives per-request streams from the request id, so which instance runs
+  // a request never shows in any observable.
+  std::vector<std::unique_ptr<obs::ShardCapture>> captures;
+  std::vector<std::unique_ptr<sim::CounterSet>> shard_counters;
+  std::vector<std::unique_ptr<discovery::Registry>> shard_registries;
+  std::vector<std::unique_ptr<stream::StateView>> shard_views;
+  std::vector<std::unique_ptr<core::ProbingProtocol>> protocols;
+  std::unique_ptr<core::ShardedProbing> router;
+  core::ProbingExecutor* executor = &protocol;
+  if (sharded) {
+    sim::ShardedEngine* se = shard_eng.get();
+    std::vector<core::ProbingProtocol*> instance_ptrs;
+    for (std::size_t i = 0; i < config.shards; ++i) {
+      obs::Observability* cap_obs = nullptr;
+      if (obs != nullptr) {
+        captures.push_back(
+            std::make_unique<obs::ShardCapture>(*obs, [se] { return se->next_row_key(); }));
+        cap_obs = captures.back()->obs();
+        cap_obs->tracer.set_clock([se] { return se->now(); });
+        cap_obs->tracer.set_run_base(obs->tracer.run_index());
+        shard_eng->set_lane_obs(i, &cap_obs->metrics, &cap_obs->attribution);
+      }
+      shard_counters.push_back(std::make_unique<sim::CounterSet>());
+      if (cap_obs != nullptr) shard_counters.back()->attach_registry(&cap_obs->metrics);
+      shard_registries.push_back(
+          std::make_unique<discovery::Registry>(sys, *shard_counters.back(),
+                                                discovery::DiscoveryConfig{}, cap_obs));
+      // Global-state guidance reads record staleness; give each instance a
+      // private view so worker threads never share that histogram.
+      const stream::StateView* inst_guidance = &guidance;
+      if (uses_global_state(config.algorithm)) {
+        shard_views.push_back(global_state.make_shard_view(cap_obs));
+        inst_guidance = shard_views.back().get();
+      }
+      protocols.push_back(std::make_unique<core::ProbingProtocol>(
+          sys, sessions, engine, *shard_counters.back(), *shard_registries.back(), *inst_guidance,
+          probe_rng, config.probing, cap_obs));
+      protocols.back()->set_shard_host(se);
+      instance_ptrs.push_back(protocols.back().get());
+    }
+    router = std::make_unique<core::ShardedProbing>(shard_eng->plan(), std::move(instance_ptrs));
+    executor = router.get();
+  }
+
+  // Global-lane trace rows need ordering keys too — they merge-sort with
+  // the lanes' captured rows at end of run. Installed after begin_run so
+  // the run_started marker streams directly.
+  std::vector<obs::KeyedRow> global_rows;
+  if (sharded && obs != nullptr && obs->tracer.enabled()) {
+    sim::ShardedEngine* se = shard_eng.get();
+    obs->tracer.set_row_sink([&global_rows, se](std::string&& line) {
+      global_rows.push_back(obs::KeyedRow{se->next_row_key(), std::move(line)});
+    });
+  }
+
   // --- Fault injection + recovery ------------------------------------------
   std::unique_ptr<fault::FaultInjector> injector;
   std::unique_ptr<core::SessionRepairManager> repair_mgr;
   if (!config.faults.empty()) {
     injector = std::make_unique<fault::FaultInjector>(sys, engine, fault_rng, config.faults,
                                                       config.recovery, &counters, obs);
-    protocol.set_fault_injector(injector.get());
+    if (sharded) {
+      for (auto& p : protocols) p->set_fault_injector(injector.get());
+    } else {
+      protocol.set_fault_injector(injector.get());
+    }
     global_state.set_fault_injector(injector.get());
     if (config.enable_repair) {
       repair_mgr = std::make_unique<core::SessionRepairManager>(sys, sessions, engine, counters,
@@ -127,17 +214,17 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
     case Algorithm::kAcp:
       if (config.adaptive_alpha) {
         tuner.start();
-        composer = std::make_unique<core::AcpComposer>(protocol,
+        composer = std::make_unique<core::AcpComposer>(*executor,
                                                        [&tuner] { return tuner.alpha(); });
       } else {
-        composer = std::make_unique<core::AcpComposer>(protocol, config.alpha);
+        composer = std::make_unique<core::AcpComposer>(*executor, config.alpha);
       }
       break;
     case Algorithm::kSp:
-      composer = std::make_unique<core::SpComposer>(protocol, config.alpha);
+      composer = std::make_unique<core::SpComposer>(*executor, config.alpha);
       break;
     case Algorithm::kRp:
-      composer = std::make_unique<core::RpComposer>(protocol, config.alpha);
+      composer = std::make_unique<core::RpComposer>(*executor, config.alpha);
       break;
     case Algorithm::kOptimal:
       composer = std::make_unique<core::OptimalComposer>(
@@ -171,7 +258,11 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
 
   // Measurement window for message rates starts at warmup.
   counters.begin_window(warmup_s);
-  engine.schedule_at(warmup_s, [&] { counters.begin_window(warmup_s); });
+  for (auto& cs : shard_counters) cs->begin_window(warmup_s);
+  engine.schedule_at(warmup_s, [&] {
+    counters.begin_window(warmup_s);
+    for (auto& cs : shard_counters) cs->begin_window(warmup_s);
+  });
 
   // --- Arrival process -----------------------------------------------------
   std::function<void()> schedule_next_arrival = [&] {
@@ -250,9 +341,9 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
         },
         [&] {
           obs::TimelineSample s;
-          s.events = engine.events_fired();
-          s.queue_depth = engine.pending();
-          s.live_probes = protocol.live_probes();
+          s.events = sharded ? shard_eng->total_events_fired() : engine.events_fired();
+          s.queue_depth = sharded ? shard_eng->total_pending() : engine.pending();
+          s.live_probes = executor->live_probes();
           s.active_sessions = sessions.active_count();
           s.requests = result.requests;
           s.successes = result.successes;
@@ -265,7 +356,25 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   // --- Run -------------------------------------------------------------------
   // A grace period past the horizon lets in-flight probes resolve; no new
   // requests arrive after the horizon.
-  engine.run_until(horizon_s + 120.0);
+  if (sharded) {
+    shard_eng->run_until(horizon_s + 120.0);
+  } else {
+    engine.run_until(horizon_s + 120.0);
+  }
+
+  // Fold the lane captures back into the shared sinks: trace rows from the
+  // global lane and every shard merge-sort by (sim time, submission-order
+  // key, arrival rank) — a total order derived from event identity, never
+  // worker timing — then histograms/attribution/metrics accumulate in
+  // shard-index order.
+  if (sharded && obs != nullptr) {
+    obs->tracer.set_row_sink(nullptr);
+    std::vector<std::vector<obs::KeyedRow>*> buffers;
+    buffers.push_back(&global_rows);
+    for (auto& c : captures) buffers.push_back(&c->rows());
+    obs->tracer.append_raw(obs::merge_keyed_rows(std::move(buffers)));
+    for (auto& c : captures) c->merge_stats_into(*obs);
+  }
 
   // --- Metrics -----------------------------------------------------------------
   result.success_rate = result.requests == 0
@@ -276,7 +385,9 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
   const double window_span_min = (window_end - warmup_s) / 60.0;
   if (window_span_min > 0) {
     const auto per_min = [&](const char* name) {
-      return static_cast<double>(counters.window_count(name)) / window_span_min;
+      std::uint64_t n = counters.window_count(name);
+      for (const auto& cs : shard_counters) n += cs->window_count(name);
+      return static_cast<double>(n) / window_span_min;
     };
     result.probe_rate_per_minute = per_min(sim::counter::kProbe);
     result.state_update_rate_per_minute =
@@ -292,8 +403,8 @@ ExperimentResult run_experiment(const Fabric& fabric, const SystemConfig& system
       finished == 0 ? 1.0
                     : static_cast<double>(result.sessions_completed) /
                           static_cast<double>(finished);
-  result.probe_retries = protocol.retries_sent();
-  result.deputy_reelections = protocol.deputy_reelections();
+  result.probe_retries = executor->retries_sent();
+  result.deputy_reelections = executor->deputy_reelections();
   if (injector != nullptr) {
     result.faults_injected = injector->faults_injected();
     result.transients_reclaimed = injector->transients_reclaimed();

@@ -56,6 +56,20 @@ struct ExperimentConfig {
   core::RepairConfig repair;
   double sample_period_minutes = 5.0;  ///< u(t) sampling period
   std::uint64_t run_seed = 7;          ///< workload/probing randomness
+  /// Sharded PDES (sim/sharded_engine.h): 0 = the serial engine (default;
+  /// byte-identical to the pre-sharding driver). N >= 1 runs probing
+  /// algorithms' request cascades on N shard lanes under the time-window
+  /// barrier; observables are identical for every N >= 1 at a fixed
+  /// shard_window_s, but form their own lineage distinct from the serial
+  /// path (shard-phase admissions see window-frozen pool state).
+  /// Non-probing algorithms always use the serial engine.
+  std::size_t shards = 0;
+  /// Barrier window in sim seconds. Clamped up to the mesh's conservative
+  /// lookahead (min overlay-link delay). Larger windows expose more
+  /// cross-request parallelism at the price of staler shard-phase
+  /// admissions; must stay well below probe_timeout_s. Compare shard
+  /// counts only at an identical window.
+  double shard_window_s = 4.0;
   /// Optional observability sink. When set, the run streams probe-lifecycle
   /// trace spans, mirrors legacy counters into the metrics registry, stamps
   /// log lines with sim time, and labels the trace with the algorithm name

@@ -416,6 +416,11 @@ std::size_t FaultInjector::run_reclamation_sweep() {
 }
 
 FaultInjector::MessageFate FaultInjector::message_fate(stream::NodeId from, stream::NodeId to) {
+  return message_fate(from, to, msg_rng_);
+}
+
+FaultInjector::MessageFate FaultInjector::message_fate(stream::NodeId from, stream::NodeId to,
+                                                       util::Rng& rng) {
   MessageFate fate;
   if (node_down_[from] || node_down_[to]) {
     fate.lost = true;
@@ -428,12 +433,12 @@ FaultInjector::MessageFate FaultInjector::message_fate(stream::NodeId from, stre
     if (fate.lost) return fate;
   }
   if (!stochastic_active()) return fate;
-  if (plan_.probe_loss_prob > 0.0 && msg_rng_.bernoulli(plan_.probe_loss_prob)) {
+  if (plan_.probe_loss_prob > 0.0 && rng.bernoulli(plan_.probe_loss_prob)) {
     fate.lost = true;
     return fate;
   }
-  if (plan_.probe_delay_prob > 0.0 && msg_rng_.bernoulli(plan_.probe_delay_prob)) {
-    fate.extra_delay_s = msg_rng_.exponential(1.0 / plan_.probe_delay_mean_s);
+  if (plan_.probe_delay_prob > 0.0 && rng.bernoulli(plan_.probe_delay_prob)) {
+    fate.extra_delay_s = rng.exponential(1.0 / plan_.probe_delay_mean_s);
   }
   return fate;
 }

@@ -152,6 +152,15 @@ class FaultInjector {
   };
   MessageFate message_fate(stream::NodeId from, stream::NodeId to);
 
+  /// Same fate logic, but stochastic draws (loss / extra delay) come from
+  /// the caller's RNG instead of the injector's shared per-transmission
+  /// stream. Sharded runs pass the request's private stream so the draw
+  /// sequence is a function of the request — not of which shard count or
+  /// worker interleaving processed the transmissions — while the
+  /// deterministic node/link-down checks read injector state unchanged
+  /// (frozen during shard phases).
+  MessageFate message_fate(stream::NodeId from, stream::NodeId to, util::Rng& rng);
+
   // ---- Global-state fault queries (state::GlobalStateManager) -------------
 
   /// True while a staleness window (kStateFreeze) is active: check sweeps

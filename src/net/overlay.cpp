@@ -186,6 +186,17 @@ double OverlayMesh::virtual_link_delay(OverlayNodeIndex a, OverlayNodeIndex b) c
   return overlay_routes_->distance(a, b);
 }
 
+double OverlayMesh::min_link_delay_ms() const {
+  if (torus_) return torus_link_delay_ms_;
+  double best = 0.0;
+  bool first = true;
+  for (const OverlayLink& l : links_) {
+    if (first || l.delay_ms < best) best = l.delay_ms;
+    first = false;
+  }
+  return best;
+}
+
 OverlayNodeIndex OverlayMesh::closest_member(NodeIndex ip_node) const {
   if (torus_) {
     // Members are identity-mapped to hosts: the closest member to a host IS

@@ -112,6 +112,13 @@ class OverlayMesh {
   /// Sum of link delays along the virtual link a→b (0 when a == b).
   double virtual_link_delay(OverlayNodeIndex a, OverlayNodeIndex b) const;
 
+  /// Minimum single-link delay (ms) over every overlay link — the
+  /// conservative PDES lookahead bound: no message between distinct nodes
+  /// can take effect sooner than this after it is sent, so it lower-bounds
+  /// the sharded engine's barrier window. On a torus every link has the
+  /// uniform construction delay.
+  double min_link_delay_ms() const;
+
   /// Overlay member closest (by IP delay) to an arbitrary IP host — the
   /// paper's deputy-node selection by proximity.
   OverlayNodeIndex closest_member(NodeIndex ip_node) const;

@@ -1,0 +1,48 @@
+#include "obs/shard_capture.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace acp::obs {
+
+ShardCapture::ShardCapture(const Observability& target, std::function<RowKey()> key_fn) {
+  if (target.tracer.enabled()) {
+    obs_.tracer.set_row_sink(
+        [this, key_fn = std::move(key_fn)](std::string&& line) {
+          rows_.push_back(KeyedRow{key_fn(), std::move(line)});
+        });
+  }
+  obs_.attribution.set_enabled(target.attribution.enabled());
+}
+
+void ShardCapture::merge_stats_into(Observability& target) {
+  target.metrics.merge_from(obs_.metrics);
+  target.attribution.merge_from(obs_.attribution);
+}
+
+std::string merge_keyed_rows(std::vector<std::vector<KeyedRow>*> buffers) {
+  std::size_t total = 0;
+  for (const auto* b : buffers) total += b->size();
+  std::vector<KeyedRow> all;
+  all.reserve(total);
+  for (auto* b : buffers) {
+    for (KeyedRow& r : *b) all.push_back(std::move(r));
+    b->clear();
+  }
+  std::sort(all.begin(), all.end(), [](const KeyedRow& a, const KeyedRow& b) {
+    if (a.key.at != b.key.at) return a.key.at < b.key.at;
+    if (a.key.seq != b.key.seq) return a.key.seq < b.key.seq;
+    return a.key.ord < b.key.ord;
+  });
+  std::string out;
+  std::size_t bytes = 0;
+  for (const KeyedRow& r : all) bytes += r.line.size() + 1;
+  out.reserve(bytes);
+  for (const KeyedRow& r : all) {
+    out += r.line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace acp::obs

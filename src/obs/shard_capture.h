@@ -1,0 +1,74 @@
+// Per-shard observability capture for the sharded PDES engine.
+//
+// Shard workers execute events out of global timestamp order (each lane is
+// locally ordered, windows interleave lanes), so their trace rows cannot be
+// streamed to the shared tracer as they happen. Instead each shard gets a
+// ShardCapture: a private Observability whose tracer diverts every row into
+// an in-memory buffer tagged with a deterministic ordering key — the
+// executing event's (timestamp, stream-major order key) plus a per-event
+// row ordinal, supplied by the engine (sim::ShardedEngine::next_row_key).
+// At end of run the buffers from every lane plus the global lane merge-sort
+// by that key and append to the shared tracer, reproducing exactly the byte
+// sequence a serial run writes. Metrics and attribution merge through the
+// same commutative merge_from machinery the parallel trial runner uses.
+//
+// This is the ObsContext idea one level down: ObsContext isolates *trials*,
+// ShardCapture isolates *shards within one trial*, and both funnel into the
+// same deterministic merge so `--require-identical-sim` holds across both
+// --jobs and --shards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/observability.h"
+
+namespace acp::obs {
+
+/// Deterministic ordering key for one captured row. Compares as
+/// (at, seq, ord); unique across a run by construction (seq embeds the
+/// stream id, ord counts rows within one event or op).
+struct RowKey {
+  double at = 0.0;
+  std::uint64_t seq = 0;
+  std::uint64_t ord = 0;
+};
+
+struct KeyedRow {
+  RowKey key;
+  std::string line;  ///< one JSONL row, no trailing newline
+};
+
+class ShardCapture {
+ public:
+  /// Builds a lane-private Observability mirroring `target`'s enabled
+  /// sinks: trace rows buffer here (keyed by `key_fn` at write time) when
+  /// the target tracer is enabled; attribution mirrors the target's enabled
+  /// flag; the metrics registry is always live (merging is cheap). The
+  /// timeline stays detached — sampling is a global-lane concern.
+  ShardCapture(const Observability& target, std::function<RowKey()> key_fn);
+
+  ShardCapture(const ShardCapture&) = delete;
+  ShardCapture& operator=(const ShardCapture&) = delete;
+
+  Observability* obs() { return &obs_; }
+  std::vector<KeyedRow>& rows() { return rows_; }
+
+  /// Merges this lane's metrics and attribution into `target` (rows are
+  /// collected separately via rows() + merge_keyed_rows so they can sort
+  /// against other lanes' rows first).
+  void merge_stats_into(Observability& target);
+
+ private:
+  Observability obs_;
+  std::vector<KeyedRow> rows_;
+};
+
+/// Merge-sorts captured rows from several lanes into one newline-terminated
+/// chunk ready for Tracer::append_raw. Keys are unique per run, so the sort
+/// is a total order; the buffers are consumed (moved from).
+std::string merge_keyed_rows(std::vector<std::vector<KeyedRow>*> buffers);
+
+}  // namespace acp::obs

@@ -143,6 +143,12 @@ void Tracer::append_raw(const std::string& chunk) {
 }
 
 void Tracer::write_line(const std::string& line) {
+  if (row_sink_) {
+    std::string copy = line;
+    row_sink_(std::move(copy));
+    ++events_;
+    return;
+  }
   if (!out_) return;
   *out_ << line << '\n';
   ++events_;

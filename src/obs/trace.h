@@ -112,7 +112,15 @@ class Tracer {
   /// Flushes the file-owned sink (no-op for caller-owned streams).
   void flush();
 
-  bool enabled() const { return out_ != nullptr; }
+  bool enabled() const { return out_ != nullptr || row_sink_ != nullptr; }
+
+  /// Diverts every subsequent event line (no trailing newline) into `sink`
+  /// instead of the stream sink. The sharded engine uses this to capture
+  /// rows with deterministic ordering keys while shards execute out of
+  /// global timestamp order, merge-sorting them back before append_raw.
+  /// A tracer with only a row sink counts as enabled. Pass nullptr to
+  /// restore direct stream writes.
+  void set_row_sink(std::function<void(std::string&&)> sink) { row_sink_ = std::move(sink); }
 
   /// Sim-clock used to stamp `t` on every event (seconds). Unset ⇒ t=0.
   void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
@@ -154,6 +162,7 @@ class Tracer {
 
   std::unique_ptr<std::ofstream> file_;
   std::ostream* out_ = nullptr;
+  std::function<void(std::string&&)> row_sink_;
   std::function<double()> clock_;
   std::uint64_t events_ = 0;
   std::uint64_t run_ = 0;

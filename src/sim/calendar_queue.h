@@ -86,6 +86,35 @@ class CalendarQueue {
   /// Pops the global (at, seq) minimum. False when empty.
   bool pop_min(Entry& out) { return pop_impl(/*bounded=*/false, 0.0, out); }
 
+  /// Reports the global (at, seq) minimum without removing it; false when
+  /// empty. Never mutates queue state (day cursor included), so any
+  /// peek/pop interleaving pops in exactly the contract order. The sharded
+  /// engine uses this to skip empty barrier windows.
+  bool peek_min(double& at, std::uint64_t& seq) const {
+    if (size_ == 0) return false;
+    const std::int64_t nbuckets = static_cast<std::int64_t>(buckets_.size());
+    std::int64_t day = current_day_;
+    for (std::int64_t scanned = 0; scanned < nbuckets; ++scanned, ++day) {
+      const std::uint32_t best = find_min_in_day(day);
+      if (best != kNone) {
+        at = slots_[best].at;
+        seq = slots_[best].seq;
+        return true;
+      }
+    }
+    // Sparse region: same global fallback as pop_impl, minus the cursor jump.
+    std::uint32_t best = kNone;
+    for (const auto& b : buckets_) {
+      for (std::uint32_t s : b) {
+        if (best == kNone || less(s, best)) best = s;
+      }
+    }
+    ACP_ASSERT(best != kNone);  // size_ > 0
+    at = slots_[best].at;
+    seq = slots_[best].seq;
+    return true;
+  }
+
   /// Pops the global minimum only if its timestamp is <= `bound`.
   bool pop_if_le(double bound, Entry& out) { return pop_impl(/*bounded=*/true, bound, out); }
 

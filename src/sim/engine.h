@@ -73,6 +73,13 @@ class Engine {
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Timestamp of the earliest pending event; false when idle. Pure peek —
+  /// the sharded engine's window loop uses it to skip empty windows.
+  bool next_event_at(SimTime& at) const {
+    std::uint64_t seq;
+    return queue_.peek_min(at, seq);
+  }
+
   std::uint64_t events_fired() const { return fired_; }
 
   /// Mirrors engine activity into `registry` (nullptr detaches): counter

@@ -7,17 +7,18 @@ namespace acp::state {
 // Queryable coarse view over the published copies.
 class GlobalStateManager::CoarseView final : public stream::StateView {
  public:
-  explicit CoarseView(const GlobalStateManager& m) : m_(m) {}
+  CoarseView(const GlobalStateManager& m, obs::Observability* obs, bool gauge)
+      : m_(m), obs_(obs), gauge_(gauge) {}
 
   stream::ResourceVector node_available(stream::NodeId node, double /*now*/) const override {
     ACP_REQUIRE(node < m_.nodes_.size());
-    m_.observe_read_staleness(m_.nodes_.updated_at(node));
+    m_.observe_read_staleness(m_.nodes_.updated_at(node), obs_, gauge_);
     return m_.nodes_.available(node);
   }
 
   double link_available_kbps(net::OverlayLinkIndex l, double /*now*/) const override {
     ACP_REQUIRE(l < m_.links_.size());
-    m_.observe_read_staleness(m_.links_.published_at());
+    m_.observe_read_staleness(m_.links_.published_at(), obs_, gauge_);
     return m_.links_.published(l);
   }
 
@@ -34,6 +35,8 @@ class GlobalStateManager::CoarseView final : public stream::StateView {
 
  private:
   const GlobalStateManager& m_;
+  obs::Observability* obs_;
+  bool gauge_;
 };
 
 GlobalStateManager::GlobalStateManager(const stream::StreamSystem& sys, sim::Engine& engine,
@@ -49,16 +52,22 @@ GlobalStateManager::GlobalStateManager(const stream::StreamSystem& sys, sim::Eng
   ACP_REQUIRE(config_.aggregation_publish_interval_s > 0.0);
   nodes_.resize(sys.node_count());
   links_.resize(sys.mesh().link_count());
-  view_ = std::make_unique<CoarseView>(*this);
+  view_ = std::make_unique<CoarseView>(*this, obs_, /*gauge=*/true);
 }
 
-void GlobalStateManager::observe_read_staleness(double updated_at) const {
-  if (obs_ == nullptr) return;
+void GlobalStateManager::observe_read_staleness(double updated_at, obs::Observability* obs,
+                                                bool gauge) const {
+  if (obs == nullptr) return;
   const double age = engine_->now() - updated_at;
-  obs_->metrics
+  obs->metrics
       .histogram(obs::metric::kStateReadStaleness, obs::duration_bounds_s())
       .observe(age);
-  obs_->metrics.gauge(obs::metric::kStateStalenessAge).set(age);
+  if (gauge) obs->metrics.gauge(obs::metric::kStateStalenessAge).set(age);
+}
+
+std::unique_ptr<stream::StateView> GlobalStateManager::make_shard_view(
+    obs::Observability* obs) const {
+  return std::make_unique<CoarseView>(*this, obs, /*gauge=*/false);
 }
 
 GlobalStateManager::~GlobalStateManager() = default;

@@ -64,6 +64,13 @@ class GlobalStateManager {
   /// The coarse, possibly stale view that composition logic queries.
   const stream::StateView& view() const;
 
+  /// A detached view over the same published copies that records read
+  /// staleness into `obs` (may be null) instead of the manager's own sink.
+  /// Shard workers consult a private one each, so concurrent reads never
+  /// share a histogram; the staleness-age gauge stays with view() — a
+  /// point-in-time sample has no deterministic cross-shard merge.
+  std::unique_ptr<stream::StateView> make_shard_view(obs::Observability* obs) const;
+
   /// Which node currently plays the aggregation role.
   stream::NodeId aggregation_node() const { return aggregation_node_; }
 
@@ -87,8 +94,9 @@ class GlobalStateManager {
 
   void schedule_check();
   void schedule_publish();
-  /// Feeds one coarse read's staleness into the histogram/gauge.
-  void observe_read_staleness(double updated_at) const;
+  /// Feeds one coarse read's staleness into `obs`'s histogram (and gauge,
+  /// when the reading view carries it).
+  void observe_read_staleness(double updated_at, obs::Observability* obs, bool gauge) const;
 
   const stream::StreamSystem* sys_;
   sim::Engine* engine_;

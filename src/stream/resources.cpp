@@ -47,6 +47,19 @@ bool ReservationPool<Q>::reserve_transient(RequestId request, std::uint32_t tag,
 }
 
 template <typename Q>
+void ReservationPool<Q>::force_reserve_transient(RequestId request, std::uint32_t tag,
+                                                 const Q& amount, double now, double expires_at) {
+  ACP_REQUIRE(expires_at > now);
+  for (auto& r : transients_) {
+    if (r.request == request && r.tag == tag && r.expires_at > now) {
+      r.expires_at = expires_at;
+      return;
+    }
+  }
+  transients_.push_back(Transient{request, tag, amount, expires_at, now});
+}
+
+template <typename Q>
 bool ReservationPool<Q>::confirm(RequestId request, std::uint32_t tag, SessionId session,
                                  double now) {
   for (auto it = transients_.begin(); it != transients_.end(); ++it) {

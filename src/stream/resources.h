@@ -158,6 +158,17 @@ class ReservationPool {
   bool reserve_transient(RequestId request, std::uint32_t tag, const Q& amount, double now,
                          double expires_at);
 
+  /// reserve_transient without the fit check: always places (or refreshes)
+  /// the reservation. The sharded engine's barrier uses this to apply
+  /// claims admitted by shard workers against window-frozen pool state —
+  /// the admission decision already happened (deterministically, against
+  /// the same frozen view for every shard count), so the apply must not
+  /// second-guess it. Transients never underflow the pool: a transient
+  /// over-subscription only shrinks available(), which self-limits the
+  /// next window's admissions exactly like a serial burst of reservations.
+  void force_reserve_transient(RequestId request, std::uint32_t tag, const Q& amount, double now,
+                               double expires_at);
+
   /// Converts the (request, tag) transient into a committed allocation owned
   /// by `session`. Returns false if the transient expired or never existed —
   /// in which case the caller must re-admit from scratch.

@@ -174,6 +174,21 @@ bool StreamSystem::reserve_virtual_link_transient(RequestId request, std::uint32
   return false;
 }
 
+void StreamSystem::force_reserve_node_transient(RequestId request, std::uint32_t tag, NodeId node,
+                                                const ResourceVector& amount, double now,
+                                                double expires_at) {
+  node_pool(node).force_reserve_transient(request, tag, amount, now, expires_at);
+}
+
+void StreamSystem::force_reserve_virtual_link_transient(RequestId request, std::uint32_t tag,
+                                                        NodeId a, NodeId b, double kbps,
+                                                        double now, double expires_at) {
+  if (a == b) return;  // co-located: no bandwidth consumed
+  mesh_->for_each_virtual_link(a, b, [&](net::OverlayLinkIndex l) {
+    link_pools_[l].force_reserve_transient(request, tag, kbps, now, expires_at);
+  });
+}
+
 bool StreamSystem::confirm_node(RequestId request, std::uint32_t tag, NodeId node,
                                 SessionId session, double now) {
   return node_pool(node).confirm(request, tag, session, now);

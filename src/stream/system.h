@@ -91,6 +91,14 @@ class StreamSystem {
   bool reserve_virtual_link_transient(RequestId request, std::uint32_t tag, NodeId a, NodeId b,
                                       double kbps, double now, double expires_at);
 
+  /// Unchecked variants applying claims a shard worker already admitted
+  /// against window-frozen state (see ReservationPool::force_reserve_
+  /// transient). Barrier/apply-phase only.
+  void force_reserve_node_transient(RequestId request, std::uint32_t tag, NodeId node,
+                                    const ResourceVector& amount, double now, double expires_at);
+  void force_reserve_virtual_link_transient(RequestId request, std::uint32_t tag, NodeId a,
+                                            NodeId b, double kbps, double now, double expires_at);
+
   /// Confirms the (request, tag) node reservation into `session` ownership.
   bool confirm_node(RequestId request, std::uint32_t tag, NodeId node, SessionId session,
                     double now);
